@@ -1,0 +1,69 @@
+// Command cyclops-bench regenerates the paper's evaluation artifacts
+// (Figures 3, 9–13 and Tables 2–4 of the HPDC'14 Cyclops paper). Each
+// experiment prints the same rows or series the paper reports, computed on
+// scaled synthetic substitutions of the paper's datasets.
+//
+// Usage:
+//
+//	cyclops-bench -list
+//	cyclops-bench -exp fig9.1 -scale 0.5
+//	cyclops-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclops/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop size)")
+		seed    = flag.Int64("seed", 1, "random seed for synthetic datasets")
+		mach    = flag.Int("machines", 6, "simulated machines (paper: 6)")
+		workers = flag.Int("workers", 8, "workers per machine (paper: 8)")
+		eps     = flag.Float64("eps", 1e-9, "PageRank convergence bound")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-8s  %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := harness.Options{
+		Scale:             *scale,
+		Seed:              *seed,
+		Machines:          *mach,
+		WorkersPerMachine: *workers,
+		Eps:               *eps,
+	}
+
+	if *exp == "all" {
+		if err := harness.RunAll(o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cyclops-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := harness.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("%s — %s\n\n", e.ID, e.Title)
+	if err := e.Run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,280 @@
+// Command cyclops-run executes one graph algorithm over one graph on a
+// chosen engine and prints summary statistics (and optionally the result
+// values). The graph comes either from a named synthetic dataset or from an
+// edge-list file in the SNAP text format.
+//
+// Examples:
+//
+//	cyclops-run -algo PR -dataset gweb -engine cyclops -machines 6 -threads 8
+//	cyclops-run -algo SSSP -graph road.txt -engine hama
+//	cyclops-run -algo PR -dataset amazon -engine powergraph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cyclops/internal/aggregate"
+	"cyclops/internal/algorithms"
+	"cyclops/internal/bsp"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gas"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+	"cyclops/internal/metrics"
+	"cyclops/internal/partition"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "PR", "algorithm: PR, SSSP, CD, CC")
+		dsName    = flag.String("dataset", "", "synthetic dataset name (see graphgen -list)")
+		graphFile = flag.String("graph", "", "edge-list file (alternative to -dataset; .bin files use the binary CSR format)")
+		loaders   = flag.Int("loaders", 4, "parallel parser goroutines for text edge lists")
+		engine    = flag.String("engine", "cyclops", "engine: hama, cyclops, powergraph")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		machines  = flag.Int("machines", 6, "simulated machines")
+		workers   = flag.Int("workers", 1, "workers per machine")
+		threads   = flag.Int("threads", 1, "compute threads per worker (CyclopsMT)")
+		receivers = flag.Int("receivers", 1, "receiver threads per worker (CyclopsMT)")
+		partName  = flag.String("partitioner", "hash", "partitioner: hash, metis, range")
+		eps       = flag.Float64("eps", 1e-9, "convergence bound (PR)")
+		steps     = flag.Int("steps", 100, "max supersteps")
+		source    = flag.Uint("source", 0, "source vertex (SSSP)")
+		top       = flag.Int("top", 5, "print the top-N result vertices")
+		traceCSV  = flag.String("trace", "", "write per-superstep statistics to this CSV file")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*dsName, *graphFile, *scale, *seed, *loaders)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %s\n", graph.ComputeStats(g))
+
+	cc := cluster.Config{
+		Machines:          *machines,
+		WorkersPerMachine: *workers,
+		Threads:           *threads,
+		Receivers:         *receivers,
+	}
+	part, err := pickPartitioner(*partName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	values, summary, trace, err := run(*engine, *algo, g, cc, part, *eps, *steps, graph.ID(*source))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(summary)
+	printTop(values, *top)
+	if *traceCSV != "" && trace != nil {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteCSV(f, trace); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote trace to", *traceCSV)
+	}
+}
+
+func loadGraph(dsName, graphFile string, scale float64, seed int64, loaders int) (*graph.Graph, error) {
+	switch {
+	case dsName != "" && graphFile != "":
+		return nil, fmt.Errorf("use -dataset or -graph, not both")
+	case dsName != "":
+		g, _, err := gen.Dataset(dsName, scale, seed)
+		return g, err
+	case strings.HasSuffix(graphFile, ".bin"):
+		return graph.ReadBinaryFile(graphFile)
+	case graphFile != "":
+		return graph.LoadFileParallel(graphFile, loaders)
+	default:
+		return nil, fmt.Errorf("one of -dataset or -graph is required")
+	}
+}
+
+func pickPartitioner(name string, seed int64) (partition.Partitioner, error) {
+	switch name {
+	case "hash":
+		return partition.Hash{}, nil
+	case "metis":
+		return partition.Multilevel{Seed: seed}, nil
+	case "range":
+		return partition.Range{}, nil
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q", name)
+	}
+}
+
+func run(engine, algo string, g *graph.Graph, cc cluster.Config,
+	part partition.Partitioner, eps float64, steps int, source graph.ID) ([]float64, string, *metrics.Trace, error) {
+
+	switch engine + "/" + algo {
+	case "cyclops/PR":
+		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: eps},
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return e.Values(), fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
+	case "cyclops/SSSP":
+		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: source},
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return e.Values(), tr.String(), tr, nil
+	case "cyclops/CD":
+		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return toFloats(e.Values()), tr.String(), tr, nil
+	case "hama/PR":
+		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: eps},
+			bsp.Config[float64, float64]{
+				Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Halt: aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), eps),
+			})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return e.Values(), tr.String(), tr, nil
+	case "hama/SSSP":
+		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: source},
+			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return e.Values(), tr.String(), tr, nil
+	case "cyclops/CC":
+		e, err := cyclops.New[int64, int64](g, algorithms.CCCyclops{},
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		labels := e.Values()
+		return toFloats(labels),
+			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
+	case "hama/CC":
+		e, err := bsp.New[int64, int64](g, algorithms.CCBSP{},
+			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		labels := e.Values()
+		return toFloats(labels),
+			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
+	case "hama/CD":
+		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
+			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Halt: algorithms.CDHalt()})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return toFloats(e.Values()), tr.String(), tr, nil
+	case "powergraph/PR":
+		e, err := gas.New[algorithms.PRValue, float64](g, algorithms.NewPageRankGAS(g, steps, eps),
+			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return algorithms.Ranks(e.Values()),
+			fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
+	case "powergraph/SSSP":
+		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: source},
+			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		tr, err := e.Run()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return e.Values(), tr.String(), tr, nil
+	default:
+		return nil, "", nil, fmt.Errorf("unsupported engine/algorithm pair %s/%s", engine, algo)
+	}
+}
+
+func toFloats(in []int64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func printTop(values []float64, n int) {
+	type kv struct {
+		v   int
+		val float64
+	}
+	order := make([]kv, len(values))
+	for i, v := range values {
+		order[i] = kv{i, v}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].val > order[j].val })
+	if n > len(order) {
+		n = len(order)
+	}
+	fmt.Printf("top %d vertices:\n", n)
+	for _, e := range order[:n] {
+		fmt.Printf("  vertex %-8d %g\n", e.v, e.val)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cyclops-run:", err)
+	os.Exit(1)
+}

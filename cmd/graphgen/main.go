@@ -1,0 +1,103 @@
+// Command graphgen generates the synthetic datasets that substitute for the
+// paper's Table 1 graphs, writing them as SNAP-style edge lists.
+//
+// Examples:
+//
+//	graphgen -list
+//	graphgen -dataset gweb -scale 0.5 -o gweb.txt
+//	graphgen -type rmat -scale-exp 14 -o rmat.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list named datasets")
+		dsName   = flag.String("dataset", "", "named dataset to generate")
+		typ      = flag.String("type", "", "raw generator: powerlaw, rmat, er, road, community, bipartite")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default: stats only)")
+		binary   = flag.Bool("binary", false, "write the compact binary CSR format instead of text")
+		n        = flag.Int("n", 10000, "vertices (raw generators)")
+		deg      = flag.Int("deg", 6, "out-degree / per-vertex edges (raw generators)")
+		scaleExp = flag.Int("scale-exp", 12, "RMAT scale exponent (|V| = 2^scale-exp)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("named datasets (paper Table 1 substitutions):")
+		for _, name := range gen.Names() {
+			g, meta, err := gen.Dataset(name, 0.05, 1)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-9s %-5s paper |V|=%-8d |E|=%-9d (at -scale 0.05: |V|=%d |E|=%d)\n",
+				name, meta.Algorithm, meta.PaperV, meta.PaperE, g.NumVertices(), g.NumEdges())
+		}
+		return
+	}
+
+	var g *graph.Graph
+	switch {
+	case *dsName != "":
+		var err error
+		g, _, err = gen.Dataset(*dsName, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case *typ != "":
+		g = rawGenerate(*typ, *n, *deg, *scaleExp, *seed)
+	default:
+		fatal(fmt.Errorf("one of -dataset or -type is required (see -list)"))
+	}
+
+	fmt.Println(graph.ComputeStats(g))
+	if *out != "" {
+		write := graph.WriteFile
+		if *binary {
+			write = graph.WriteBinaryFile
+		}
+		if err := write(*out, g); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func rawGenerate(typ string, n, deg, scaleExp int, seed int64) *graph.Graph {
+	switch typ {
+	case "powerlaw":
+		return gen.PowerLaw(n, deg, seed)
+	case "rmat":
+		return gen.RMAT(scaleExp, deg, 0.57, 0.19, 0.19, seed)
+	case "er":
+		return gen.ErdosRenyi(n, n*deg, seed)
+	case "road":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return gen.Road(side, side, 0.02, seed)
+	case "community":
+		g, _ := gen.Community(n/50+1, 50, deg/2+1, 1, seed)
+		return g
+	case "bipartite":
+		return gen.Bipartite(n, n/10+1, deg, seed)
+	default:
+		fatal(fmt.Errorf("unknown generator type %q", typ))
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

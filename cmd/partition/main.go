@@ -1,0 +1,74 @@
+// Command partition evaluates graph partitioners on a graph: edge-cut,
+// balance and the Cyclops replication factor of Figure 11.
+//
+// Examples:
+//
+//	partition -dataset wiki -k 48
+//	partition -graph web.txt -k 12 -algo metis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+	"cyclops/internal/partition"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "", "synthetic dataset name")
+		graphFile = flag.String("graph", "", "edge-list file")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed      = flag.Int64("seed", 1, "random seed")
+		k         = flag.Int("k", 48, "number of partitions")
+		algo      = flag.String("algo", "", "only this partitioner (hash, metis, range); default all")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *dsName != "":
+		var err error
+		g, _, err = gen.Dataset(*dsName, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case *graphFile != "":
+		var err error
+		g, _, err = graph.LoadFile(*graphFile)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -dataset or -graph is required"))
+	}
+	fmt.Printf("graph: %s\n\n", graph.ComputeStats(g))
+
+	partitioners := []partition.Partitioner{
+		partition.Hash{},
+		partition.Multilevel{Seed: *seed},
+		partition.Range{},
+	}
+	fmt.Printf("%-8s %10s %10s %10s %12s\n", "algo", "cut", "cut%", "balance", "replication")
+	for _, p := range partitioners {
+		if *algo != "" && p.Name() != *algo {
+			continue
+		}
+		a, err := p.Partition(g, *k)
+		if err != nil {
+			fatal(err)
+		}
+		cut := a.EdgeCut(g)
+		fmt.Printf("%-8s %10d %9.1f%% %10.3f %12.2f\n",
+			p.Name(), cut, 100*float64(cut)/float64(g.NumEdges()),
+			a.Balance(), a.ReplicationFactor(g))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partition:", err)
+	os.Exit(1)
+}

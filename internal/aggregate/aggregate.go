@@ -1,0 +1,150 @@
+// Package aggregate implements the distributed aggregators and convergence
+// detectors of §2.2.3 and §4.4. BSP programs publish named float64
+// contributions during compute; the engine folds worker partials at the
+// barrier and exposes the previous superstep's folded values to the next
+// superstep — exactly Pregel's aggregator visibility. Two termination
+// policies are provided: the paper's coarse global-error detector and the
+// finer converged-proportion detector Cyclops adds (§4.4).
+package aggregate
+
+import "fmt"
+
+// Op is the combining operation of an aggregator.
+type Op int
+
+const (
+	// Sum adds contributions.
+	Sum Op = iota
+	// Max keeps the maximum contribution.
+	Max
+	// Min keeps the minimum contribution.
+	Min
+)
+
+// Values holds one worker's (or the folded global) aggregator values.
+type Values map[string]float64
+
+// Registry defines the aggregators of a job and holds the folded values of
+// the previous superstep. It is written only at barriers (single goroutine)
+// and read during compute, so it needs no locking.
+type Registry struct {
+	ops  map[string]Op
+	prev Values
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ops: make(map[string]Op), prev: make(Values)}
+}
+
+// Define registers an aggregator. Redefining a name replaces its op.
+func (r *Registry) Define(name string, op Op) { r.ops[name] = op }
+
+// Combine folds contribution v into a worker-local partial under the
+// aggregator's op. Unknown names behave as Sum, so programs can aggregate ad
+// hoc. Combine is called concurrently from worker threads and therefore
+// never mutates the registry — Define all non-Sum aggregators before Run.
+func (r *Registry) Combine(local Values, name string, v float64) {
+	op, ok := r.ops[name]
+	if !ok {
+		op = Sum
+	}
+	cur, exists := local[name]
+	if !exists {
+		local[name] = v
+		return
+	}
+	switch op {
+	case Sum:
+		local[name] = cur + v
+	case Max:
+		if v > cur {
+			local[name] = v
+		}
+	case Min:
+		if v < cur {
+			local[name] = v
+		}
+	default:
+		panic(fmt.Sprintf("aggregate: unknown op %d", op))
+	}
+}
+
+// Fold merges worker partials into the registry, making them the values
+// visible in the next superstep. Partials are consumed (callers pass fresh
+// maps each superstep).
+func (r *Registry) Fold(partials []Values) {
+	folded := make(Values)
+	for _, p := range partials {
+		for name, v := range p {
+			r.Combine(folded, name, v)
+		}
+	}
+	r.prev = folded
+}
+
+// Value returns the folded value of the previous superstep.
+func (r *Registry) Value(name string) (float64, bool) {
+	v, ok := r.prev[name]
+	return v, ok
+}
+
+// HaltFunc decides, at the end of a superstep, whether the job should stop.
+// agg reads the values folded at this superstep's barrier; active is the
+// number of vertices that will be active next superstep.
+type HaltFunc func(step int, agg func(name string) (float64, bool), active int64) bool
+
+// HaltWhenInactive is the default Pregel/Cyclops termination: stop when no
+// vertex is active.
+func HaltWhenInactive() HaltFunc {
+	return func(_ int, _ func(string) (float64, bool), active int64) bool {
+		return active == 0
+	}
+}
+
+// GlobalErrorHalt reproduces the paper's coarse detector: stop when the
+// average of aggregator `name` over n vertices drops below eps. As §2.2.3
+// shows, this can falsely converge important vertices — which is exactly
+// what experiment F3.3 demonstrates.
+func GlobalErrorHalt(name string, n int, eps float64) HaltFunc {
+	return func(step int, agg func(string) (float64, bool), _ int64) bool {
+		if step == 0 {
+			return false // aggregates need one superstep to flow
+		}
+		total, ok := agg(name)
+		if !ok {
+			return false
+		}
+		return total/float64(n) < eps
+	}
+}
+
+// ConvergedProportionHalt is Cyclops' finer detector (§4.4): stop when the
+// fraction of converged vertices (aggregator `name` counts them) reaches
+// target. n is the vertex count.
+func ConvergedProportionHalt(name string, n int, target float64) HaltFunc {
+	return func(step int, agg func(string) (float64, bool), _ int64) bool {
+		if step == 0 || n == 0 {
+			return n == 0
+		}
+		converged, ok := agg(name)
+		if !ok {
+			return false
+		}
+		return converged/float64(n) >= target
+	}
+}
+
+// MaxSteps wraps another HaltFunc with a superstep budget: stop when inner
+// fires or after limit supersteps.
+func MaxSteps(limit int, inner HaltFunc) HaltFunc {
+	return func(step int, agg func(string) (float64, bool), active int64) bool {
+		if step+1 >= limit {
+			return true
+		}
+		if inner == nil {
+			return active == 0
+		}
+		return inner(step, agg, active)
+	}
+}

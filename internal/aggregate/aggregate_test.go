@@ -1,0 +1,118 @@
+package aggregate
+
+import "testing"
+
+func TestCombineOps(t *testing.T) {
+	r := NewRegistry()
+	r.Define("sum", Sum)
+	r.Define("max", Max)
+	r.Define("min", Min)
+	local := make(Values)
+	for _, v := range []float64{3, 1, 2} {
+		r.Combine(local, "sum", v)
+		r.Combine(local, "max", v)
+		r.Combine(local, "min", v)
+	}
+	if local["sum"] != 6 || local["max"] != 3 || local["min"] != 1 {
+		t.Fatalf("local = %v", local)
+	}
+}
+
+func TestCombineUnknownNameDefaultsToSum(t *testing.T) {
+	r := NewRegistry()
+	local := make(Values)
+	r.Combine(local, "adhoc", 2)
+	r.Combine(local, "adhoc", 3)
+	if local["adhoc"] != 5 {
+		t.Fatalf("adhoc = %g", local["adhoc"])
+	}
+}
+
+func TestFoldAcrossWorkers(t *testing.T) {
+	r := NewRegistry()
+	r.Define("err", Sum)
+	r.Define("peak", Max)
+	p1 := Values{"err": 1.5, "peak": 10}
+	p2 := Values{"err": 2.5, "peak": 4}
+	r.Fold([]Values{p1, p2})
+	if v, ok := r.Value("err"); !ok || v != 4 {
+		t.Fatalf("err = %v %v", v, ok)
+	}
+	if v, _ := r.Value("peak"); v != 10 {
+		t.Fatalf("peak = %v", v)
+	}
+	if _, ok := r.Value("absent"); ok {
+		t.Fatal("absent name must report !ok")
+	}
+	// A later fold replaces, not accumulates.
+	r.Fold([]Values{{"err": 1}})
+	if v, _ := r.Value("err"); v != 1 {
+		t.Fatalf("refolded err = %v", v)
+	}
+}
+
+func TestHaltWhenInactive(t *testing.T) {
+	h := HaltWhenInactive()
+	if h(3, nil, 5) {
+		t.Error("must not halt with active vertices")
+	}
+	if !h(3, nil, 0) {
+		t.Error("must halt with zero active")
+	}
+}
+
+func TestGlobalErrorHalt(t *testing.T) {
+	r := NewRegistry()
+	h := GlobalErrorHalt("err", 100, 1e-3)
+	agg := r.Value
+	if h(0, agg, 10) {
+		t.Error("must not halt at step 0")
+	}
+	r.Fold([]Values{{"err": 1.0}}) // avg 0.01 > eps
+	if h(1, agg, 10) {
+		t.Error("must not halt above eps")
+	}
+	r.Fold([]Values{{"err": 0.05}}) // avg 5e-4 < eps
+	if !h(2, agg, 10) {
+		t.Error("must halt below eps")
+	}
+	// Missing aggregator: keep running.
+	if GlobalErrorHalt("ghost", 10, 1)(1, agg, 10) {
+		t.Error("missing aggregator must not halt")
+	}
+}
+
+func TestConvergedProportionHalt(t *testing.T) {
+	r := NewRegistry()
+	h := ConvergedProportionHalt("conv", 200, 0.95)
+	if h(0, r.Value, 10) {
+		t.Error("step 0 must not halt")
+	}
+	r.Fold([]Values{{"conv": 100}})
+	if h(1, r.Value, 10) {
+		t.Error("50% converged must not halt at target 95%")
+	}
+	r.Fold([]Values{{"conv": 191}})
+	if !h(2, r.Value, 10) {
+		t.Error("95.5% converged must halt")
+	}
+	if !ConvergedProportionHalt("conv", 0, 0.9)(0, r.Value, 0) {
+		t.Error("zero-vertex job must halt immediately")
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	h := MaxSteps(3, HaltWhenInactive())
+	if h(0, nil, 5) || h(1, nil, 5) {
+		t.Error("must not halt before the budget with active vertices")
+	}
+	if !h(2, nil, 5) {
+		t.Error("must halt when budget reached")
+	}
+	if !h(0, nil, 0) {
+		t.Error("inner halt must still fire early")
+	}
+	if !MaxSteps(100, nil)(0, nil, 0) {
+		t.Error("nil inner must default to inactive halt")
+	}
+}

@@ -1,0 +1,132 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/bsp"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gas"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+// symmetrize adds the reverse of every edge so weak connectivity works.
+func symmetrize(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices()).Dedup()
+	for _, e := range g.Edges() {
+		b.AddEdge(e.Src, e.Dst)
+		b.AddEdge(e.Dst, e.Src)
+	}
+	return b.MustBuild()
+}
+
+func TestCCRefKnownComponents(t *testing.T) {
+	// Two triangles and an isolated vertex: components {0,1,2}, {3,4,5}, {6}.
+	b := graph.NewBuilder(7)
+	for _, e := range [][2]graph.ID{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		b.AddEdge(e[0], e[1])
+		b.AddEdge(e[1], e[0])
+	}
+	g := b.MustBuild()
+	labels := CCRef(g)
+	want := []int64{0, 0, 0, 3, 3, 3, 6}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	if ComponentCount(labels) != 3 {
+		t.Fatalf("components = %d", ComponentCount(labels))
+	}
+}
+
+func TestCCAllEnginesMatchReference(t *testing.T) {
+	g := symmetrize(gen.ErdosRenyi(400, 500, 31)) // sparse → many components
+	want := CCRef(g)
+
+	be, err := bsp.New[int64, int64](g, CCBSP{}, bsp.Config[int64, int64]{
+		Cluster: cluster.Flat(2, 2), MaxSupersteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ce, err := cyclops.New[int64, int64](g, CCCyclops{}, cyclops.Config[int64, int64]{
+		Cluster: cluster.Flat(2, 2), MaxSupersteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Run(); err != nil {
+		t.Fatal(err)
+	}
+	me, err := cyclops.New[int64, int64](g, CCCyclops{}, cyclops.Config[int64, int64]{
+		Cluster: cluster.MT(2, 4, 2), MaxSupersteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := me.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ge, err := gas.New[int64, int64](g, CCGAS{}, gas.Config[int64, int64]{
+		Cluster: cluster.Flat(3, 1), MaxSupersteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ge.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	bl, cl, ml, gl := be.Values(), ce.Values(), me.Values(), ge.Values()
+	for v := range want {
+		if bl[v] != want[v] || cl[v] != want[v] || ml[v] != want[v] || gl[v] != want[v] {
+			t.Fatalf("vertex %d: ref=%d bsp=%d cyclops=%d mt=%d gas=%d",
+				v, want[v], bl[v], cl[v], ml[v], gl[v])
+		}
+	}
+}
+
+// Property: on random symmetric graphs, Cyclops HashMin agrees with
+// union-find, and every component's label is its minimum member.
+func TestCCProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := symmetrize(gen.ErdosRenyi(120, 150, seed))
+		want := CCRef(g)
+		e, err := cyclops.New[int64, int64](g, CCCyclops{}, cyclops.Config[int64, int64]{
+			Cluster: cluster.Flat(3, 1), MaxSupersteps: 300,
+		})
+		if err != nil {
+			return false
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		got := e.Values()
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+			if got[v] > int64(v) {
+				return false // label must be ≤ own id (min over component)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCCommunityGraphIsFewComponents(t *testing.T) {
+	g, _ := gen.Community(8, 30, 3, 1, 3) // cross-links join communities
+	labels := CCRef(g)
+	if c := ComponentCount(labels); c > 8 {
+		t.Fatalf("components = %d, expected a mostly-connected graph", c)
+	}
+}

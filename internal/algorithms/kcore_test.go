@@ -1,0 +1,122 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/bsp"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+func TestHIndex(t *testing.T) {
+	cases := []struct {
+		vals []int64
+		want int64
+	}{
+		{nil, 0},
+		{[]int64{0}, 0},
+		{[]int64{5}, 1},
+		{[]int64{3, 3, 3}, 3},
+		{[]int64{5, 4, 3, 2, 1}, 3},
+		{[]int64{1, 1, 1, 1}, 1},
+		{[]int64{10, 10}, 2},
+	}
+	for _, c := range cases {
+		got := hIndex(len(c.vals), func(i int) int64 { return c.vals[i] })
+		if got != c.want {
+			t.Errorf("hIndex(%v) = %d, want %d", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestCorenessRefKnown(t *testing.T) {
+	// A triangle with a pendant vertex: triangle has coreness 2, pendant 1.
+	b := graph.NewBuilder(4)
+	for _, e := range [][2]graph.ID{{0, 1}, {1, 2}, {2, 0}, {3, 0}} {
+		b.AddEdge(e[0], e[1])
+		b.AddEdge(e[1], e[0])
+	}
+	g := b.MustBuild()
+	want := []int64{2, 2, 2, 1}
+	got := CorenessRef(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("coreness = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCorenessEnginesMatchPeeling(t *testing.T) {
+	g := symmetrize(gen.PowerLaw(500, 4, 41))
+	want := CorenessRef(g)
+
+	ce, err := cyclops.New[int64, int64](g, CorenessCyclops{}, cyclops.Config[int64, int64]{
+		Cluster: cluster.Flat(3, 2), MaxSupersteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := ce.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := bsp.New[int64, int64](g, CorenessBSP{}, bsp.Config[int64, int64]{
+		Cluster: cluster.Flat(3, 2), MaxSupersteps: 500, Halt: CDHalt(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	btr, err := be.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, bl := ce.Values(), be.Values()
+	for v := range want {
+		if cl[v] != want[v] || bl[v] != want[v] {
+			t.Fatalf("vertex %d: ref=%d cyclops=%d bsp=%d", v, want[v], cl[v], bl[v])
+		}
+	}
+	// Dynamic activation: Cyclops touches far fewer vertex-steps than BSP
+	// recomputing everyone every superstep.
+	var cSteps, bSteps int64
+	for _, s := range ctr.Steps {
+		cSteps += s.Active
+	}
+	for _, s := range btr.Steps {
+		bSteps += s.Active
+	}
+	if cSteps >= bSteps {
+		t.Errorf("cyclops vertex-steps %d !< bsp %d", cSteps, bSteps)
+	}
+}
+
+// Property: the h-index fixpoint equals peeling coreness on random
+// symmetric graphs, and coreness never exceeds degree.
+func TestCorenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := symmetrize(gen.ErdosRenyi(60, 150, seed))
+		want := CorenessRef(g)
+		e, err := cyclops.New[int64, int64](g, CorenessCyclops{}, cyclops.Config[int64, int64]{
+			Cluster: cluster.Flat(2, 2), MaxSupersteps: 300,
+		})
+		if err != nil {
+			return false
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		got := e.Values()
+		for v := range want {
+			if got[v] != want[v] || got[v] > int64(g.OutDegree(graph.ID(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

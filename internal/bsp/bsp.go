@@ -1,0 +1,524 @@
+// Package bsp implements the baseline the paper builds on and compares
+// against: a Hama-like Pregel clone. Vertices interact by pure message
+// passing; every superstep runs four sequential phases — message parsing
+// (PRS), vertex computation (CMP), message sending (SND) and the global
+// barrier (SYN) — with messages buffered in a locked global in-queue per
+// worker (§2.1, §4.1). The deficiencies §2.2 documents are reproduced
+// faithfully: pull-mode programs must keep all vertices alive to resend
+// values, converged vertices keep computing and sending redundant messages,
+// and termination relies on a coarse global aggregate.
+package bsp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cyclops/internal/aggregate"
+	"cyclops/internal/cluster"
+	"cyclops/internal/graph"
+	"cyclops/internal/metrics"
+	"cyclops/internal/partition"
+	"cyclops/internal/transport"
+)
+
+// Program is a Pregel vertex program. Compute is called once per superstep
+// for every active vertex with the messages sent to it in the previous
+// superstep.
+type Program[V, M any] interface {
+	// Init returns the initial value of vertex id. All vertices start
+	// active, as in Pregel.
+	Init(id graph.ID, g *graph.Graph) V
+	// Compute inspects and updates the current vertex through ctx.
+	Compute(ctx *Context[V, M], msgs []M)
+}
+
+// Config tunes an engine run.
+type Config[V, M any] struct {
+	// Cluster is the simulated topology; the BSP engine uses one thread per
+	// worker (Hama predates hierarchical workers).
+	Cluster cluster.Config
+	// Partitioner assigns vertices to workers (default: hash, as in Hama).
+	Partitioner partition.Partitioner
+	// MaxSupersteps bounds the run (default 100).
+	MaxSupersteps int
+	// Halt decides termination at each barrier in addition to the natural
+	// "no active vertices and no messages in flight" stop.
+	Halt aggregate.HaltFunc
+	// Combiner merges two messages bound for the same vertex (must be
+	// commutative and associative, §2.2.2). Optional.
+	Combiner func(a, b M) M
+	// Equal detects unchanged values for redundant-message accounting
+	// (Figure 3(2)). Optional; without it every message counts as useful.
+	Equal func(a, b V) bool
+	// SizeOfMsg estimates a message's wire size; nil means 16 bytes.
+	SizeOfMsg func(M) int64
+	// CostModel overrides the default model constants.
+	CostModel *metrics.CostModel
+	// PerSenderQueues replaces Hama's locked global in-queue with Cyclops'
+	// contention-free per-sender slots. It is an ablation knob (experiment
+	// "ablation.queue"), not something Hama offers.
+	PerSenderQueues bool
+	// Network selects in-process queues (default) or real gob-over-TCP
+	// loopback sockets. Checkpointing requires InProcess (sockets hold
+	// in-flight state a snapshot cannot capture).
+	Network transport.Network
+	// OnStep is called after each barrier with the engine (values are
+	// consistent then); used by the harness for L1-norm tracking.
+	OnStep func(step int, e *Engine[V, M])
+	// CheckpointEvery saves engine state every k supersteps into Checkpoints
+	// when k > 0 (§3.6 fault tolerance: Hama persists values and messages).
+	CheckpointEvery int
+	// Checkpoints receives the snapshots (in-memory sink; cmd tools wrap it
+	// with file persistence).
+	Checkpoints func(State[V, M]) error
+}
+
+// envelope routes one message to a destination vertex.
+type envelope[M any] struct {
+	Dst graph.ID
+	Msg M
+}
+
+// State is the checkpointable engine state (§3.6: superstep count, vertex
+// values and in-flight messages; Hama must persist messages because they
+// carry data).
+type State[V, M any] struct {
+	Step    int
+	Values  []V
+	Halted  []bool
+	Pending []PendingBatch[M]
+}
+
+// PendingBatch is an undelivered message batch addressed to a worker.
+type PendingBatch[M any] struct {
+	To    int
+	Batch []envelope[M]
+}
+
+// Engine executes a Program over a partitioned graph.
+type Engine[V, M any] struct {
+	g      *graph.Graph
+	prog   Program[V, M]
+	cfg    Config[V, M]
+	assign *partition.Assignment
+	owned  [][]graph.ID // worker → owned vertex ids
+
+	values []V
+	halted []bool
+	inbox  [][]M
+
+	tr    transport.Interface[envelope[M]]
+	agg   *aggregate.Registry
+	trace *metrics.Trace
+	model metrics.CostModel
+
+	step   int
+	primed bool
+}
+
+// Close releases transport resources (sockets in TCPLoopback mode).
+func (e *Engine[V, M]) Close() error { return e.tr.Close() }
+
+// New builds an engine: partitions the graph, initialises vertex values and
+// wires the transport with Hama's locked global in-queues.
+func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engine[V, M], error) {
+	if g == nil || prog == nil {
+		return nil, errors.New("bsp: graph and program are required")
+	}
+	cfg.Cluster = cfg.Cluster.Normalize()
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = partition.Hash{}
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 100
+	}
+	workers := cfg.Cluster.Workers()
+	if cfg.Network != transport.InProcess && cfg.CheckpointEvery > 0 {
+		return nil, errors.New("bsp: checkpointing requires the in-process network")
+	}
+	assign, err := cfg.Partitioner.Partition(g, workers)
+	if err != nil {
+		return nil, fmt.Errorf("bsp: partition: %w", err)
+	}
+	tr, err := transport.New[envelope[M]](cfg.Network, workers,
+		queueMode(cfg.PerSenderQueues), wrapSize[M](cfg.SizeOfMsg))
+	if err != nil {
+		return nil, fmt.Errorf("bsp: transport: %w", err)
+	}
+	e := &Engine[V, M]{
+		g:      g,
+		prog:   prog,
+		cfg:    cfg,
+		assign: assign,
+		owned:  make([][]graph.ID, workers),
+		values: make([]V, g.NumVertices()),
+		halted: make([]bool, g.NumVertices()),
+		inbox:  make([][]M, g.NumVertices()),
+		tr:     tr,
+		agg:    aggregate.NewRegistry(),
+		trace:  &metrics.Trace{Engine: "hama", Workers: workers},
+		model:  metrics.DefaultCostModel(),
+	}
+	if cfg.CostModel != nil {
+		e.model = *cfg.CostModel
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		w := assign.Of[v]
+		e.owned[w] = append(e.owned[w], graph.ID(v))
+		e.values[v] = prog.Init(graph.ID(v), g)
+	}
+	return e, nil
+}
+
+func queueMode(perSender bool) transport.QueueMode {
+	if perSender {
+		return transport.PerSenderQueue
+	}
+	return transport.GlobalQueue
+}
+
+func wrapSize[M any](sizeOf func(M) int64) func(envelope[M]) int64 {
+	if sizeOf == nil {
+		return nil
+	}
+	return func(env envelope[M]) int64 { return 4 + sizeOf(env.Msg) }
+}
+
+// Graph returns the input graph.
+func (e *Engine[V, M]) Graph() *graph.Graph { return e.g }
+
+// Values returns the vertex values indexed by vertex id. Only consistent
+// between supersteps (i.e. inside OnStep or after Run).
+func (e *Engine[V, M]) Values() []V { return e.values }
+
+// Assignment exposes the partition for inspection.
+func (e *Engine[V, M]) Assignment() *partition.Assignment { return e.assign }
+
+// Aggregates exposes the previous superstep's folded aggregator values.
+func (e *Engine[V, M]) Aggregates() *aggregate.Registry { return e.agg }
+
+// Trace returns the per-superstep statistics collected so far.
+func (e *Engine[V, M]) Trace() *metrics.Trace { return e.trace }
+
+// Superstep reports the current superstep index.
+func (e *Engine[V, M]) Superstep() int { return e.step }
+
+// Context is the per-vertex view handed to Compute. A Context is only valid
+// during the Compute call it is passed to.
+type Context[V, M any] struct {
+	e       *Engine[V, M]
+	worker  int
+	vid     graph.ID
+	changed bool
+	sent    int64
+	local   aggregate.Values
+	out     [][]envelope[M]    // per destination worker
+	combine []map[graph.ID]int // dst vertex → index in out[w], when combining
+}
+
+// Vertex returns the current vertex id.
+func (c *Context[V, M]) Vertex() graph.ID { return c.vid }
+
+// Superstep returns the current superstep index.
+func (c *Context[V, M]) Superstep() int { return c.e.step }
+
+// NumVertices returns the graph's vertex count.
+func (c *Context[V, M]) NumVertices() int { return c.e.g.NumVertices() }
+
+// Value returns the current vertex's value.
+func (c *Context[V, M]) Value() V { return c.e.values[c.vid] }
+
+// SetValue updates the current vertex's value.
+func (c *Context[V, M]) SetValue(v V) {
+	if eq := c.e.cfg.Equal; eq == nil || !eq(c.e.values[c.vid], v) {
+		c.changed = true
+	}
+	c.e.values[c.vid] = v
+}
+
+// OutDegree returns the current vertex's out-degree.
+func (c *Context[V, M]) OutDegree() int { return c.e.g.OutDegree(c.vid) }
+
+// OutNeighbors returns the current vertex's out-neighbors (read-only).
+func (c *Context[V, M]) OutNeighbors() []graph.ID { return c.e.g.OutNeighbors(c.vid) }
+
+// OutWeights returns the current vertex's out-edge weights (read-only).
+func (c *Context[V, M]) OutWeights() []float64 { return c.e.g.OutWeights(c.vid) }
+
+// SendTo queues a message for vertex dst, delivered next superstep.
+func (c *Context[V, M]) SendTo(dst graph.ID, m M) {
+	w := c.e.assign.Of[dst]
+	c.sent++
+	if c.e.cfg.Combiner != nil {
+		cm := c.combine[w]
+		if cm == nil {
+			cm = make(map[graph.ID]int)
+			c.combine[w] = cm
+		}
+		if i, ok := cm[dst]; ok {
+			c.out[w][i].Msg = c.e.cfg.Combiner(c.out[w][i].Msg, m)
+			return
+		}
+		cm[dst] = len(c.out[w])
+	}
+	c.out[w] = append(c.out[w], envelope[M]{Dst: dst, Msg: m})
+}
+
+// SendToNeighbors queues m for every out-neighbor.
+func (c *Context[V, M]) SendToNeighbors(m M) {
+	for _, u := range c.e.g.OutNeighbors(c.vid) {
+		c.SendTo(u, m)
+	}
+}
+
+// VoteToHalt deactivates the vertex until a message re-activates it.
+func (c *Context[V, M]) VoteToHalt() { c.e.halted[c.vid] = true }
+
+// Aggregate contributes v to the named aggregator (visible next superstep).
+func (c *Context[V, M]) Aggregate(name string, v float64) {
+	c.e.agg.Combine(c.local, name, v)
+}
+
+// AggregateValue reads the previous superstep's folded aggregate.
+func (c *Context[V, M]) AggregateValue(name string) (float64, bool) {
+	return c.e.agg.Value(name)
+}
+
+// Run executes supersteps until termination and returns the trace. A fresh
+// engine starts at superstep 0; a Restored engine continues from its
+// checkpointed superstep.
+func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
+	workers := e.cfg.Cluster.Workers()
+	if !e.primed {
+		// Establish round 0 so the first superstep's drain has markers to
+		// consume on round-based transports.
+		for w := 0; w < workers; w++ {
+			e.tr.FinishRound(w)
+		}
+		e.primed = true
+	}
+	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
+		stats := metrics.StepStats{Step: e.step}
+
+		// PRS: drain the locked global in-queue, group messages per vertex,
+		// reactivate recipients. One thread per worker, as in Hama.
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, batch := range e.tr.Drain(w) {
+					for _, env := range batch {
+						e.inbox[env.Dst] = append(e.inbox[env.Dst], env.Msg)
+						e.halted[env.Dst] = false
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		stats.Durations[metrics.Parse] = time.Since(start)
+
+		// CMP: run Compute on active vertices, one thread per worker.
+		start = time.Now()
+		var active, changed, sentTotal, redundant atomic.Int64
+		var computeMax, sendMax int64
+		computeUnits := make([]int64, workers)
+		sendCounts := make([]int64, workers)
+		partials := make([]aggregate.Values, workers)
+		outs := make([][][]envelope[M], workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := &Context[V, M]{
+					e:      e,
+					worker: w,
+					local:  make(aggregate.Values),
+					out:    make([][]envelope[M], workers),
+				}
+				if e.cfg.Combiner != nil {
+					ctx.combine = make([]map[graph.ID]int, workers)
+				}
+				var units, computed, changedW, sent, redundantW int64
+				for _, v := range e.owned[w] {
+					msgs := e.inbox[v]
+					if e.halted[v] && len(msgs) == 0 {
+						continue
+					}
+					ctx.vid = v
+					ctx.changed = false
+					before := ctx.sent
+					e.prog.Compute(ctx, msgs)
+					e.inbox[v] = msgs[:0]
+					computed++
+					units += int64(len(msgs)) + int64(e.g.OutDegree(v))
+					vsent := ctx.sent - before
+					sent += vsent
+					if ctx.changed {
+						changedW++
+					} else {
+						redundantW += vsent
+					}
+				}
+				computeUnits[w] = units
+				sendCounts[w] = sent
+				partials[w] = ctx.local
+				outs[w] = ctx.out
+				active.Add(computed)
+				changed.Add(changedW)
+				sentTotal.Add(sent)
+				redundant.Add(redundantW)
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if computeUnits[w] > computeMax {
+				computeMax = computeUnits[w]
+			}
+			if sendCounts[w] > sendMax {
+				sendMax = sendCounts[w]
+			}
+		}
+		stats.Durations[metrics.Compute] = time.Since(start)
+
+		// SND: flush per-worker bundles through the transport. Senders from
+		// all workers contend on each receiver's global queue lock.
+		start = time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for to, batch := range outs[w] {
+					e.tr.Send(w, to, batch)
+				}
+				e.tr.FinishRound(w)
+			}(w)
+		}
+		wg.Wait()
+		stats.Durations[metrics.Send] = time.Since(start)
+
+		// SYN: barrier — fold aggregates, decide termination, checkpoint.
+		start = time.Now()
+		e.agg.Fold(partials)
+		stats.Active = active.Load()
+		stats.Changed = changed.Load()
+		stats.Messages = sentTotal.Load()
+		stats.RedundantMessages = redundant.Load()
+		stats.ComputeUnitsMax = computeMax
+		stats.SendMax = sendMax
+		stats.RecvMax = nextRecvMax(outs, workers)
+		stats.ModelNanos = e.model.StepCost(
+			computeMax, sendMax, stats.RecvMax,
+			1, 1, workers, !e.cfg.PerSenderQueues, e.model.FlatBarrier(workers))
+		stats.Durations[metrics.Sync] = time.Since(start)
+		e.trace.Append(stats)
+
+		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
+			(e.step+1)%e.cfg.CheckpointEvery == 0 {
+			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
+				return e.trace, fmt.Errorf("bsp: checkpoint at step %d: %w", e.step, err)
+			}
+		}
+		if e.cfg.OnStep != nil {
+			e.cfg.OnStep(e.step, e)
+		}
+
+		nextActive := e.countActive() + pendingEstimate(sentTotal.Load())
+		if sentTotal.Load() == 0 && e.countActive() == 0 {
+			e.step++
+			break
+		}
+		if e.cfg.Halt != nil && e.cfg.Halt(e.step, e.agg.Value, nextActive) {
+			e.step++
+			break
+		}
+	}
+	if err := e.tr.Err(); err != nil {
+		return e.trace, fmt.Errorf("bsp: transport: %w", err)
+	}
+	return e.trace, nil
+}
+
+// nextRecvMax estimates the max messages any worker will receive next
+// superstep from this superstep's outgoing bundles.
+func nextRecvMax[M any](outs [][][]envelope[M], workers int) int64 {
+	var recvMax int64
+	for to := 0; to < workers; to++ {
+		var recv int64
+		for from := 0; from < workers; from++ {
+			if outs[from] != nil {
+				recv += int64(len(outs[from][to]))
+			}
+		}
+		if recv > recvMax {
+			recvMax = recv
+		}
+	}
+	return recvMax
+}
+
+func pendingEstimate(sent int64) int64 {
+	if sent > 0 {
+		return 1 // at least one vertex will be reactivated
+	}
+	return 0
+}
+
+func (e *Engine[V, M]) countActive() int64 {
+	var n int64
+	for _, h := range e.halted {
+		if !h {
+			n++
+		}
+	}
+	return n
+}
+
+// TransportStats exposes the raw traffic counters.
+func (e *Engine[V, M]) TransportStats() transport.Snapshot { return e.tr.Stats().Snapshot() }
+
+// snapshot captures restartable state, including undelivered messages.
+func (e *Engine[V, M]) snapshot() State[V, M] {
+	s := State[V, M]{
+		Step:   e.step + 1,
+		Values: append([]V(nil), e.values...),
+		Halted: append([]bool(nil), e.halted...),
+	}
+	// Drain and re-send so the checkpoint owns a copy and the queue state
+	// is unchanged.
+	for w := 0; w < e.cfg.Cluster.Workers(); w++ {
+		for _, batch := range e.tr.Drain(w) {
+			s.Pending = append(s.Pending, PendingBatch[M]{To: w, Batch: append([]envelope[M](nil), batch...)})
+			e.tr.Send(w, w, batch)
+		}
+	}
+	return s
+}
+
+// Restore rewinds the engine to a checkpointed state (§3.6 recovery). The
+// engine must have been built over the same graph and configuration.
+func (e *Engine[V, M]) Restore(s State[V, M]) error {
+	if e.cfg.Network != transport.InProcess {
+		return errors.New("bsp: restore requires the in-process network")
+	}
+	if len(s.Values) != len(e.values) || len(s.Halted) != len(e.halted) {
+		return errors.New("bsp: checkpoint shape does not match engine")
+	}
+	copy(e.values, s.Values)
+	copy(e.halted, s.Halted)
+	for w := 0; w < e.cfg.Cluster.Workers(); w++ {
+		e.tr.Drain(w) // discard any in-flight state
+	}
+	for _, p := range s.Pending {
+		e.tr.Send(p.To, p.To, append([]envelope[M](nil), p.Batch...))
+	}
+	for v := range e.inbox {
+		e.inbox[v] = e.inbox[v][:0]
+	}
+	e.step = s.Step
+	return nil
+}

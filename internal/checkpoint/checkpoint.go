@@ -1,0 +1,98 @@
+// Package checkpoint persists engine snapshots (§3.6 fault tolerance). The
+// engines produce in-memory State values at barrier points; this package
+// writes them to the "underlying storage layer" (a directory standing in for
+// the paper's HDFS) as gob files named by superstep, and restores the most
+// recent one after a failure.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Save writes one snapshot to dir as step-<n>.ckpt (atomically, via a
+// temporary file, so a crash mid-write never corrupts the latest
+// checkpoint).
+func Save[S any](dir string, step int, state S) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(&state); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("step-%06d.ckpt", step))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the snapshot for one superstep.
+func Load[S any](dir string, step int) (S, error) {
+	var state S
+	f, err := os.Open(filepath.Join(dir, fmt.Sprintf("step-%06d.ckpt", step)))
+	if err != nil {
+		return state, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(&state); err != nil {
+		return state, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return state, nil
+}
+
+// Steps lists the supersteps with saved checkpoints, ascending.
+func Steps(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "step-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "step-"), ".ckpt"))
+		if err != nil {
+			continue
+		}
+		steps = append(steps, n)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// LoadLatest restores the most recent checkpoint in dir.
+func LoadLatest[S any](dir string) (S, int, error) {
+	var zero S
+	steps, err := Steps(dir)
+	if err != nil {
+		return zero, 0, err
+	}
+	if len(steps) == 0 {
+		return zero, 0, fmt.Errorf("checkpoint: no checkpoints in %s", dir)
+	}
+	last := steps[len(steps)-1]
+	state, err := Load[S](dir, last)
+	return state, last, err
+}

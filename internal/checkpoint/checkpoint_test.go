@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cyclops/internal/algorithms"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gen"
+)
+
+type demoState struct {
+	Step   int
+	Values []float64
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := demoState{Step: 4, Values: []float64{1, 2, 3}}
+	if err := Save(dir, 4, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[demoState](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 4 || len(got.Values) != 3 || got.Values[2] != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load[demoState](t.TempDir(), 1); err == nil {
+		t.Fatal("missing checkpoint must error")
+	}
+}
+
+func TestStepsAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	for _, s := range []int{10, 2, 7} {
+		if err := Save(dir, s, demoState{Step: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, err := Steps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 || steps[0] != 2 || steps[2] != 10 {
+		t.Fatalf("steps = %v", steps)
+	}
+	st, at, err := LoadLatest[demoState](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 10 || st.Step != 10 {
+		t.Fatalf("latest = %d (%+v)", at, st)
+	}
+}
+
+func TestStepsEmptyAndAbsentDir(t *testing.T) {
+	dir := t.TempDir()
+	steps, err := Steps(dir)
+	if err != nil || steps != nil {
+		t.Fatalf("empty dir: %v %v", steps, err)
+	}
+	steps, err = Steps(filepath.Join(dir, "missing"))
+	if err != nil || steps != nil {
+		t.Fatalf("absent dir: %v %v", steps, err)
+	}
+	if _, _, err := LoadLatest[demoState](dir); err == nil {
+		t.Fatal("LoadLatest on empty dir must error")
+	}
+}
+
+// Failure-injection end-to-end: kill a PageRank run mid-flight, restore the
+// latest checkpoint into a fresh engine, and verify the final ranks match an
+// uninterrupted run exactly.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	g := gen.PowerLaw(300, 4, 8)
+	dir := t.TempDir()
+	const iters = 12
+
+	mk := func(maxSteps, ckptEvery int) (*cyclops.Engine[float64, float64], error) {
+		return cyclops.New[float64, float64](g, algorithms.PageRankCyclops{},
+			cyclops.Config[float64, float64]{
+				Cluster:         cluster.Flat(2, 2),
+				MaxSupersteps:   maxSteps,
+				CheckpointEvery: ckptEvery,
+				Checkpoints: func(s cyclops.State[float64, float64]) error {
+					if ckptEvery == 0 {
+						return nil
+					}
+					return Save(dir, s.Step, s)
+				},
+			})
+	}
+
+	// Uninterrupted run → ground truth.
+	full, err := mk(iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashing" run: checkpoint every 4 steps, die at step 7 (after the
+	// step-4 checkpoint) and abandon the engine, as a machine failure would.
+	crash, err := mk(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crash.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh engine and finish.
+	state, at, err := LoadLatest[cyclops.State[float64, float64]](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 4 {
+		t.Fatalf("latest checkpoint at %d, want 4", at)
+	}
+	rec, err := mk(iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantVals, gotVals := full.Values(), rec.Values()
+	for v := range wantVals {
+		if wantVals[v] != gotVals[v] {
+			t.Fatalf("vertex %d: %g vs %g after recovery", v, wantVals[v], gotVals[v])
+		}
+	}
+}
+
+func TestSaveErrorPaths(t *testing.T) {
+	// MkdirAll failure: a path under a regular file (fails even for root,
+	// unlike permission bits).
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(filepath.Join(f, "sub"), 1, demoState{}); err == nil {
+		t.Fatal("mkdir under a file must fail")
+	}
+}
+
+func TestLoadCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "step-000002.ckpt")
+	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load[demoState](dir, 2); err == nil {
+		t.Fatal("corrupt checkpoint must fail to decode")
+	}
+}
+
+func TestStepsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"README", "step-abc.ckpt", "step-7.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Save(dir, 7, demoState{Step: 7}); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := Steps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0] != 7 {
+		t.Fatalf("steps = %v", steps)
+	}
+}

@@ -1,0 +1,78 @@
+// Package cluster describes the simulated machine topology. The paper's
+// testbed is 6 machines × 12 cores; configurations are written MxWxT/R as in
+// Figure 12 — M machines, W workers per machine, T compute threads and R
+// receiver threads per worker. Hama and flat Cyclops use W single-threaded
+// workers per machine (MxWx1); CyclopsMT uses one worker per machine with
+// several threads (Mx1xT/R).
+package cluster
+
+import "fmt"
+
+// Config is a cluster topology.
+type Config struct {
+	// Machines is the number of simulated machines (M).
+	Machines int
+	// WorkersPerMachine is W; each worker owns one graph partition.
+	WorkersPerMachine int
+	// Threads is T, the compute threads inside each worker.
+	Threads int
+	// Receivers is R, the message-receiver threads inside each worker.
+	Receivers int
+}
+
+// Flat returns the topology of n single-threaded workers spread over
+// `machines` machines — the Hama / flat-Cyclops shape.
+func Flat(machines, workersPerMachine int) Config {
+	return Config{Machines: machines, WorkersPerMachine: workersPerMachine, Threads: 1, Receivers: 1}
+}
+
+// MT returns the CyclopsMT topology: one worker per machine with t compute
+// threads and r receivers.
+func MT(machines, t, r int) Config {
+	return Config{Machines: machines, WorkersPerMachine: 1, Threads: t, Receivers: r}
+}
+
+// Normalize fills zero fields with 1 so a zero-ish Config is usable.
+func (c Config) Normalize() Config {
+	if c.Machines < 1 {
+		c.Machines = 1
+	}
+	if c.WorkersPerMachine < 1 {
+		c.WorkersPerMachine = 1
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.Receivers < 1 {
+		c.Receivers = 1
+	}
+	return c
+}
+
+// Workers reports the number of workers (= graph partitions) in the cluster.
+func (c Config) Workers() int {
+	n := c.Normalize()
+	return n.Machines * n.WorkersPerMachine
+}
+
+// TotalThreads reports the total compute parallelism, the x-axis of
+// Figure 9(2) (the paper labels CyclopsMT by total threads).
+func (c Config) TotalThreads() int {
+	n := c.Normalize()
+	return n.Machines * n.WorkersPerMachine * n.Threads
+}
+
+// MachineOf maps a worker index to its machine.
+func (c Config) MachineOf(worker int) int {
+	n := c.Normalize()
+	return worker / n.WorkersPerMachine
+}
+
+// String renders the Figure 12 label, e.g. "6x8x1" or "6x1x8/2".
+func (c Config) String() string {
+	n := c.Normalize()
+	if n.Receivers > 1 {
+		return fmt.Sprintf("%dx%dx%d/%d", n.Machines, n.WorkersPerMachine, n.Threads, n.Receivers)
+	}
+	return fmt.Sprintf("%dx%dx%d", n.Machines, n.WorkersPerMachine, n.Threads)
+}

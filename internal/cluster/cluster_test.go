@@ -1,0 +1,52 @@
+package cluster
+
+import "testing"
+
+func TestFlat(t *testing.T) {
+	c := Flat(6, 8)
+	if c.Workers() != 48 || c.TotalThreads() != 48 {
+		t.Fatalf("Flat(6,8) = %+v", c)
+	}
+	if c.String() != "6x8x1" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestMT(t *testing.T) {
+	c := MT(6, 8, 2)
+	if c.Workers() != 6 {
+		t.Fatalf("MT workers = %d", c.Workers())
+	}
+	if c.TotalThreads() != 48 {
+		t.Fatalf("MT total threads = %d", c.TotalThreads())
+	}
+	if c.String() != "6x1x8/2" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestNormalizeZero(t *testing.T) {
+	var c Config
+	if c.Workers() != 1 || c.TotalThreads() != 1 {
+		t.Fatalf("zero config = %+v", c.Normalize())
+	}
+	if c.String() != "1x1x1" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestMachineOf(t *testing.T) {
+	c := Flat(3, 4)
+	cases := map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 11: 2}
+	for w, m := range cases {
+		if got := c.MachineOf(w); got != m {
+			t.Errorf("MachineOf(%d) = %d, want %d", w, got, m)
+		}
+	}
+}
+
+func TestSingleReceiverOmittedFromLabel(t *testing.T) {
+	if got := MT(6, 4, 1).String(); got != "6x1x4" {
+		t.Fatalf("String = %q", got)
+	}
+}

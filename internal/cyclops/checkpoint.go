@@ -1,0 +1,94 @@
+package cyclops
+
+import (
+	"errors"
+
+	"cyclops/internal/graph"
+	"cyclops/internal/transport"
+)
+
+// State is the checkpointable engine state. Per §3.6, Cyclops checkpoints
+// are smaller than Hama's: replicas and messages are excluded — only master
+// values, published views and activation flags are saved, and replicas are
+// re-synchronised from their masters on recovery.
+type State[V, M any] struct {
+	Step   int
+	Values []V    // master state, indexed by global vertex id
+	View   []M    // published values, indexed by global vertex id
+	Active []bool // activation flags, indexed by global vertex id
+}
+
+// snapshot captures the current state (called at barriers only).
+func (e *Engine[V, M]) snapshot() State[V, M] {
+	n := e.g.NumVertices()
+	s := State[V, M]{
+		Step:   e.step + 1,
+		Values: make([]V, n),
+		View:   make([]M, n),
+		Active: make([]bool, n),
+	}
+	for _, ws := range e.ws {
+		for i, id := range ws.masters {
+			s.Values[id] = ws.values[i]
+			s.View[id] = ws.view[i]
+			s.Active[id] = ws.active[i] != 0
+		}
+	}
+	return s
+}
+
+// Restore rewinds the engine to a checkpointed state and re-synchronises
+// every replica from its master's published value (the recovery round that
+// replaces Hama's message replay).
+func (e *Engine[V, M]) Restore(s State[V, M]) error {
+	if e.cfg.Network != transport.InProcess {
+		return errors.New("cyclops: restore requires the in-process network")
+	}
+	n := e.g.NumVertices()
+	if len(s.Values) != n || len(s.View) != n || len(s.Active) != n {
+		return errors.New("cyclops: checkpoint shape does not match engine")
+	}
+	for _, ws := range e.ws {
+		for i, id := range ws.masters {
+			ws.values[i] = s.Values[id]
+			ws.view[i] = s.View[id]
+			if s.Active[id] {
+				ws.active[i] = 1
+			} else {
+				ws.active[i] = 0
+			}
+			ws.next[i] = 0
+			// Replica refresh: one unidirectional update per replica,
+			// exactly like a superstep's sync but without activation.
+			for _, ref := range ws.replicas[i] {
+				e.ws[ref.worker].view[ref.slot] = s.View[id]
+			}
+		}
+	}
+	// Discard any undelivered sync messages from the aborted superstep.
+	for w := 0; w < e.cfg.Cluster.Workers(); w++ {
+		e.tr.Drain(w)
+	}
+	e.step = s.Step
+	return nil
+}
+
+// MasterWorker reports which worker owns vertex id (test helper).
+func (e *Engine[V, M]) MasterWorker(id graph.ID) int { return e.assign.Of[id] }
+
+// ReplicaWorkers reports the workers holding a replica of vertex id, in no
+// particular order (test helper for the replica-wiring invariants).
+func (e *Engine[V, M]) ReplicaWorkers(id graph.ID) []int {
+	w := e.assign.Of[id]
+	ws := e.ws[w]
+	for i, m := range ws.masters {
+		if m == id {
+			out := make([]int, 0, len(ws.replicas[i]))
+			for _, ref := range ws.replicas[i] {
+				out = append(out, int(ref.worker))
+			}
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package cyclops
+
+import (
+	"cyclops/internal/aggregate"
+	"cyclops/internal/graph"
+)
+
+// Context is the per-vertex view handed to Compute. It grants read-only
+// access to the in-neighbors' published values (the distributed immutable
+// view) and write access to the master's own state. A Context is only valid
+// during the Compute call it is passed to.
+type Context[V, M any] struct {
+	e    *Engine[V, M]
+	ws   *workerState[V, M]
+	slot int32
+
+	published   bool
+	pubVal      M
+	pubActivate bool
+
+	local aggregate.Values
+}
+
+// Vertex returns the current vertex id.
+func (c *Context[V, M]) Vertex() graph.ID { return c.ws.masters[c.slot] }
+
+// Superstep returns the current superstep index.
+func (c *Context[V, M]) Superstep() int { return c.e.step }
+
+// NumVertices returns the graph's vertex count.
+func (c *Context[V, M]) NumVertices() int { return c.e.g.NumVertices() }
+
+// Value returns the master's private state.
+func (c *Context[V, M]) Value() V { return c.ws.values[c.slot] }
+
+// SetValue updates the master's private state. This does not touch the view
+// — neighbors only see what Publish publishes.
+func (c *Context[V, M]) SetValue(v V) { c.ws.values[c.slot] = v }
+
+// Message returns the vertex's own currently published value (what its
+// neighbors read this superstep).
+func (c *Context[V, M]) Message() M { return c.ws.view[c.slot] }
+
+// InDegree returns the number of in-neighbors.
+func (c *Context[V, M]) InDegree() int { return len(c.ws.inSlots[c.slot]) }
+
+// NeighborMessage returns the i-th in-neighbor's published value, read
+// through shared memory from the immutable view of the previous superstep —
+// the paper's edges.next().vertex.getMessage() (Figure 5). It is valid even
+// if the neighbor converged and is inactive, which is what makes dynamic
+// computation work (§3.3).
+func (c *Context[V, M]) NeighborMessage(i int) M {
+	return c.ws.view[c.ws.inSlots[c.slot][i]]
+}
+
+// InWeight returns the weight of the i-th in-edge.
+func (c *Context[V, M]) InWeight(i int) float64 { return c.ws.inWeights[c.slot][i] }
+
+// OutDegree returns the vertex's global out-degree.
+func (c *Context[V, M]) OutDegree() int { return int(c.ws.outDeg[c.slot]) }
+
+// Publish sets the vertex's published value, visible to all neighbors next
+// superstep. If activate is true, all out-neighbors are activated — locally
+// by a lock-free flag set, remotely by the replica that receives the sync
+// message (distributed activation, §3.4). The paper's
+// activateNeighbors(value) is Publish(value, true).
+//
+// At most one sync message per replica results, whatever Compute does: a
+// later Publish in the same Compute overwrites an earlier one, and
+// activation requests are OR-ed.
+func (c *Context[V, M]) Publish(m M, activate bool) {
+	c.published = true
+	c.pubVal = m
+	c.pubActivate = c.pubActivate || activate
+}
+
+// Aggregate contributes v to the named aggregator (visible next superstep).
+func (c *Context[V, M]) Aggregate(name string, v float64) {
+	c.e.agg.Combine(c.local, name, v)
+}
+
+// AggregateValue reads the previous superstep's folded aggregate.
+func (c *Context[V, M]) AggregateValue(name string) (float64, bool) {
+	return c.e.agg.Value(name)
+}

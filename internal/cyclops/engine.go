@@ -1,0 +1,362 @@
+// Package cyclops implements the paper's core contribution: a synchronous
+// vertex-oriented graph engine computing over a distributed immutable view
+// (§3). Each worker owns a partition of master vertices and holds read-only
+// replicas of every remote vertex that has an out-edge into the partition.
+// Only masters compute; they read their in-neighbors' last published values
+// through shared memory (the immutable view), and when a master's published
+// value changes it sends exactly one unidirectional sync message to each of
+// its replicas. Replicas double as distributed activators: a sync message
+// tagged with an activation request wakes the replica's local out-neighbors,
+// so no replica→master traffic ever exists and message receipt is
+// contention-free (§3.4).
+//
+// The same engine runs both flat Cyclops (M×W workers, one thread each) and
+// hierarchical CyclopsMT (§5): configuring T compute threads and R receiver
+// threads per worker stripes the compute phase and parallelises replica
+// updates inside a worker, and the barrier cost model switches to the
+// hierarchical (machine-level) barrier.
+package cyclops
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cyclops/internal/aggregate"
+	"cyclops/internal/cluster"
+	"cyclops/internal/graph"
+	"cyclops/internal/metrics"
+	"cyclops/internal/partition"
+	"cyclops/internal/transport"
+)
+
+// Program is a Cyclops vertex program with local semantics: Compute reads
+// neighboring vertices' published values directly from the immutable view
+// instead of receiving messages (compare Figure 5 with Figure 2).
+//
+// V is the master-side vertex state (e.g. a PageRank rank); M is the
+// published value neighbors read (e.g. rank/outDegree — the paper's
+// "message" stored at replicas). For many algorithms V == M.
+type Program[V, M any] interface {
+	// Init returns vertex id's initial state, its initially published value
+	// (what neighbors see before the vertex first publishes), and whether
+	// the vertex starts active. Init must be deterministic: it is evaluated
+	// both at masters and to seed replica views.
+	Init(id graph.ID, g *graph.Graph) (V, M, bool)
+	// Compute runs on an active master vertex.
+	Compute(ctx *Context[V, M])
+}
+
+// Config tunes an engine run.
+type Config[V, M any] struct {
+	// Cluster is the simulated topology. Workers() = graph partitions;
+	// Threads and Receivers enable the hierarchical CyclopsMT mode.
+	Cluster cluster.Config
+	// Partitioner assigns masters to workers (default hash, as in Hama).
+	Partitioner partition.Partitioner
+	// MaxSupersteps bounds the run (default 100).
+	MaxSupersteps int
+	// Halt adds a termination test at each barrier besides the natural
+	// "no vertex active" stop.
+	Halt aggregate.HaltFunc
+	// Equal detects republished-but-unchanged values for redundant-message
+	// accounting. Optional. When set, publishing an unchanged value skips
+	// the sync message entirely (replicas already hold it).
+	Equal func(a, b M) bool
+	// SizeOfMsg estimates a published value's wire size (nil = 16 bytes).
+	SizeOfMsg func(M) int64
+	// Network selects in-process queues (default) or real gob-over-TCP
+	// loopback sockets. Checkpointing requires InProcess.
+	Network transport.Network
+	// CostModel overrides the default model constants.
+	CostModel *metrics.CostModel
+	// OnStep runs after each barrier (values consistent).
+	OnStep func(step int, e *Engine[V, M])
+	// CheckpointEvery saves state every k supersteps to Checkpoints (k>0).
+	// Per §3.6, checkpoints exclude replicas and messages.
+	CheckpointEvery int
+	// Checkpoints receives snapshots.
+	Checkpoints func(State[V, M]) error
+}
+
+// replicaRef locates one replica of a master.
+type replicaRef struct {
+	worker int32
+	slot   int32
+}
+
+// syncMsg refreshes one replica and optionally activates its local
+// out-neighbors. Each replica receives at most one syncMsg per superstep.
+type syncMsg[M any] struct {
+	Slot     int32
+	Val      M
+	Activate bool
+}
+
+// workerState is one worker's share of the graph: master vertices in slots
+// [0, numMasters) and replicas in slots [numMasters, numSlots).
+type workerState[V, M any] struct {
+	masters    []graph.ID // slot → global id
+	values     []V        // master state, len = numMasters
+	view       []M        // the immutable view, len = numSlots
+	inSlots    [][]int32  // per master: local slots of in-neighbors
+	inWeights  [][]float64
+	localOut   [][]int32      // per slot: local master slots to activate
+	replicas   [][]replicaRef // per master: replica locations
+	outDeg     []int32        // per master: global out-degree
+	inUnits    []int32        // per master: in-degree (compute units)
+	replicaIDs []graph.ID     // per replica slot (offset by numMasters): global id
+
+	active []uint32 // per master: computes this superstep (0/1)
+	next   []uint32 // per master: activated for next superstep (atomic sets)
+}
+
+func (ws *workerState[V, M]) numMasters() int { return len(ws.masters) }
+
+// IngressStats reports the Figure 13(1) breakdown of graph ingress.
+type IngressStats struct {
+	// Replication is the time spent creating replicas and wiring the view.
+	Replication time.Duration
+	// Init is the time spent evaluating Program.Init for masters and
+	// replica seeds.
+	Init time.Duration
+	// Replicas is the total replica count; Replicas/|V| is the replication
+	// factor of Figure 11.
+	Replicas int64
+}
+
+// Engine executes a Program over the distributed immutable view.
+type Engine[V, M any] struct {
+	g       *graph.Graph
+	prog    Program[V, M]
+	cfg     Config[V, M]
+	assign  *partition.Assignment
+	ws      []*workerState[V, M]
+	tr      transport.Interface[syncMsg[M]]
+	agg     *aggregate.Registry
+	trace   *metrics.Trace
+	model   metrics.CostModel
+	ingress IngressStats
+	step    int
+}
+
+// New partitions the graph, creates the replicas that form the distributed
+// immutable view (the paper's extra ingress superstep, §4.3), and seeds
+// every master and replica with the program's initial published value.
+func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engine[V, M], error) {
+	if g == nil || prog == nil {
+		return nil, errors.New("cyclops: graph and program are required")
+	}
+	cfg.Cluster = cfg.Cluster.Normalize()
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = partition.Hash{}
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 100
+	}
+	workers := cfg.Cluster.Workers()
+	if cfg.Network != transport.InProcess && cfg.CheckpointEvery > 0 {
+		return nil, errors.New("cyclops: checkpointing requires the in-process network")
+	}
+	assign, err := cfg.Partitioner.Partition(g, workers)
+	if err != nil {
+		return nil, fmt.Errorf("cyclops: partition: %w", err)
+	}
+	tr, err := transport.New[syncMsg[M]](cfg.Network, workers,
+		transport.PerSenderQueue, wrapSize[M](cfg.SizeOfMsg))
+	if err != nil {
+		return nil, fmt.Errorf("cyclops: transport: %w", err)
+	}
+
+	name := "cyclops"
+	if cfg.Cluster.Threads > 1 || cfg.Cluster.Receivers > 1 {
+		name = "cyclopsmt"
+	}
+	e := &Engine[V, M]{
+		g:      g,
+		prog:   prog,
+		cfg:    cfg,
+		assign: assign,
+		ws:     make([]*workerState[V, M], workers),
+		tr:     tr,
+		agg:    aggregate.NewRegistry(),
+		trace:  &metrics.Trace{Engine: name, Workers: workers},
+		model:  metrics.DefaultCostModel(),
+	}
+	if cfg.CostModel != nil {
+		e.model = *cfg.CostModel
+	}
+	e.buildView()
+	return e, nil
+}
+
+func wrapSize[M any](sizeOf func(M) int64) func(syncMsg[M]) int64 {
+	if sizeOf == nil {
+		return nil
+	}
+	return func(m syncMsg[M]) int64 { return 5 + sizeOf(m.Val) }
+}
+
+// buildView performs the replica-creation ingress phase (§4.3): every vertex
+// "sends a message" along its out-edges; the receiving worker creates a
+// replica for each remote source, wires an in-edge from it, and records a
+// local out-edge so the replica can activate the target later.
+func (e *Engine[V, M]) buildView() {
+	workers := e.cfg.Cluster.Workers()
+	n := e.g.NumVertices()
+
+	repStart := time.Now()
+	masterSlot := make([]int32, n) // global id → master slot on its owner
+	for w := 0; w < workers; w++ {
+		e.ws[w] = &workerState[V, M]{}
+	}
+	for v := 0; v < n; v++ {
+		w := e.assign.Of[v]
+		masterSlot[v] = int32(len(e.ws[w].masters))
+		e.ws[w].masters = append(e.ws[w].masters, graph.ID(v))
+	}
+	for w := 0; w < workers; w++ {
+		ws := e.ws[w]
+		m := ws.numMasters()
+		ws.values = make([]V, m)
+		ws.inSlots = make([][]int32, m)
+		ws.inWeights = make([][]float64, m)
+		ws.replicas = make([][]replicaRef, m)
+		ws.outDeg = make([]int32, m)
+		ws.inUnits = make([]int32, m)
+		ws.active = make([]uint32, m)
+		ws.next = make([]uint32, m)
+		for i, id := range ws.masters {
+			ws.outDeg[i] = int32(e.g.OutDegree(id))
+			ws.inUnits[i] = int32(e.g.InDegree(id))
+		}
+		// localOut grows as replicas appear; start with master slots.
+		ws.localOut = make([][]int32, m)
+	}
+
+	// replicaSlot[w] maps a remote global id to its replica slot on w.
+	replicaSlot := make([]map[graph.ID]int32, workers)
+	for w := range replicaSlot {
+		replicaSlot[w] = make(map[graph.ID]int32)
+	}
+	ensureReplica := func(w int, id graph.ID) int32 {
+		ws := e.ws[w]
+		if s, ok := replicaSlot[w][id]; ok {
+			return s
+		}
+		s := int32(ws.numMasters() + len(ws.replicaIDs))
+		replicaSlot[w][id] = s
+		ws.replicaIDs = append(ws.replicaIDs, id)
+		ws.localOut = append(ws.localOut, nil)
+		owner := e.assign.Of[id]
+		e.ws[owner].replicas[masterSlot[id]] = append(
+			e.ws[owner].replicas[masterSlot[id]],
+			replicaRef{worker: int32(w), slot: s})
+		e.ingress.Replicas++
+		return s
+	}
+
+	for u := 0; u < n; u++ {
+		wu := e.assign.Of[u]
+		su := masterSlot[u]
+		ns := e.g.OutNeighbors(graph.ID(u))
+		wts := e.g.OutWeights(graph.ID(u))
+		for i, v := range ns {
+			wv := e.assign.Of[v]
+			sv := masterSlot[v]
+			if wu == wv {
+				// Local edge: direct shared-memory in-edge + local
+				// activation edge.
+				e.ws[wv].inSlots[sv] = append(e.ws[wv].inSlots[sv], su)
+				e.ws[wv].inWeights[sv] = append(e.ws[wv].inWeights[sv], wts[i])
+				e.ws[wu].localOut[su] = append(e.ws[wu].localOut[su], sv)
+			} else {
+				// Spanning edge: the target worker gets a replica of u,
+				// the in-edge points at the replica, and the replica
+				// carries the activation edge to v.
+				r := ensureReplica(wv, graph.ID(u))
+				e.ws[wv].inSlots[sv] = append(e.ws[wv].inSlots[sv], r)
+				e.ws[wv].inWeights[sv] = append(e.ws[wv].inWeights[sv], wts[i])
+				e.ws[wv].localOut[r] = append(e.ws[wv].localOut[r], sv)
+			}
+		}
+	}
+	e.ingress.Replication = time.Since(repStart)
+
+	// Seed values and views. Init must be deterministic so replica seeds
+	// agree with master seeds.
+	initStart := time.Now()
+	for w := 0; w < workers; w++ {
+		ws := e.ws[w]
+		ws.view = make([]M, ws.numMasters()+len(ws.replicaIDs))
+		for i, id := range ws.masters {
+			v, m, act := e.prog.Init(id, e.g)
+			ws.values[i] = v
+			ws.view[i] = m
+			if act {
+				ws.active[i] = 1
+			}
+		}
+		for r, id := range ws.replicaIDs {
+			_, m, _ := e.prog.Init(id, e.g)
+			ws.view[ws.numMasters()+r] = m
+		}
+	}
+	e.ingress.Init = time.Since(initStart)
+}
+
+// Graph returns the input graph.
+func (e *Engine[V, M]) Graph() *graph.Graph { return e.g }
+
+// Assignment exposes the partition.
+func (e *Engine[V, M]) Assignment() *partition.Assignment { return e.assign }
+
+// Aggregates exposes the folded aggregator values of the last barrier.
+func (e *Engine[V, M]) Aggregates() *aggregate.Registry { return e.agg }
+
+// Trace returns per-superstep statistics.
+func (e *Engine[V, M]) Trace() *metrics.Trace { return e.trace }
+
+// Ingress returns the replica-creation statistics (Figure 13(1), Table 4).
+func (e *Engine[V, M]) Ingress() IngressStats { return e.ingress }
+
+// ReplicationFactor returns replicas per vertex (Figure 11).
+func (e *Engine[V, M]) ReplicationFactor() float64 {
+	if e.g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(e.ingress.Replicas) / float64(e.g.NumVertices())
+}
+
+// Superstep reports the current superstep index.
+func (e *Engine[V, M]) Superstep() int { return e.step }
+
+// Values assembles the global vertex state indexed by vertex id.
+func (e *Engine[V, M]) Values() []V {
+	out := make([]V, e.g.NumVertices())
+	for _, ws := range e.ws {
+		for i, id := range ws.masters {
+			out[id] = ws.values[i]
+		}
+	}
+	return out
+}
+
+// ViewOf returns the published value of vertex id as stored at its master
+// (what neighbors read next superstep). Test/diagnostic helper.
+func (e *Engine[V, M]) ViewOf(id graph.ID) M {
+	w := e.assign.Of[id]
+	ws := e.ws[w]
+	for i, m := range ws.masters {
+		if m == id {
+			return ws.view[i]
+		}
+	}
+	panic("cyclops: vertex not found at its owner")
+}
+
+// TransportStats exposes raw traffic counters.
+func (e *Engine[V, M]) TransportStats() transport.Snapshot { return e.tr.Stats().Snapshot() }
+
+// Close releases transport resources (sockets in TCPLoopback mode).
+func (e *Engine[V, M]) Close() error { return e.tr.Close() }

@@ -1,0 +1,105 @@
+package cyclops
+
+import (
+	"errors"
+	"fmt"
+
+	"cyclops/internal/graph"
+)
+
+// Topology mutation is the paper's first item of future work (§8: "Cyclops
+// currently has no support for topology mutation of graph yet... We plan to
+// add such support"). This file adds it in the epoch style of Kineograph
+// (which §7 cites for exactly this): a mutation batch closes the current
+// epoch, the distributed immutable view is rebuilt for the grown graph, and
+// all master state carries over. Between epochs the view is immutable as
+// ever, so programs keep their synchronous, deterministic semantics.
+
+// Evolve returns a new engine over the graph grown by the added edges
+// (including any new vertices the edges introduce). All existing vertices
+// keep their current value, published view entry and activation flag; new
+// vertices are initialised by the program. The endpoints of added edges are
+// activated so new information starts flowing on the next Run.
+//
+// The old engine must not be running; it remains valid but frozen (its
+// Run would continue the old topology). Removal is not supported — the
+// epochs grow append-only, as in Kineograph.
+func (e *Engine[V, M]) Evolve(added []graph.Edge) (*Engine[V, M], error) {
+	if len(added) == 0 {
+		return nil, errors.New("cyclops: Evolve needs at least one added edge")
+	}
+
+	// Build the grown graph: existing edges plus the batch.
+	b := graph.NewBuilder(e.g.NumVertices())
+	for _, edge := range e.g.Edges() {
+		b.AddWeightedEdge(edge.Src, edge.Dst, edge.Weight)
+	}
+	for _, edge := range added {
+		b.AddWeightedEdge(edge.Src, edge.Dst, edge.Weight)
+	}
+	grown, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cyclops: evolve: %w", err)
+	}
+
+	// Reuse the old configuration (partitioner included) for the new epoch.
+	// Checkpoint sinks and hooks carry over untouched.
+	next, err := New[V, M](grown, e.prog, e.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cyclops: evolve: %w", err)
+	}
+	// Each epoch gets a fresh superstep budget and trace (epochs are
+	// separate computations, as in Kineograph).
+
+	// Transfer master state: values, published views, activation.
+	oldN := e.g.NumVertices()
+	values := make([]V, oldN)
+	views := make([]M, oldN)
+	active := make([]bool, oldN)
+	for _, ws := range e.ws {
+		for i, id := range ws.masters {
+			values[id] = ws.values[i]
+			views[id] = ws.view[i]
+			active[id] = ws.active[i] != 0
+		}
+	}
+	for _, ws := range next.ws {
+		for i, id := range ws.masters {
+			if int(id) >= oldN {
+				continue // new vertex: keep its Init state
+			}
+			ws.values[i] = values[id]
+			ws.view[i] = views[id]
+			if active[id] {
+				ws.active[i] = 1
+			}
+			// Refresh this master's replicas with the carried-over view —
+			// the same unidirectional sync a checkpoint restore performs.
+			for _, ref := range ws.replicas[i] {
+				next.ws[ref.worker].view[ref.slot] = views[id]
+			}
+		}
+	}
+
+	// Activate the endpoints of the new edges: the targets see new
+	// in-neighbors, and the sources must publish so brand-new replicas of
+	// theirs hold fresh values (Init-seeded replica views of *old* vertices
+	// would otherwise be stale if the carried-over view differs — the loop
+	// above already fixed those; activation makes the information flow).
+	for _, edge := range added {
+		next.activateMaster(edge.Src)
+		next.activateMaster(edge.Dst)
+	}
+	return next, nil
+}
+
+// activateMaster sets the activation flag of id's master slot.
+func (e *Engine[V, M]) activateMaster(id graph.ID) {
+	ws := e.ws[e.assign.Of[id]]
+	for i, m := range ws.masters {
+		if m == id {
+			ws.active[i] = 1
+			return
+		}
+	}
+}

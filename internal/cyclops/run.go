@@ -1,0 +1,272 @@
+package cyclops
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cyclops/internal/aggregate"
+	"cyclops/internal/metrics"
+)
+
+// pending holds a worker's publish results for the update phase. Compute
+// must not mutate the view in place (other local vertices are still reading
+// it), so publishes are staged here and applied after the compute barrier.
+type pending[M any] struct {
+	val   []M
+	flags []uint8 // bit 0: publish; bit 1: activate
+}
+
+const (
+	flagPublish  = 1
+	flagActivate = 2
+)
+
+// Run executes supersteps until no vertex is active, the Halt function
+// fires, or MaxSupersteps is reached.
+func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
+	workers := e.cfg.Cluster.Workers()
+	threads := e.cfg.Cluster.Normalize().Threads
+	receivers := e.cfg.Cluster.Normalize().Receivers
+
+	pend := make([]pending[M], workers)
+	for w := range pend {
+		pend[w] = pending[M]{
+			val:   make([]M, e.ws[w].numMasters()),
+			flags: make([]uint8, e.ws[w].numMasters()),
+		}
+	}
+
+	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
+		stats := metrics.StepStats{Step: e.step}
+
+		// CMP: active masters compute over the immutable view, striped
+		// across T threads per worker.
+		start := time.Now()
+		var active, changedTotal atomic.Int64
+		computeUnits := make([]int64, workers)
+		partials := make([][]aggregate.Values, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := e.ws[w]
+				partials[w] = make([]aggregate.Values, threads)
+				unitCh := make([]int64, threads)
+				activeCh := make([]int64, threads)
+				var twg sync.WaitGroup
+				for t := 0; t < threads; t++ {
+					twg.Add(1)
+					go func(t int) {
+						defer twg.Done()
+						ctx := &Context[V, M]{e: e, ws: ws, local: make(aggregate.Values)}
+						var units, computed int64
+						for s := t; s < ws.numMasters(); s += threads {
+							if ws.active[s] == 0 {
+								continue
+							}
+							ctx.slot = int32(s)
+							ctx.published = false
+							ctx.pubActivate = false
+							e.prog.Compute(ctx)
+							computed++
+							units += int64(ws.inUnits[s])
+							if ctx.published {
+								pend[w].val[s] = ctx.pubVal
+								f := uint8(flagPublish)
+								if ctx.pubActivate {
+									f |= flagActivate
+								}
+								pend[w].flags[s] = f
+							}
+						}
+						partials[w][t] = ctx.local
+						unitCh[t] = units
+						activeCh[t] = computed
+					}(t)
+				}
+				twg.Wait()
+				var units, computed int64
+				for t := 0; t < threads; t++ {
+					units += unitCh[t]
+					computed += activeCh[t]
+				}
+				computeUnits[w] = units
+				active.Add(computed)
+			}(w)
+		}
+		wg.Wait()
+		stats.Durations[metrics.Compute] = time.Since(start)
+
+		// SND: apply publishes to the local view, perform lock-free local
+		// activation, and send one sync message per replica of each
+		// changed/activating master (§3.5). Private per-destination
+		// out-queues avoid any shared-lock contention.
+		start = time.Now()
+		sendCounts := make([]int64, workers)
+		var redundant atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := e.ws[w]
+				out := make([][]syncMsg[M], workers)
+				var sent, changed int64
+				for s := 0; s < ws.numMasters(); s++ {
+					f := pend[w].flags[s]
+					if f == 0 {
+						continue
+					}
+					pend[w].flags[s] = 0
+					val := pend[w].val[s]
+					activate := f&flagActivate != 0
+					valueChanged := e.cfg.Equal == nil || !e.cfg.Equal(ws.view[s], val)
+					if !valueChanged && !activate {
+						// Republishing an identical value with no activation
+						// is the redundant traffic BSP cannot avoid; Cyclops
+						// suppresses it entirely.
+						redundant.Add(int64(len(ws.replicas[s])))
+						continue
+					}
+					if valueChanged {
+						ws.view[s] = val
+						changed++
+					}
+					if activate {
+						for _, ls := range ws.localOut[s] {
+							atomic.StoreUint32(&ws.next[ls], 1)
+						}
+					}
+					for _, ref := range ws.replicas[s] {
+						out[ref.worker] = append(out[ref.worker],
+							syncMsg[M]{Slot: ref.slot, Val: val, Activate: activate})
+						sent++
+					}
+				}
+				for to := range out {
+					e.tr.Send(w, to, out[to])
+				}
+				e.tr.FinishRound(w)
+				sendCounts[w] = sent
+				changedTotal.Add(changed)
+			}(w)
+		}
+		wg.Wait()
+		stats.Durations[metrics.Send] = time.Since(start)
+
+		// RECV: replica updates, parallel across R receivers per worker.
+		// Each replica has exactly one writer per superstep, so updates are
+		// lock-free and there is no parse phase (§4.1).
+		start = time.Now()
+		recvCounts := make([]int64, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := e.ws[w]
+				batches := e.tr.Drain(w)
+				var recv int64
+				for _, b := range batches {
+					recv += int64(len(b))
+				}
+				var rwg sync.WaitGroup
+				for r := 0; r < receivers; r++ {
+					rwg.Add(1)
+					go func(r int) {
+						defer rwg.Done()
+						for bi := r; bi < len(batches); bi += receivers {
+							for _, m := range batches[bi] {
+								ws.view[m.Slot] = m.Val
+								if m.Activate {
+									for _, ls := range ws.localOut[m.Slot] {
+										atomic.StoreUint32(&ws.next[ls], 1)
+									}
+								}
+							}
+						}
+					}(r)
+				}
+				rwg.Wait()
+				recvCounts[w] = recv
+			}(w)
+		}
+		wg.Wait()
+		stats.Durations[metrics.Parse] = time.Since(start) // replica apply ≈ Cyclops' PRS
+
+		// SYN: hierarchical or flat barrier — fold aggregates, swap
+		// activation buffers, decide termination.
+		start = time.Now()
+		var flat []aggregate.Values
+		for w := range partials {
+			flat = append(flat, partials[w]...)
+		}
+		e.agg.Fold(flat)
+
+		var nextActive int64
+		for w := 0; w < workers; w++ {
+			ws := e.ws[w]
+			copy(ws.active, ws.next)
+			for s := range ws.next {
+				if ws.next[s] != 0 {
+					nextActive++
+					ws.next[s] = 0
+				}
+			}
+		}
+
+		var computeMax, sendMax, recvMax, sentTotal int64
+		for w := 0; w < workers; w++ {
+			if computeUnits[w] > computeMax {
+				computeMax = computeUnits[w]
+			}
+			if sendCounts[w] > sendMax {
+				sendMax = sendCounts[w]
+			}
+			if recvCounts[w] > recvMax {
+				recvMax = recvCounts[w]
+			}
+			sentTotal += sendCounts[w]
+		}
+		stats.Active = active.Load()
+		stats.Changed = changedTotal.Load()
+		stats.Messages = sentTotal
+		stats.RedundantMessages = redundant.Load()
+		stats.ComputeUnitsMax = computeMax
+		stats.SendMax = sendMax
+		stats.RecvMax = recvMax
+		barrier := e.model.FlatBarrier(workers)
+		if e.trace.Engine == "cyclopsmt" {
+			barrier = e.model.HierarchicalBarrier(e.cfg.Cluster.Machines, threads)
+		}
+		stats.ModelNanos = e.model.StepCost(
+			computeMax, sendMax, recvMax,
+			threads, receivers, workers, false, barrier)
+		stats.Durations[metrics.Sync] = time.Since(start)
+		e.trace.Append(stats)
+
+		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
+			(e.step+1)%e.cfg.CheckpointEvery == 0 {
+			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
+				return e.trace, fmt.Errorf("cyclops: checkpoint at step %d: %w", e.step, err)
+			}
+		}
+		if e.cfg.OnStep != nil {
+			e.cfg.OnStep(e.step, e)
+		}
+
+		if nextActive == 0 {
+			e.step++
+			break
+		}
+		if e.cfg.Halt != nil && e.cfg.Halt(e.step, e.agg.Value, nextActive) {
+			e.step++
+			break
+		}
+	}
+	if err := e.tr.Err(); err != nil {
+		return e.trace, fmt.Errorf("cyclops: transport: %w", err)
+	}
+	return e.trace, nil
+}

@@ -1,0 +1,329 @@
+// Package dfs is the "underlying storage layer" the paper assumes (§3.6,
+// §6.2 run HDFS on the same cluster for graph input and checkpoints): a
+// small distributed file store that splits files into fixed-size blocks,
+// spreads them across storage nodes, and keeps R replicas of every block so
+// single-node failures lose nothing. It is in-memory and in-process — the
+// point is the placement, replication and recovery logic the engines'
+// fault-tolerance story depends on, not durability of this host's disk.
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize mirrors small-cluster HDFS configurations, scaled down.
+const DefaultBlockSize = 64 << 10
+
+// ErrNotFound reports a missing file.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrUnavailable reports that some block of a file has no live replica.
+var ErrUnavailable = errors.New("dfs: block unavailable (all replicas lost)")
+
+// Store is a replicated block store over n simulated storage nodes.
+type Store struct {
+	mu        sync.RWMutex
+	nodes     []*node
+	files     map[string]*fileMeta
+	blockSize int
+	replicas  int
+	nextBlock uint64
+}
+
+type node struct {
+	alive  bool
+	blocks map[uint64][]byte
+}
+
+type fileMeta struct {
+	size   int
+	blocks []uint64
+	// placement[i] lists the nodes holding blocks[i].
+	placement [][]int
+}
+
+// New creates a store with n nodes and the given replication factor
+// (clamped to [1, n]). blockSize ≤ 0 selects DefaultBlockSize.
+func New(n, replicas, blockSize int) (*Store, error) {
+	if n < 1 {
+		return nil, errors.New("dfs: need at least one node")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > n {
+		replicas = n
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	s := &Store{
+		nodes:     make([]*node, n),
+		files:     make(map[string]*fileMeta),
+		blockSize: blockSize,
+		replicas:  replicas,
+	}
+	for i := range s.nodes {
+		s.nodes[i] = &node{alive: true, blocks: make(map[uint64][]byte)}
+	}
+	return s, nil
+}
+
+// aliveNodes returns live node ids ordered by current block count (least
+// loaded first) — the balancing heuristic real block placers use.
+func (s *Store) aliveNodes() []int {
+	ids := make([]int, 0, len(s.nodes))
+	for i, nd := range s.nodes {
+		if nd.alive {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return len(s.nodes[ids[a]].blocks) < len(s.nodes[ids[b]].blocks)
+	})
+	return ids
+}
+
+// Put stores a file, replacing any previous version.
+func (s *Store) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alive := s.aliveNodes()
+	if len(alive) == 0 {
+		return errors.New("dfs: no live nodes")
+	}
+	if old, ok := s.files[name]; ok {
+		s.dropLocked(old)
+	}
+	meta := &fileMeta{size: len(data)}
+	for off := 0; off < len(data) || (len(data) == 0 && off == 0); off += s.blockSize {
+		end := off + s.blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		id := s.nextBlock
+		s.nextBlock++
+		block := append([]byte(nil), data[off:end]...)
+		want := s.replicas
+		if want > len(alive) {
+			want = len(alive)
+		}
+		placed := make([]int, 0, want)
+		// Refresh load ordering every block so replicas spread out.
+		alive = s.aliveNodes()
+		for _, nd := range alive[:want] {
+			s.nodes[nd].blocks[id] = block
+			placed = append(placed, nd)
+		}
+		meta.blocks = append(meta.blocks, id)
+		meta.placement = append(meta.placement, placed)
+		if len(data) == 0 {
+			break
+		}
+	}
+	s.files[name] = meta
+	return nil
+}
+
+// dropLocked removes a file's blocks from all nodes.
+func (s *Store) dropLocked(meta *fileMeta) {
+	for i, id := range meta.blocks {
+		for _, nd := range meta.placement[i] {
+			delete(s.nodes[nd].blocks, id)
+		}
+	}
+}
+
+// Get reads a whole file back, surviving any failure pattern that leaves at
+// least one replica per block.
+func (s *Store) Get(name string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	meta, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	var buf bytes.Buffer
+	buf.Grow(meta.size)
+	for i, id := range meta.blocks {
+		var block []byte
+		found := false
+		for _, nd := range meta.placement[i] {
+			if s.nodes[nd].alive {
+				if b, ok := s.nodes[nd].blocks[id]; ok {
+					block, found = b, true
+					break
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %s block %d", ErrUnavailable, name, i)
+		}
+		buf.Write(block)
+	}
+	return buf.Bytes(), nil
+}
+
+// Delete removes a file.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, ok := s.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	s.dropLocked(meta)
+	delete(s.files, name)
+	return nil
+}
+
+// List returns the stored file names, sorted.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KillNode marks a node dead. Its blocks become unreadable until
+// Rereplicate or Reviving.
+func (s *Store) KillNode(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("dfs: no node %d", id)
+	}
+	s.nodes[id].alive = false
+	return nil
+}
+
+// ReviveNode brings a dead node back (its blocks intact, as after a
+// machine reboot).
+func (s *Store) ReviveNode(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("dfs: no node %d", id)
+	}
+	s.nodes[id].alive = true
+	return nil
+}
+
+// Rereplicate restores the replication factor after failures: every block
+// with fewer than R live replicas is copied to additional live nodes. It
+// returns the number of block copies created, and an error if any block has
+// no live replica left to copy from.
+func (s *Store) Rereplicate() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copies := 0
+	for name, meta := range s.files {
+		for i, id := range meta.blocks {
+			liveHolders := meta.placement[i][:0:0]
+			var data []byte
+			for _, nd := range meta.placement[i] {
+				if s.nodes[nd].alive {
+					if b, ok := s.nodes[nd].blocks[id]; ok {
+						liveHolders = append(liveHolders, nd)
+						data = b
+					}
+				}
+			}
+			if len(liveHolders) == 0 {
+				return copies, fmt.Errorf("%w: %s block %d", ErrUnavailable, name, i)
+			}
+			want := s.replicas
+			holderSet := map[int]bool{}
+			for _, nd := range liveHolders {
+				holderSet[nd] = true
+			}
+			for _, nd := range s.aliveNodes() {
+				if len(liveHolders) >= want {
+					break
+				}
+				if holderSet[nd] {
+					continue
+				}
+				s.nodes[nd].blocks[id] = data
+				liveHolders = append(liveHolders, nd)
+				holderSet[nd] = true
+				copies++
+			}
+			meta.placement[i] = liveHolders
+		}
+	}
+	return copies, nil
+}
+
+// Stats describes the store's health.
+type Stats struct {
+	Nodes        int
+	AliveNodes   int
+	Files        int
+	Blocks       int
+	UnderReplica int // blocks below the replication factor
+}
+
+// Stats reports current health.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Nodes: len(s.nodes), Files: len(s.files)}
+	for _, nd := range s.nodes {
+		if nd.alive {
+			st.AliveNodes++
+		}
+	}
+	for _, meta := range s.files {
+		for i := range meta.blocks {
+			st.Blocks++
+			live := 0
+			for _, nd := range meta.placement[i] {
+				if s.nodes[nd].alive {
+					if _, ok := s.nodes[nd].blocks[meta.blocks[i]]; ok {
+						live++
+					}
+				}
+			}
+			if live < s.replicas {
+				st.UnderReplica++
+			}
+		}
+	}
+	return st
+}
+
+// Open returns a reader over a stored file (io.Reader convenience for the
+// checkpoint and graph loaders).
+func (s *Store) Open(name string) (io.Reader, error) {
+	data, err := s.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Create buffers writes and stores the file on Close.
+type writer struct {
+	s    *Store
+	name string
+	buf  bytes.Buffer
+}
+
+// Create returns a WriteCloser that commits the file atomically on Close.
+func (s *Store) Create(name string) io.WriteCloser {
+	return &writer{s: s, name: name}
+}
+
+func (w *writer) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *writer) Close() error { return w.s.Put(w.name, w.buf.Bytes()) }

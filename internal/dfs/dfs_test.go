@@ -1,0 +1,307 @@
+package dfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/algorithms"
+	"cyclops/internal/checkpoint"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gen"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := New(4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	if err := s.Put("a.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	s, _ := New(2, 2, 16)
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	s, _ := New(2, 1, 0)
+	if _, err := s.Get("ghost"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if err := s.Delete("ghost"); err == nil {
+		t.Fatal("deleting a missing file must error")
+	}
+}
+
+func TestOverwriteReleasesOldBlocks(t *testing.T) {
+	s, _ := New(3, 2, 8)
+	if err := s.Put("f", bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	blocksBefore := s.Stats().Blocks
+	if err := s.Put("f", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().Blocks; after >= blocksBefore {
+		t.Fatalf("blocks %d → %d; overwrite must release old blocks", blocksBefore, after)
+	}
+	got, _ := s.Get("f")
+	if string(got) != "tiny" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSurvivesSingleNodeFailure(t *testing.T) {
+	s, _ := New(4, 2, 8)
+	data := bytes.Repeat([]byte("abcdefgh"), 50)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	for victim := 0; victim < 4; victim++ {
+		if err := s.KillNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get("f")
+		if err != nil {
+			t.Fatalf("victim %d: %v", victim, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("victim %d: corrupted read", victim)
+		}
+		s.ReviveNode(victim)
+	}
+}
+
+func TestRereplicationRestoresFactor(t *testing.T) {
+	s, _ := New(5, 3, 8)
+	if err := s.Put("f", bytes.Repeat([]byte("z"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.UnderReplica != 0 {
+		t.Fatalf("fresh file under-replicated: %+v", st)
+	}
+	s.KillNode(0)
+	if st := s.Stats(); st.UnderReplica == 0 {
+		t.Skip("node 0 held no replicas (placement spread them elsewhere)")
+	}
+	copies, err := s.Rereplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies == 0 {
+		t.Fatal("expected re-replication copies")
+	}
+	if st := s.Stats(); st.UnderReplica != 0 {
+		t.Fatalf("still under-replicated: %+v", st)
+	}
+	// Now even losing a second node keeps the file readable.
+	s.KillNode(1)
+	if _, err := s.Get("f"); err != nil {
+		t.Fatalf("read after two failures: %v", err)
+	}
+}
+
+func TestAllReplicasLost(t *testing.T) {
+	s, _ := New(2, 1, 8) // replication factor 1: any failure loses data
+	if err := s.Put("f", bytes.Repeat([]byte("q"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.KillNode(0)
+	s.KillNode(1)
+	if _, err := s.Get("f"); err == nil {
+		t.Fatal("reading with all nodes dead must fail")
+	}
+	if _, err := s.Rereplicate(); err == nil {
+		t.Fatal("re-replication without any live replica must fail")
+	}
+}
+
+func TestListAndWriter(t *testing.T) {
+	s, _ := New(3, 2, 0)
+	w := s.Create("dir/file1")
+	if _, err := w.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("dir/file0", []byte("x"))
+	names := s.List()
+	if len(names) != 2 || names[0] != "dir/file0" || names[1] != "dir/file1" {
+		t.Fatalf("List = %v", names)
+	}
+	r, err := s.Open("dir/file1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "hello world" {
+		t.Fatalf("Open read %q", buf.String())
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := New(0, 1, 0); err == nil {
+		t.Fatal("zero nodes must error")
+	}
+	s, err := New(2, 9, 0) // replicas clamp to node count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillNode(99); err == nil {
+		t.Fatal("bad node id must error")
+	}
+	if err := s.ReviveNode(-1); err == nil {
+		t.Fatal("bad node id must error")
+	}
+}
+
+// Property: any file round-trips under any single-node failure when R ≥ 2.
+func TestDurabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(rng.Intn(4)+2, 2, rng.Intn(32)+4)
+		if err != nil {
+			return false
+		}
+		data := make([]byte, rng.Intn(500))
+		rng.Read(data)
+		if s.Put("f", data) != nil {
+			return false
+		}
+		victim := rng.Intn(s.Stats().Nodes)
+		s.KillNode(victim)
+		got, err := s.Get("f")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: engine checkpoints flow through the distributed store, a
+// storage node dies, and the job still recovers — the full §3.6 story with
+// the HDFS stand-in in the loop.
+func TestCheckpointThroughDFS(t *testing.T) {
+	g := gen.PowerLaw(200, 4, 6)
+	store, _ := New(4, 2, 1024)
+	const iters = 10
+
+	save := func(s cyclops.State[float64, float64]) error {
+		w := store.Create(checkpointName(s.Step))
+		if err := gob.NewEncoder(w).Encode(&s); err != nil {
+			return err
+		}
+		return w.(interface{ Close() error }).Close()
+	}
+
+	full, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{},
+		cyclops.Config[float64, float64]{Cluster: cluster.Flat(2, 2), MaxSupersteps: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	crash, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{},
+		cyclops.Config[float64, float64]{
+			Cluster: cluster.Flat(2, 2), MaxSupersteps: 7,
+			CheckpointEvery: 3, Checkpoints: save,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crash.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A storage node dies along with the compute node.
+	store.KillNode(1)
+
+	names := store.List()
+	if len(names) == 0 {
+		t.Fatal("no checkpoints stored")
+	}
+	r, err := store.Open(names[len(names)-1])
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after node failure: %v", err)
+	}
+	var state cyclops.State[float64, float64]
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{},
+		cyclops.Config[float64, float64]{Cluster: cluster.Flat(2, 2), MaxSupersteps: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want, got := full.Values(), rec.Values()
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("vertex %d: %g vs %g", v, got[v], want[v])
+		}
+	}
+}
+
+func checkpointName(step int) string {
+	const digits = "0123456789"
+	return "ckpt/step-" + string([]byte{
+		digits[(step/100)%10], digits[(step/10)%10], digits[step%10],
+	})
+}
+
+// Ensure checkpoint package interop: its Steps/Save work on real dirs, the
+// dfs Store covers the distributed path; both hold the same gob payloads.
+func TestGobPayloadCompatibility(t *testing.T) {
+	dir := t.TempDir()
+	state := cyclops.State[float64, float64]{Step: 3, Values: []float64{1}, View: []float64{2}, Active: []bool{true}}
+	if err := checkpoint.Save(dir, 3, state); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := checkpoint.Load[cyclops.State[float64, float64]](dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Step != 3 || loaded.Values[0] != 1 {
+		t.Fatalf("loaded %+v", loaded)
+	}
+}

@@ -1,0 +1,34 @@
+package dfs_test
+
+import (
+	"fmt"
+
+	"cyclops/internal/dfs"
+)
+
+// Example stores a file across four nodes with two replicas per block,
+// loses a node, repairs the replication factor, and reads the file back.
+func Example() {
+	store, err := dfs.New(4, 2, 8)
+	if err != nil {
+		panic(err)
+	}
+	if err := store.Put("graphs/web.txt", []byte("0 1\n1 2\n2 0\n")); err != nil {
+		panic(err)
+	}
+
+	store.KillNode(0)
+	data, err := store.Get("graphs/web.txt")
+	fmt.Printf("after failure: read %d bytes, err=%v\n", len(data), err)
+
+	copies, err := store.Rereplicate()
+	if err != nil {
+		panic(err)
+	}
+	st := store.Stats()
+	fmt.Printf("re-replicated %d block copies; under-replicated blocks: %d\n",
+		copies, st.UnderReplica)
+	// Output:
+	// after failure: read 12 bytes, err=<nil>
+	// re-replicated 1 block copies; under-replicated blocks: 0
+}

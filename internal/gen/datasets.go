@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cyclops/internal/graph"
+)
+
+// Meta describes a named dataset: which paper dataset it substitutes for,
+// that dataset's real size (Table 1 of the paper), and which algorithm the
+// paper runs on it.
+type Meta struct {
+	Name      string
+	Algorithm string // PR, ALS, CD or SSSP (Table 1 pairing)
+	PaperV    int
+	PaperE    int
+	// Labels carries planted community labels for the dblp dataset; nil
+	// otherwise.
+	Labels []int
+	// Users is the user-side size of the bipartite syn-gl dataset (ids
+	// below Users are users); zero for non-bipartite datasets.
+	Users int
+}
+
+// dataset couples Table 1 metadata with a scaled generator. gen returns the
+// graph, optional planted labels, and the bipartite user count (0 if n/a).
+type dataset struct {
+	meta Meta
+	gen  func(scale float64, seed int64) (*graph.Graph, []int, int)
+}
+
+// scaleInt scales a base size, clamping at a small floor so scale=0.01 still
+// yields runnable graphs.
+func scaleInt(base int, scale float64) int {
+	v := int(float64(base) * scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+var datasets = map[string]dataset{
+	// Web/social power-law graphs; out-degree matched to the paper's E/V.
+	"amazon": {
+		meta: Meta{Name: "amazon", Algorithm: "PR", PaperV: 403394, PaperE: 3387388},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			return PowerLaw(scaleInt(20000, s), 8, seed), nil, 0
+		},
+	},
+	"gweb": {
+		meta: Meta{Name: "gweb", Algorithm: "PR", PaperV: 875713, PaperE: 5105039},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			return PowerLaw(scaleInt(40000, s), 6, seed), nil, 0
+		},
+	},
+	"ljournal": {
+		meta: Meta{Name: "ljournal", Algorithm: "PR", PaperV: 4847571, PaperE: 69993773},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			return PowerLaw(scaleInt(60000, s), 14, seed), nil, 0
+		},
+	},
+	"wiki": {
+		meta: Meta{Name: "wiki", Algorithm: "PR", PaperV: 5716808, PaperE: 130160392},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			return PowerLaw(scaleInt(70000, s), 22, seed), nil, 0
+		},
+	},
+	"syn-gl": {
+		meta: Meta{Name: "syn-gl", Algorithm: "ALS", PaperV: 110000, PaperE: 2729572},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			users := scaleInt(5000, s)
+			items := scaleInt(500, s)
+			return Bipartite(users, items, 24, seed), nil, users
+		},
+	},
+	"dblp": {
+		meta: Meta{Name: "dblp", Algorithm: "CD", PaperV: 317080, PaperE: 1049866},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			k := scaleInt(300, s)
+			g, labels := Community(k, 50, 2, 1, seed)
+			return g, labels, 0
+		},
+	},
+	"roadca": {
+		meta: Meta{Name: "roadca", Algorithm: "SSSP", PaperV: 1965206, PaperE: 5533214},
+		gen: func(s float64, seed int64) (*graph.Graph, []int, int) {
+			// Lattice side scales with sqrt so edge count scales ~linearly.
+			side := scaleInt(110, sqrtScale(s))
+			return Road(side, side, 0.02, seed), nil, 0
+		},
+	},
+}
+
+func sqrtScale(s float64) float64 { return math.Sqrt(s) }
+
+// Names lists the available dataset names in a stable order.
+func Names() []string {
+	names := make([]string, 0, len(datasets))
+	for name := range datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dataset generates the named dataset at the given scale (1.0 = the default
+// laptop-sized substitution; the paper's real sizes are in the returned
+// Meta). Generation is deterministic in (name, scale, seed).
+func Dataset(name string, scale float64, seed int64) (*graph.Graph, Meta, error) {
+	d, ok := datasets[name]
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, Names())
+	}
+	if scale <= 0 {
+		return nil, Meta{}, fmt.Errorf("gen: scale must be positive, got %g", scale)
+	}
+	g, labels, users := d.gen(scale, seed)
+	meta := d.meta
+	meta.Labels = labels
+	meta.Users = users
+	return g, meta, nil
+}

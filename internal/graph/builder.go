@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. It tolerates
+// unsorted input and, optionally, duplicate edges and self-loops (both kept
+// by default — PageRank on web graphs legitimately has parallel links after
+// URL normalisation; callers that want simple graphs use Dedup).
+//
+// The zero Builder is ready to use.
+type Builder struct {
+	n      int
+	edges  []Edge
+	dedup  bool
+	noloop bool
+}
+
+// NewBuilder returns a Builder that will produce a graph with at least n
+// vertices (AddEdge grows the vertex count as needed).
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// Dedup configures the builder to drop duplicate (src,dst) edges, keeping the
+// first occurrence. Returns the builder for chaining.
+func (b *Builder) Dedup() *Builder { b.dedup = true; return b }
+
+// NoSelfLoops configures the builder to drop self-loop edges.
+func (b *Builder) NoSelfLoops() *Builder { b.noloop = true; return b }
+
+// AddEdge appends a directed edge with weight 1.
+func (b *Builder) AddEdge(src, dst ID) { b.AddWeightedEdge(src, dst, 1) }
+
+// AddWeightedEdge appends a directed weighted edge, growing the vertex count
+// to cover both endpoints.
+func (b *Builder) AddWeightedEdge(src, dst ID, w float64) {
+	if int(src) >= b.n {
+		b.n = int(src) + 1
+	}
+	if int(dst) >= b.n {
+		b.n = int(dst) + 1
+	}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+}
+
+// NumPendingEdges reports how many edges have been added so far.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph. The builder may be reused after
+// Build (it retains its edges); Build itself does not mutate builder state
+// beyond sorting its edge slice.
+func (b *Builder) Build() (*Graph, error) {
+	edges := b.edges
+	if b.noloop {
+		kept := edges[:0:0]
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	if b.dedup {
+		kept := edges[:0:0]
+		for i, e := range edges {
+			if i == 0 || e.Src != edges[i-1].Src || e.Dst != edges[i-1].Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+
+	g := &Graph{
+		n:        b.n,
+		outIndex: make([]int64, b.n+1),
+		outTo:    make([]ID, len(edges)),
+		outW:     make([]float64, len(edges)),
+		inIndex:  make([]int64, b.n+1),
+		inFrom:   make([]ID, len(edges)),
+		inW:      make([]float64, len(edges)),
+	}
+
+	// Out-CSR: edges are sorted by (src, dst), so a single pass fills it.
+	for i, e := range edges {
+		g.outIndex[e.Src+1]++
+		g.outTo[i] = e.Dst
+		g.outW[i] = e.Weight
+	}
+	for v := 0; v < b.n; v++ {
+		g.outIndex[v+1] += g.outIndex[v]
+	}
+
+	// In-CSR: counting sort by destination keeps ingress O(V+E).
+	for _, e := range edges {
+		g.inIndex[e.Dst+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.inIndex[v+1] += g.inIndex[v]
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, g.inIndex[:b.n])
+	for _, e := range edges {
+		i := cursor[e.Dst]
+		g.inFrom[i] = e.Src
+		g.inW[i] = e.Weight
+		cursor[e.Dst]++
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph build: %w", err)
+	}
+	return g, nil
+}
+
+// MustBuild is Build for graphs known to be well-formed (generators, tests).
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor used heavily in tests.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+	}
+	return b.Build()
+}

@@ -1,0 +1,36 @@
+package graph_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cyclops/internal/graph"
+)
+
+// Example builds a small weighted graph, walks both adjacency directions,
+// and round-trips it through the text format.
+func Example() {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 1.0)
+	b.AddWeightedEdge(0, 2, 4.0)
+	g := b.MustBuild()
+
+	fmt.Printf("|V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("out(0)=%v in(2)=%v weight(0→1)=%g\n",
+		g.OutNeighbors(0), g.InNeighbors(2), g.OutWeights(0)[0])
+
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		panic(err)
+	}
+	g2, _, err := graph.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("round trip: |E|=%d, has 0→2: %v\n", g2.NumEdges(), g2.HasEdge(0, 2))
+	// Output:
+	// |V|=3 |E|=3
+	// out(0)=[1 2] in(2)=[0 1] weight(0→1)=2.5
+	// round trip: |E|=3, has 0→2: true
+}

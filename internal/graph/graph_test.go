@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustGraph(t, 0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph invalid: %v", err)
+	}
+}
+
+func TestSingleVertexNoEdges(t *testing.T) {
+	g := mustGraph(t, 1, nil)
+	if g.OutDegree(0) != 0 || g.InDegree(0) != 0 {
+		t.Fatal("isolated vertex must have degree 0")
+	}
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{
+		{0, 1, 1}, {0, 2, 2}, {1, 2, 3}, {3, 0, 4},
+	})
+	if got := g.OutNeighbors(0); !reflect.DeepEqual(got, []ID{1, 2}) {
+		t.Errorf("OutNeighbors(0) = %v", got)
+	}
+	if got := g.OutWeights(0); !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Errorf("OutWeights(0) = %v", got)
+	}
+	if got := g.InNeighbors(2); !reflect.DeepEqual(got, []ID{0, 1}) {
+		t.Errorf("InNeighbors(2) = %v", got)
+	}
+	if got := g.InWeights(2); !reflect.DeepEqual(got, []float64{2, 3}) {
+		t.Errorf("InWeights(2) = %v", got)
+	}
+	if g.InDegree(0) != 1 || g.OutDegree(3) != 1 {
+		t.Error("degree mismatch")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := mustGraph(t, 5, []Edge{{0, 4, 1}, {0, 2, 1}, {3, 3, 1}})
+	cases := []struct {
+		s, d ID
+		want bool
+	}{
+		{0, 2, true}, {0, 4, true}, {0, 3, false}, {2, 0, false}, {3, 3, true},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.s, c.d); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.s, c.d, got, c.want)
+		}
+	}
+}
+
+func TestBuilderGrowsVertexCount(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(7, 3)
+	g := b.MustBuild()
+	if g.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d, want 8", g.NumVertices())
+	}
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(3).Dedup()
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(0, 1, 9)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if w := g.OutWeights(0)[0]; w != 5 {
+		t.Errorf("dedup kept weight %g, want first occurrence 5", w)
+	}
+}
+
+func TestBuilderNoSelfLoops(t *testing.T) {
+	b := NewBuilder(2).NoSelfLoops()
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 || g.HasEdge(0, 0) {
+		t.Fatalf("self-loop survived: %d edges", g.NumEdges())
+	}
+}
+
+func TestDuplicatesKeptByDefault(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	if g := b.MustBuild(); g.NumEdges() != 2 {
+		t.Fatalf("duplicates should be kept, got %d edges", g.NumEdges())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{{2, 0, 1.5}, {0, 1, 1}, {1, 2, 2}, {0, 2, 3}}
+	g := mustGraph(t, 3, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() returned %d, want %d", len(out), len(in))
+	}
+	for _, e := range out {
+		found := false
+		for _, orig := range in {
+			if orig == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected edge %+v", e)
+		}
+	}
+}
+
+// Property: building from any random edge set yields a graph that validates,
+// preserves the edge multiset, and has matching in/out views.
+func TestBuildProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%64 + 1
+		m := int(mRaw) % 512
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{
+				Src:    ID(rng.Intn(n)),
+				Dst:    ID(rng.Intn(n)),
+				Weight: float64(rng.Intn(9) + 1),
+			}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil || g.NumEdges() != m {
+			return false
+		}
+		// Each edge must appear in both views with its weight.
+		type key struct {
+			s, d ID
+			w    float64
+		}
+		outCount := map[key]int{}
+		for v := 0; v < n; v++ {
+			ns, ws := g.OutNeighbors(ID(v)), g.OutWeights(ID(v))
+			for i := range ns {
+				outCount[key{ID(v), ns[i], ws[i]}]++
+			}
+		}
+		inCount := map[key]int{}
+		for v := 0; v < n; v++ {
+			ns, ws := g.InNeighbors(ID(v)), g.InWeights(ID(v))
+			for i := range ns {
+				inCount[key{ns[i], ID(v), ws[i]}]++
+			}
+		}
+		want := map[key]int{}
+		for _, e := range edges {
+			want[key{e.Src, e.Dst, e.Weight}]++
+		}
+		return reflect.DeepEqual(outCount, want) && reflect.DeepEqual(inCount, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of out-degrees == sum of in-degrees == edge count.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		b := NewBuilder(n)
+		m := rng.Intn(300)
+		for i := 0; i < m; i++ {
+			b.AddEdge(ID(rng.Intn(n)), ID(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		outSum, inSum := 0, 0
+		for v := 0; v < n; v++ {
+			outSum += g.OutDegree(ID(v))
+			inSum += g.InDegree(ID(v))
+		}
+		return outSum == m && inSum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := mustGraph(t, 5, []Edge{
+		{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {1, 4, 5},
+	})
+	sub, orig, err := g.InducedSubgraph([]ID{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 {
+		t.Fatalf("|V| = %d", sub.NumVertices())
+	}
+	// Kept edges: 1→2 and 1→4 (0 and 3 are dropped).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("|E| = %d", sub.NumEdges())
+	}
+	if orig[0] != 1 || orig[1] != 2 || orig[2] != 4 {
+		t.Fatalf("mapping = %v", orig)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) {
+		t.Fatal("remapped edges missing")
+	}
+	if sub.OutWeights(0)[0] != 2 {
+		t.Fatal("weights lost in subgraph")
+	}
+}
+
+func TestInducedSubgraphEdgeCases(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1, 1}})
+	// Duplicates collapse.
+	sub, orig, err := g.InducedSubgraph([]ID{0, 0, 1})
+	if err != nil || sub.NumVertices() != 2 || len(orig) != 2 {
+		t.Fatalf("dup collapse: %v %v %v", sub, orig, err)
+	}
+	// Out-of-range rejected.
+	if _, _, err := g.InducedSubgraph([]ID{9}); err == nil {
+		t.Fatal("out-of-range vertex must error")
+	}
+	// Empty selection.
+	sub, _, err = g.InducedSubgraph(nil)
+	if err != nil || sub.NumVertices() != 0 {
+		t.Fatalf("empty selection: %v %v", sub, err)
+	}
+}
+
+// Property: a subgraph over ALL vertices is edge-for-edge the original.
+func TestInducedSubgraphIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		b := NewBuilder(n)
+		for i := 0; i < rng.Intn(80); i++ {
+			b.AddEdge(ID(rng.Intn(n)), ID(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		all := make([]ID, n)
+		for i := range all {
+			all[i] = ID(i)
+		}
+		sub, _, err := g.InducedSubgraph(all)
+		if err != nil || sub.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ea, eb := g.Edges(), sub.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is the SNAP-style edge list the paper's datasets ship in:
+// one "src dst" or "src dst weight" triple per line, '#' comments, blank
+// lines ignored. Vertex ids need not be dense; Load densifies them unless the
+// input is already dense.
+
+// Load reads an edge-list graph from r. If the vertex ids in the input are
+// not dense (0..n-1), they are remapped in first-appearance order; the
+// returned mapping is nil when no remapping was necessary.
+func Load(r io.Reader) (*Graph, map[int64]ID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	b := NewBuilder(0)
+	remap := make(map[int64]ID)
+	var maxRaw int64 = -1
+	dense := true
+	intern := func(raw int64) ID {
+		if raw > maxRaw {
+			maxRaw = raw
+		}
+		id, ok := remap[raw]
+		if !ok {
+			id = ID(len(remap))
+			remap[raw] = id
+		}
+		if int64(id) != raw {
+			dense = false
+		}
+		return id
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, nil, fmt.Errorf("graph load: line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph load: line %d: bad src: %w", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph load: line %d: bad dst: %w", line, err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, nil, fmt.Errorf("graph load: line %d: negative vertex id", line)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph load: line %d: bad weight: %w", line, err)
+			}
+		}
+		b.AddWeightedEdge(intern(src), intern(dst), w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph load: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if dense {
+		return g, nil, nil
+	}
+	return g, remap, nil
+}
+
+// LoadFile reads an edge-list graph from a file path.
+func LoadFile(path string) (*Graph, map[int64]ID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Write emits the graph in the text edge-list format read by Load. Weights
+// equal to 1 are omitted so unweighted graphs round-trip to 2-field lines.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		ns := g.OutNeighbors(ID(v))
+		ws := g.OutWeights(ID(v))
+		for i, u := range ns {
+			if ws[i] == 1 {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			} else {
+				fmt.Fprintf(bw, "%d %d %g\n", v, u, ws[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the graph to a file path in the text edge-list format.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

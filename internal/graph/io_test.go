@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadBasic(t *testing.T) {
+	input := `# a comment
+0 1
+0 2 2.5
+
+1 2
+`
+	g, remap, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if remap != nil {
+		t.Errorf("dense input should not return a remap, got %v", remap)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+	if w := g.OutWeights(0)[1]; w != 2.5 {
+		t.Errorf("weight = %g, want 2.5", w)
+	}
+}
+
+func TestLoadRemapsSparseIDs(t *testing.T) {
+	g, remap, err := Load(strings.NewReader("100 200\n200 300\n"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("|V| = %d, want 3", g.NumVertices())
+	}
+	if remap == nil {
+		t.Fatal("sparse ids must return a remap")
+	}
+	if !g.HasEdge(remap[100], remap[200]) || !g.HasEdge(remap[200], remap[300]) {
+		t.Error("remapped edges missing")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"0\n",          // too few fields
+		"0 1 2 3\n",    // too many fields
+		"a 1\n",        // bad src
+		"0 b\n",        // bad dst
+		"0 1 weight\n", // bad weight
+		"-1 2\n",       // negative id
+	}
+	for _, in := range cases {
+		if _, _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1, 1}, {1, 2, 3.5}, {3, 0, 1}, {2, 2, 0.25}})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, _, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.Src, e.Dst) {
+			t.Errorf("edge %d→%d lost in round trip", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestWriteFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := mustGraph(t, 3, []Edge{{0, 1, 1}, {1, 2, 1}})
+	if err := WriteFile(path, g); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	g2, _, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("LoadFile edges = %d", g2.NumEdges())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Fatal("loading a missing file must fail")
+	}
+}

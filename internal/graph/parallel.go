@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// LoadFileParallel reads an edge-list file with several parser goroutines,
+// mirroring the paper's ingress phase (§6.7): "the graph processing runtime
+// splits the file into multiple blocks and generates in-memory data
+// structures by all workers in parallel". The file is split into byte
+// ranges aligned to line boundaries; each worker parses its range into a
+// private edge buffer; the buffers are concatenated and built into one CSR.
+//
+// Unlike Load, vertex ids must already be dense non-negative integers (the
+// parallel workers cannot share an interning table without serialising on
+// it, and every supported generator writes dense ids).
+func LoadFileParallel(path string, workers int) (*Graph, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return NewBuilder(0).Build()
+	}
+
+	// Split into line-aligned ranges: each boundary moves forward to the
+	// byte after the next '\n', so every line belongs to exactly one range.
+	bounds := make([]int64, workers+1)
+	bounds[workers] = size
+	buf := make([]byte, 1)
+	for w := 1; w < workers; w++ {
+		pos := size * int64(w) / int64(workers)
+		for pos < size {
+			if _, err := f.ReadAt(buf, pos); err != nil {
+				return nil, fmt.Errorf("graph load: align: %w", err)
+			}
+			pos++
+			if buf[0] == '\n' {
+				break
+			}
+		}
+		bounds[w] = pos
+	}
+
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			chunks[w] = parseRange(f, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	n := int64(0)
+	total := 0
+	for w := range chunks {
+		if chunks[w].err != nil {
+			return nil, chunks[w].err
+		}
+		if chunks[w].maxID+1 > n {
+			n = chunks[w].maxID + 1
+		}
+		total += len(chunks[w].edges)
+	}
+	b := NewBuilder(int(n))
+	b.edges = make([]Edge, 0, total)
+	for w := range chunks {
+		for _, e := range chunks[w].edges {
+			b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+		}
+	}
+	return b.Build()
+}
+
+// chunk is one worker's parsed share of the file.
+type chunk struct {
+	edges []Edge
+	maxID int64
+	err   error
+}
+
+// parseRange parses the byte range [lo, hi) of f as edge-list lines.
+// io.SectionReader keeps the shared *os.File position-free (ReadAt), so
+// parser goroutines never race on a seek offset.
+func parseRange(f *os.File, lo, hi int64) (c chunk) {
+	r := bufio.NewReaderSize(io.NewSectionReader(f, lo, hi-lo), 1<<16)
+	line := 0
+	for {
+		raw, err := r.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			text := bytes.TrimSpace(raw)
+			if len(text) > 0 && text[0] != '#' {
+				src, dst, w, perr := parseEdgeLine(text)
+				if perr != nil {
+					c.err = fmt.Errorf("graph load: offset %d line %d: %w", lo, line, perr)
+					return
+				}
+				if src > c.maxID {
+					c.maxID = src
+				}
+				if dst > c.maxID {
+					c.maxID = dst
+				}
+				c.edges = append(c.edges, Edge{Src: ID(src), Dst: ID(dst), Weight: w})
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// parseEdgeLine parses "src dst [weight]" without allocating substrings.
+func parseEdgeLine(text []byte) (src, dst int64, w float64, err error) {
+	w = 1
+	fields := bytes.Fields(text)
+	if len(fields) < 2 || len(fields) > 3 {
+		return 0, 0, 0, fmt.Errorf("want 2 or 3 fields, got %d", len(fields))
+	}
+	src, err = parseInt(fields[0])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad src: %w", err)
+	}
+	dst, err = parseInt(fields[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad dst: %w", err)
+	}
+	if len(fields) == 3 {
+		w, err = parseFloat(fields[2])
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("bad weight: %w", err)
+		}
+	}
+	return src, dst, w, nil
+}
+
+func parseInt(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty field")
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("non-digit %q", c)
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, fmt.Errorf("overflow")
+		}
+	}
+	return v, nil
+}
+
+func parseFloat(b []byte) (float64, error) {
+	return strconv.ParseFloat(string(b), 64)
+}

@@ -1,0 +1,65 @@
+package graphlab
+
+import (
+	"fmt"
+
+	"cyclops/internal/graph"
+)
+
+// Greedy graph coloring is GraphLab's signature asynchronous workload: a
+// vertex picks the smallest color absent from its scope and reschedules any
+// neighbor it conflicts with. Under scope locking the update is atomic with
+// respect to its neighborhood, so the algorithm converges to a proper
+// coloring with at most maxDegree+1 colors — but which proper coloring is
+// schedule-dependent, the non-determinism §2.3 charges the model with.
+// Synchronous engines cannot run this program as-is: two adjacent vertices
+// updating in the same superstep can pick the same color forever.
+
+// Coloring is the async coloring program. Works on symmetric graphs.
+type Coloring struct{}
+
+// Init implements Program: everyone starts at color 0, scheduled.
+func (Coloring) Init(id graph.ID, _ *graph.Graph) (int64, bool) { return 0, true }
+
+// Update implements Program: keep the current color unless a neighbor
+// holds it (conflict-only recoloring, as in GraphLab's demo apps — it
+// avoids the flip-flopping a "always take the smallest" rule can cause).
+func (Coloring) Update(ctx *Scope[int64]) (int64, bool) {
+	used := make(map[int64]bool, ctx.InDegree())
+	for i := 0; i < ctx.InDegree(); i++ {
+		used[ctx.NeighborValue(i)] = true
+	}
+	if !used[ctx.Value()] {
+		return ctx.Value(), false // already consistent with the scope
+	}
+	color := int64(0)
+	for used[color] {
+		color++
+	}
+	// Reschedule neighbors: our new color may conflict with theirs; they
+	// re-check under their own scope locks.
+	return color, true
+}
+
+// ValidColoring checks that no edge joins two vertices of the same color
+// and that the palette is within the greedy bound (maxDegree+1).
+func ValidColoring(g *graph.Graph, colors []int64) error {
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.ID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(graph.ID(v)) {
+			if graph.ID(v) != u && colors[v] == colors[u] {
+				return fmt.Errorf("graphlab: edge %d–%d shares color %d", v, u, colors[v])
+			}
+		}
+		if colors[v] < 0 || colors[v] > int64(maxDeg) {
+			return fmt.Errorf("graphlab: vertex %d color %d outside greedy bound %d",
+				v, colors[v], maxDeg)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package graphlab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/cluster"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+func symmetric(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices()).Dedup().NoSelfLoops()
+	for _, e := range g.Edges() {
+		b.AddEdge(e.Src, e.Dst)
+		b.AddEdge(e.Dst, e.Src)
+	}
+	return b.MustBuild()
+}
+
+func TestColoringTriangle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	for _, e := range [][2]graph.ID{{0, 1}, {1, 2}, {2, 0}} {
+		b.AddEdge(e[0], e[1])
+		b.AddEdge(e[1], e[0])
+	}
+	g := b.MustBuild()
+	e, err := New[int64](g, Coloring{}, Config[int64]{Cluster: cluster.Flat(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidColoring(g, e.Values()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoringSmallWorld(t *testing.T) {
+	g := gen.SmallWorld(400, 3, 0.1, 9)
+	e, err := New[int64](g, Coloring{}, Config[int64]{Cluster: cluster.Flat(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidColoring(g, e.Values()); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Updates == 0 {
+		t.Fatal("no updates ran")
+	}
+}
+
+// Property: async coloring always terminates with a proper coloring within
+// the greedy bound, whatever the interleaving.
+func TestColoringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := symmetric(gen.ErdosRenyi(80, 200, seed))
+		e, err := New[int64](g, Coloring{}, Config[int64]{Cluster: cluster.Flat(3, 1)})
+		if err != nil {
+			return false
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		return ValidColoring(g, e.Values()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidColoringRejectsConflicts(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.MustBuild()
+	if err := ValidColoring(g, []int64{1, 1}); err == nil {
+		t.Fatal("conflicting colors must be rejected")
+	}
+	if err := ValidColoring(g, []int64{0, 5}); err == nil {
+		t.Fatal("out-of-bound palette must be rejected")
+	}
+	if err := ValidColoring(g, []int64{0, 1}); err != nil {
+		t.Fatalf("proper coloring rejected: %v", err)
+	}
+}

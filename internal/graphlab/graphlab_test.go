@@ -1,0 +1,215 @@
+package graphlab
+
+import (
+	"math"
+	"testing"
+
+	"cyclops/internal/cluster"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+// asyncPR mirrors algorithms.PageRankGraphLab without importing it (that
+// package imports this one). Value = rank/outDegree.
+type asyncPR struct {
+	eps float64
+	n   int
+}
+
+func (p asyncPR) Init(id graph.ID, g *graph.Graph) (float64, bool) {
+	d := g.OutDegree(id)
+	if d == 0 {
+		d = 1
+	}
+	return (1 / float64(g.NumVertices())) / float64(d), true
+}
+
+func (p asyncPR) Update(ctx *Scope[float64]) (float64, bool) {
+	var sum float64
+	for i := 0; i < ctx.InDegree(); i++ {
+		sum += ctx.NeighborValue(i)
+	}
+	rank := 0.15/float64(p.n) + 0.85*sum
+	d := float64(ctx.OutDegree())
+	if d == 0 {
+		d = 1
+	}
+	old := ctx.Value() * d
+	return rank / d, math.Abs(rank-old) > p.eps
+}
+
+// refShare iterates the synchronous recurrence to (near) fixpoint.
+func refShare(g *graph.Graph, iters int) []float64 {
+	n := g.NumVertices()
+	share := make([]float64, n)
+	deg := make([]float64, n)
+	for v := range share {
+		d := g.OutDegree(graph.ID(v))
+		if d == 0 {
+			d = 1
+		}
+		deg[v] = float64(d)
+		share[v] = (1 / float64(n)) / deg[v]
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range g.InNeighbors(graph.ID(v)) {
+				sum += share[u]
+			}
+			next[v] = (0.15/float64(n) + 0.85*sum) / deg[v]
+		}
+		copy(share, next)
+	}
+	return share
+}
+
+func TestAsyncPageRankConverges(t *testing.T) {
+	g := gen.PowerLaw(400, 4, 19)
+	// Naive async scheduling re-updates a vertex every time any neighbor
+	// moves more than eps, so update counts grow steeply as eps tightens
+	// (~10× per 100× of eps) — §2.3's scheduling-overhead complaint in
+	// numbers. 1e-8 keeps the test fast while the fixpoint residual stays
+	// well under the assertion below.
+	e, err := New[float64](g, asyncPR{eps: 1e-8, n: g.NumVertices()}, Config[float64]{
+		Cluster:    cluster.Flat(4, 1),
+		MaxUpdates: int64(20000 * g.NumVertices()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Updates == 0 {
+		t.Fatal("no updates ran")
+	}
+	want := refShare(g, 300)
+	got := e.Values()
+	var l1 float64
+	for v := range want {
+		l1 += math.Abs(got[v] - want[v])
+	}
+	if l1 > 1e-4 {
+		t.Fatalf("async fixpoint off by L1=%g", l1)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := gen.PowerLaw(300, 4, 3)
+	e, err := New[float64](g, asyncPR{eps: 1e-6, n: g.NumVertices()}, Config[float64]{
+		Cluster: cluster.Flat(4, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SyncMessages == 0 || stats.LockMessages == 0 {
+		t.Fatalf("distributed run must count sync and lock traffic: %+v", stats)
+	}
+	if stats.Messages() != stats.SyncMessages+stats.ActivationMsgs+stats.LockMessages {
+		t.Fatal("Messages() inconsistent")
+	}
+	// §2.3: lock traffic alone (2 per remote scope member per update) should
+	// rival or exceed the data traffic — the overhead Cyclops removes.
+	if stats.LockMessages < stats.SyncMessages {
+		t.Fatalf("expected locking to dominate: %+v", stats)
+	}
+}
+
+func TestSingleWorkerNoRemoteTraffic(t *testing.T) {
+	g := gen.PowerLaw(100, 3, 7)
+	e, err := New[float64](g, asyncPR{eps: 1e-6, n: g.NumVertices()}, Config[float64]{
+		Cluster: cluster.Flat(1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages() != 0 {
+		t.Fatalf("single worker must be message-free: %+v", stats)
+	}
+	if e.Replicas() != 0 || e.ReplicationFactor() != 0 {
+		t.Fatal("single worker must have no replicas")
+	}
+}
+
+func TestDuplicateReplicasExceedCyclops(t *testing.T) {
+	// §2.3: GraphLab replicates per spanning edge in both directions, so its
+	// replica count must be at least Cyclops' (which replicates only for the
+	// out direction).
+	g := gen.PowerLaw(500, 5, 13)
+	e, err := New[float64](g, asyncPR{eps: 1e-6, n: g.NumVertices()}, Config[float64]{
+		Cluster: cluster.Flat(6, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclopsRF := e.assignReplicationOutOnly()
+	if e.ReplicationFactor() < cyclopsRF {
+		t.Fatalf("graphlab rf %.2f < cyclops-style rf %.2f", e.ReplicationFactor(), cyclopsRF)
+	}
+}
+
+// assignReplicationOutOnly computes the Cyclops-style (out-direction only)
+// replication factor over the same assignment, for comparison.
+func (e *Engine[V]) assignReplicationOutOnly() float64 {
+	return e.assign.ReplicationFactor(e.g)
+}
+
+func TestUpdateBudgetGuard(t *testing.T) {
+	// A program that always reschedules everyone must hit the budget and
+	// return an error instead of hanging.
+	g := gen.ErdosRenyi(30, 90, 1)
+	e, err := New[float64](g, alwaysActive{}, Config[float64]{
+		Cluster:    cluster.Flat(2, 1),
+		MaxUpdates: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("non-convergent program must exhaust the budget with an error")
+	}
+}
+
+type alwaysActive struct{}
+
+func (alwaysActive) Init(id graph.ID, _ *graph.Graph) (float64, bool) { return 0, true }
+func (alwaysActive) Update(ctx *Scope[float64]) (float64, bool) {
+	return ctx.Value() + 1, true
+}
+
+func TestRequiredArguments(t *testing.T) {
+	if _, err := New[float64](nil, asyncPR{}, Config[float64]{}); err == nil {
+		t.Error("nil graph must error")
+	}
+	g := gen.ErdosRenyi(5, 5, 1)
+	if _, err := New[float64](g, nil, Config[float64]{}); err == nil {
+		t.Error("nil program must error")
+	}
+}
+
+func TestSelfLoopScope(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	e, err := New[float64](g, asyncPR{eps: 1e-9, n: 2}, Config[float64]{
+		Cluster: cluster.Flat(2, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Shape assertions for the ablation experiments: each must demonstrate the
+// effect it was built to isolate, at tiny scale.
+
+func TestAblationQueueShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationQueue(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "global-locked (Hama)") || !strings.Contains(out, "per-sender (Cyclops-style)") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// The per-sender row must report zero locked enqueues; the global row
+	// must not.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "per-sender") && !strings.Contains(line, " 0 ") {
+			t.Errorf("per-sender row should have 0 locked enqueues: %q", line)
+		}
+	}
+}
+
+func TestAblationCombinerShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationCombiner(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	offMsgs, sumMsgs := extractFirstInt(t, out, "off"), extractFirstInt(t, out, "sum")
+	if sumMsgs >= offMsgs {
+		t.Fatalf("combiner did not reduce messages: %d vs %d\n%s", sumMsgs, offMsgs, out)
+	}
+}
+
+func TestAblationActivationShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationActivation(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	eager := extractFirstInt(t, out, "eager")
+	dynamic := extractFirstInt(t, out, "dynamic")
+	if dynamic >= eager {
+		t.Fatalf("dynamic activation did not reduce vertex-steps: %d vs %d\n%s",
+			dynamic, eager, out)
+	}
+}
+
+func TestAblationDetectorsShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationDetectors(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"global error (Hama)", "local error (Cyclops)", "converged-proportion 99%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing detector row %q:\n%s", want, out)
+		}
+	}
+}
+
+// extractFirstInt returns the first integer field of the table row whose
+// label starts with prefix.
+func extractFirstInt(t *testing.T, out, prefix string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		for _, f := range fields[1:] {
+			var v int64
+			ok := len(f) > 0
+			for _, c := range f {
+				if c < '0' || c > '9' {
+					ok = false
+					break
+				}
+				v = v*10 + int64(c-'0')
+			}
+			if ok {
+				return v
+			}
+		}
+	}
+	t.Fatalf("no integer row starting with %q in:\n%s", prefix, out)
+	return 0
+}
+
+func TestFig4ModelOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4Models(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	perUpdate := func(prefix string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, prefix) {
+				continue
+			}
+			fields := strings.Fields(line)
+			var v float64
+			if _, err := fmt.Sscanf(fields[len(fields)-1], "%f", &v); err == nil {
+				return v
+			}
+		}
+		t.Fatalf("no row for %q in:\n%s", prefix, out)
+		return 0
+	}
+	cyc := perUpdate("cyclops")
+	bspV := perUpdate("pregel/bsp")
+	pg := perUpdate("powergraph")
+	gl := perUpdate("graphlab")
+	// The paper's Figure 4 ordering: Cyclops cheapest, GraphLab (locks +
+	// bidirectional traffic) most expensive.
+	if !(cyc < bspV && bspV < pg && pg < gl) {
+		t.Fatalf("per-update ordering broken: cyclops=%.2f bsp=%.2f pg=%.2f graphlab=%.2f",
+			cyc, bspV, pg, gl)
+	}
+}

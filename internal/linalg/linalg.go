@@ -1,0 +1,117 @@
+// Package linalg implements the small dense linear algebra needed by the ALS
+// workload: each ALS update solves a d×d symmetric positive-definite system
+// (XᵀX + λI)w = Xᵀr per vertex, with d the latent dimension (the paper uses
+// the SYN-GL setup of Gonzalez et al., d≈20; we default to d=8 at laptop
+// scale). Matrices are row-major []float64 slices to keep the hot path free
+// of allocation.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSPD reports that Cholesky factorisation hit a non-positive pivot,
+// i.e. the matrix was not symmetric positive-definite.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// AddOuter accumulates A += v vᵀ for a d×d row-major matrix A.
+func AddOuter(a []float64, v []float64) {
+	d := len(v)
+	for i := 0; i < d; i++ {
+		vi := v[i]
+		row := a[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] += vi * v[j]
+		}
+	}
+}
+
+// AddScaled accumulates dst += s·v.
+func AddScaled(dst []float64, v []float64, s float64) {
+	for i := range dst {
+		dst[i] += s * v[i]
+	}
+}
+
+// AddDiagonal accumulates A += s·I for a d×d row-major matrix.
+func AddDiagonal(a []float64, d int, s float64) {
+	for i := 0; i < d; i++ {
+		a[i*d+i] += s
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// L2Distance returns ‖a−b‖₂.
+func L2Distance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// CholeskySolve solves A x = b in place for a d×d symmetric positive-definite
+// row-major A. A and b are overwritten (A with its Cholesky factor, b with
+// the solution); the returned slice aliases b. Use on scratch buffers.
+func CholeskySolve(a []float64, b []float64) ([]float64, error) {
+	d := len(b)
+	if len(a) != d*d {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	// Factor A = L Lᵀ, storing L in the lower triangle.
+	for j := 0; j < d; j++ {
+		diag := a[j*d+j]
+		for k := 0; k < j; k++ {
+			diag -= a[j*d+k] * a[j*d+k]
+		}
+		if diag <= 0 || math.IsNaN(diag) {
+			return nil, ErrNotSPD
+		}
+		diag = math.Sqrt(diag)
+		a[j*d+j] = diag
+		for i := j + 1; i < d; i++ {
+			s := a[i*d+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*d+k] * a[j*d+k]
+			}
+			a[i*d+j] = s / diag
+		}
+	}
+	// Forward solve L y = b.
+	for i := 0; i < d; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i*d+k] * b[k]
+		}
+		b[i] = s / a[i*d+i]
+	}
+	// Back solve Lᵀ x = y.
+	for i := d - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < d; k++ {
+			s -= a[k*d+i] * b[k]
+		}
+		b[i] = s / a[i*d+i]
+	}
+	return b, nil
+}
+
+// MatVec computes y = A x for a d×d row-major A into a fresh slice.
+func MatVec(a []float64, x []float64) []float64 {
+	d := len(x)
+	y := make([]float64, d)
+	for i := 0; i < d; i++ {
+		y[i] = Dot(a[i*d:(i+1)*d], x)
+	}
+	return y
+}

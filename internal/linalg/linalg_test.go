@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskySolveKnown(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [6,5] → x = [1,1].
+	a := []float64{4, 2, 2, 3}
+	b := []float64{6, 5}
+	x, err := CholeskySolve(a, b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestCholeskyIdentity(t *testing.T) {
+	d := 5
+	a := make([]float64, d*d)
+	AddDiagonal(a, d, 1)
+	b := []float64{1, 2, 3, 4, 5}
+	want := []float64{1, 2, 3, 4, 5}
+	x, err := CholeskySolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("zero matrix must be rejected")
+	}
+	a = []float64{-1, 0, 0, -1}
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("negative-definite matrix must be rejected")
+	}
+}
+
+func TestCholeskyDimensionMismatch(t *testing.T) {
+	if _, err := CholeskySolve([]float64{1, 2, 3}, []float64{1, 1}); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}
+
+// Property: for random SPD systems built as XᵀX + λI (exactly the ALS normal
+// equations), the residual ‖Ax−b‖ must be tiny.
+func TestCholeskySolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := rng.Intn(8) + 1
+		a := make([]float64, d*d)
+		for k := 0; k < d+3; k++ {
+			v := make([]float64, d)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			AddOuter(a, v)
+		}
+		AddDiagonal(a, d, 0.1)
+		b := make([]float64, d)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		// Keep originals for residual check; the solver destroys its inputs.
+		a0 := append([]float64(nil), a...)
+		b0 := append([]float64(nil), b...)
+		x, err := CholeskySolve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MatVec(a0, x)
+		return L2Distance(ax, b0) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2}
+	AddScaled(a, []float64{10, 10}, 0.5)
+	if a[0] != 6 || a[1] != 7 {
+		t.Fatalf("AddScaled = %v", a)
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if d := L2Distance([]float64{0, 3}, []float64{4, 0}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("L2Distance = %g", d)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	a := make([]float64, 4)
+	AddOuter(a, []float64{2, 3})
+	want := []float64{4, 6, 6, 9}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("AddOuter = %v", a)
+		}
+	}
+}

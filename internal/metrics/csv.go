@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the trace as one CSV row per superstep, for external
+// plotting of the Figure 10/13-style series. Columns are stable API.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"engine", "workers", "step", "active", "changed", "messages",
+		"redundant_messages", "compute_units_max", "send_max", "recv_max",
+		"prs_ns", "cmp_ns", "snd_ns", "syn_ns", "model_ns",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: csv: %w", err)
+	}
+	for _, s := range t.Steps {
+		row := []string{
+			t.Engine,
+			strconv.Itoa(t.Workers),
+			strconv.Itoa(s.Step),
+			strconv.FormatInt(s.Active, 10),
+			strconv.FormatInt(s.Changed, 10),
+			strconv.FormatInt(s.Messages, 10),
+			strconv.FormatInt(s.RedundantMessages, 10),
+			strconv.FormatInt(s.ComputeUnitsMax, 10),
+			strconv.FormatInt(s.SendMax, 10),
+			strconv.FormatInt(s.RecvMax, 10),
+			strconv.FormatInt(s.Durations[Parse].Nanoseconds(), 10),
+			strconv.FormatInt(s.Durations[Compute].Nanoseconds(), 10),
+			strconv.FormatInt(s.Durations[Send].Nanoseconds(), 10),
+			strconv.FormatInt(s.Durations[Sync].Nanoseconds(), 10),
+			strconv.FormatFloat(s.ModelNanos, 'f', 0, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{Parse: "PRS", Compute: "CMP", Send: "SND", Sync: "SYN"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestTraceTotals(t *testing.T) {
+	tr := &Trace{Engine: "test", Workers: 4}
+	tr.Append(StepStats{
+		Step: 0, Active: 10, Messages: 100,
+		Durations:  [4]time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond},
+		ModelNanos: 500,
+	})
+	tr.Append(StepStats{
+		Step: 1, Active: 5, Messages: 50,
+		Durations:  [4]time.Duration{1 * time.Millisecond, 1 * time.Millisecond, 1 * time.Millisecond, 1 * time.Millisecond},
+		ModelNanos: 250,
+	})
+	if tr.TotalMessages() != 150 {
+		t.Errorf("TotalMessages = %d", tr.TotalMessages())
+	}
+	if tr.TotalDuration() != 14*time.Millisecond {
+		t.Errorf("TotalDuration = %v", tr.TotalDuration())
+	}
+	if tr.ModelTime() != 750 {
+		t.Errorf("ModelTime = %g", tr.ModelTime())
+	}
+	totals := tr.PhaseTotals()
+	if totals[Parse] != 2*time.Millisecond || totals[Sync] != 5*time.Millisecond {
+		t.Errorf("PhaseTotals = %v", totals)
+	}
+	ratios := tr.PhaseRatios()
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ratios sum to %g", sum)
+	}
+	if tr.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestPhaseRatiosEmpty(t *testing.T) {
+	tr := &Trace{}
+	ratios := tr.PhaseRatios()
+	for _, r := range ratios {
+		if r != 0 {
+			t.Fatal("empty trace must have zero ratios")
+		}
+	}
+}
+
+func TestCostModelQueueDisciplineGap(t *testing.T) {
+	m := DefaultCostModel()
+	// Same traffic, global-queue (Hama) vs direct-apply (Cyclops): the
+	// queue-and-parse path must cost strictly more.
+	hama := m.StepCost(1000, 500, 500, 1, 1, 8, true, m.FlatBarrier(8))
+	cyc := m.StepCost(1000, 500, 500, 1, 1, 8, false, m.FlatBarrier(8))
+	if hama <= cyc {
+		t.Fatalf("global queue %g must exceed direct apply %g", hama, cyc)
+	}
+}
+
+func TestCostModelThreadsHelpCompute(t *testing.T) {
+	m := DefaultCostModel()
+	one := m.StepCost(100000, 0, 0, 1, 1, 1, false, 0)
+	eight := m.StepCost(100000, 0, 0, 8, 1, 1, false, 0)
+	if eight >= one {
+		t.Fatalf("8 threads %g must beat 1 thread %g", eight, one)
+	}
+	if one/eight < 7 || one/eight > 9 {
+		t.Fatalf("compute scaling = %g, want ≈8", one/eight)
+	}
+}
+
+func TestHierarchicalBarrierBeatsFlat(t *testing.T) {
+	m := DefaultCostModel()
+	// Fig 12's story: 48 flat workers vs 6 machines × 8 threads.
+	flat := m.FlatBarrier(48)
+	hier := m.HierarchicalBarrier(6, 8)
+	if hier >= flat {
+		t.Fatalf("hierarchical %g must beat flat %g", hier, flat)
+	}
+}
+
+func TestBarrierGrowsWithParticipants(t *testing.T) {
+	m := DefaultCostModel()
+	prev := 0.0
+	for _, n := range []int{2, 6, 12, 24, 48} {
+		b := m.FlatBarrier(n)
+		if b <= prev {
+			t.Fatalf("barrier cost not increasing at n=%d", n)
+		}
+		prev = b
+	}
+}
+
+func TestStepCostReceiversParallelise(t *testing.T) {
+	m := DefaultCostModel()
+	r1 := m.StepCost(0, 0, 10000, 1, 1, 1, false, 0)
+	r4 := m.StepCost(0, 0, 10000, 1, 4, 1, false, 0)
+	if r4 >= r1 {
+		t.Fatalf("4 receivers %g must beat 1 receiver %g", r4, r1)
+	}
+}
+
+func TestStepCostClampsZeroParallelism(t *testing.T) {
+	m := DefaultCostModel()
+	if c := m.StepCost(100, 0, 100, 0, 0, 1, false, 0); c <= 0 {
+		t.Fatalf("cost with clamped parallelism = %g", c)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := &Trace{Engine: "hama", Workers: 3}
+	tr.Append(StepStats{Step: 0, Active: 7, Messages: 42, ModelNanos: 1500,
+		Durations: [4]time.Duration{1, 2, 3, 4}})
+	tr.Append(StepStats{Step: 1, Active: 3, Messages: 5})
+	var buf strings.Builder
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "engine,workers,step,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "hama,3,0,7,") || !strings.Contains(lines[1], ",42,") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}

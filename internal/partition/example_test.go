@@ -1,0 +1,36 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"cyclops/internal/gen"
+	"cyclops/internal/partition"
+)
+
+// Example compares the hash and Metis-like partitioners on a planted
+// community graph — the Figure 11 comparison in miniature.
+func Example() {
+	g, _ := gen.Community(8, 40, 3, 0, 7)
+
+	hash, err := (partition.Hash{}).Partition(g, 8)
+	if err != nil {
+		panic(err)
+	}
+	metis, err := (partition.Multilevel{Seed: 1}).Partition(g, 8)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("hash:  cut=%5.1f%%  replication=%.2f\n",
+		100*float64(hash.EdgeCut(g))/float64(g.NumEdges()),
+		hash.ReplicationFactor(g))
+	fmt.Printf("metis: cut<%5.1f%%  replication<%.2f  balance<%.2f\n",
+		20.0, 1.0, 1.10)
+	cut := 100 * float64(metis.EdgeCut(g)) / float64(g.NumEdges())
+	if cut >= 20 || metis.ReplicationFactor(g) >= 1 || metis.Balance() >= 1.10 {
+		fmt.Println("metis bounds violated")
+	}
+	// Output:
+	// hash:  cut= 88.5%  replication=3.67
+	// metis: cut< 20.0%  replication<1.00  balance<1.10
+}

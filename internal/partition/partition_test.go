@@ -1,0 +1,244 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+)
+
+func ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.ID(v), graph.ID((v+1)%n))
+	}
+	return b.MustBuild()
+}
+
+func TestHashCoversAndBalances(t *testing.T) {
+	g := ring(1000)
+	a, err := Hash{}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if b := a.Balance(); b > 1.3 {
+		t.Errorf("hash balance = %g, want near 1", b)
+	}
+}
+
+func TestRangeIsContiguous(t *testing.T) {
+	g := ring(100)
+	a, err := Range{}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 100; v++ {
+		if a.Of[v] < a.Of[v-1] {
+			t.Fatal("range partition must be monotone in vertex id")
+		}
+	}
+	if a.Balance() != 1 {
+		t.Errorf("range balance = %g", a.Balance())
+	}
+	// A ring cut into 4 contiguous arcs has exactly 4 cut edges.
+	if cut := a.EdgeCut(g); cut != 4 {
+		t.Errorf("ring range cut = %d, want 4", cut)
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	g := ring(10)
+	for _, p := range []Partitioner{Hash{}, Range{}, Multilevel{}} {
+		if _, err := p.Partition(g, 0); err == nil {
+			t.Errorf("%s: k=0 must error", p.Name())
+		}
+		if _, err := p.Partition(g, -1); err == nil {
+			t.Errorf("%s: k=-1 must error", p.Name())
+		}
+	}
+}
+
+func TestSinglePartition(t *testing.T) {
+	g := ring(50)
+	for _, p := range []Partitioner{Hash{}, Range{}, Multilevel{}} {
+		a, err := p.Partition(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if a.EdgeCut(g) != 0 {
+			t.Errorf("%s: k=1 must have zero cut", p.Name())
+		}
+		if a.ReplicationFactor(g) != 0 {
+			t.Errorf("%s: k=1 must have zero replication", p.Name())
+		}
+	}
+}
+
+func TestMultilevelBeatsHashOnCommunityGraph(t *testing.T) {
+	g, _ := gen.Community(16, 60, 3, 0, 7)
+	k := 8
+	hashA, err := Hash{}.Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlA, err := Multilevel{Seed: 1}.Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mlA.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	hc, mc := hashA.EdgeCut(g), mlA.EdgeCut(g)
+	if mc*3 > hc {
+		t.Errorf("multilevel cut %d not ≪ hash cut %d on planted communities", mc, hc)
+	}
+	if b := mlA.Balance(); b > 1.25 {
+		t.Errorf("multilevel balance = %g", b)
+	}
+	// Fig 11's headline: Metis replication factor ≪ hash replication factor.
+	hr, mr := hashA.ReplicationFactor(g), mlA.ReplicationFactor(g)
+	if mr >= hr {
+		t.Errorf("replication: metis %g !< hash %g", mr, hr)
+	}
+}
+
+func TestMultilevelOnPowerLaw(t *testing.T) {
+	g := gen.PowerLaw(3000, 6, 3)
+	a, err := Multilevel{Seed: 2}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if b := a.Balance(); b > 1.6 {
+		t.Errorf("balance = %g too loose", b)
+	}
+	hashA, _ := Hash{}.Partition(g, 6)
+	if a.EdgeCut(g) >= hashA.EdgeCut(g) {
+		t.Errorf("multilevel cut %d !< hash cut %d", a.EdgeCut(g), hashA.EdgeCut(g))
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := gen.PowerLaw(800, 4, 9)
+	a1, err := Multilevel{Seed: 5}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Multilevel{Seed: 5}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a1.Of {
+		if a1.Of[v] != a2.Of[v] {
+			t.Fatal("same seed must give identical partitions")
+		}
+	}
+}
+
+func TestMultilevelKLargerThanN(t *testing.T) {
+	g := ring(5)
+	a, err := Multilevel{Seed: 1}.Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationFactorStar(t *testing.T) {
+	// Hub 0 points at 9 spokes spread over k partitions: the hub needs a
+	// replica on every remote partition that holds a spoke.
+	b := graph.NewBuilder(10)
+	for v := 1; v < 10; v++ {
+		b.AddEdge(0, graph.ID(v))
+	}
+	g := b.MustBuild()
+	of := make([]int, 10)
+	for v := 1; v < 10; v++ {
+		of[v] = v % 3 // partitions 0,1,2 all hold spokes; hub on 0
+	}
+	a := &Assignment{K: 3, Of: of}
+	// Only the hub replicates, onto partitions 1 and 2 → 2/10.
+	if rf := a.ReplicationFactor(g); rf != 0.2 {
+		t.Fatalf("replication factor = %g, want 0.2", rf)
+	}
+	if cut := a.EdgeCut(g); cut != 6 {
+		t.Fatalf("cut = %d, want 6", cut)
+	}
+}
+
+func TestReplicationNeverExceedsMeanDegreeOrK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(200, 800, seed)
+		k := rng.Intn(15) + 2
+		a, err := Hash{}.Partition(g, k)
+		if err != nil {
+			return false
+		}
+		rf := a.ReplicationFactor(g)
+		meanDeg := float64(g.NumEdges()) / float64(g.NumVertices())
+		return rf <= meanDeg+1e-9 && rf <= float64(k-1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all partitioners produce valid, fully-covering assignments on
+// arbitrary random graphs.
+func TestPartitionersAlwaysValid(t *testing.T) {
+	partitioners := []Partitioner{Hash{}, Range{}, Multilevel{Seed: 3}}
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%12 + 1
+		g := gen.ErdosRenyi(120, 500, seed)
+		for _, p := range partitioners {
+			a, err := p.Partition(g, k)
+			if err != nil || a.Validate(g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationGrowsWithPartitions(t *testing.T) {
+	// Fig 11(1): hash replication factor grows with #partitions.
+	g := gen.PowerLaw(4000, 6, 17)
+	var prev float64 = -1
+	for _, k := range []int{2, 6, 12, 24, 48} {
+		a, err := Hash{}.Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf := a.ReplicationFactor(g)
+		if rf < prev {
+			t.Fatalf("replication factor not monotone: k=%d gives %g < %g", k, rf, prev)
+		}
+		prev = rf
+	}
+}
+
+func TestEmptyGraphPartition(t *testing.T) {
+	g := graph.NewBuilder(0).MustBuild()
+	for _, p := range []Partitioner{Hash{}, Range{}, Multilevel{}} {
+		a, err := p.Partition(g, 4)
+		if err != nil {
+			t.Fatalf("%s on empty graph: %v", p.Name(), err)
+		}
+		if len(a.Of) != 0 {
+			t.Fatalf("%s: nonempty assignment", p.Name())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package transport
+
+// Network selects how a simulated cluster's workers exchange messages.
+type Network int
+
+const (
+	// InProcess uses the Local transport: goroutine-to-goroutine queues
+	// with exact byte/message accounting. The default, and the only mode
+	// that supports checkpoint Restore (no in-flight socket state).
+	InProcess Network = iota
+	// TCPLoopback uses the RPC transport: real gob-encoded frames over
+	// loopback TCP sockets, exercising serialisation and the round
+	// protocol end to end.
+	TCPLoopback
+)
+
+// String implements fmt.Stringer.
+func (n Network) String() string {
+	switch n {
+	case InProcess:
+		return "in-process"
+	case TCPLoopback:
+		return "tcp-loopback"
+	default:
+		return "Network(?)"
+	}
+}
+
+// Interface is the transport contract the engines program against.
+//
+// The round protocol: a worker Sends any number of batches during a
+// superstep phase and then calls FinishRound exactly once; Drain returns
+// every batch addressed to a worker once all workers' round markers have
+// arrived. For the in-process transport FinishRound is a no-op and Drain is
+// immediate (the engines' phase barriers provide the ordering); for the TCP
+// transport the markers are what makes Drain safe against in-flight frames.
+type Interface[M any] interface {
+	// NumEndpoints reports the number of connected workers.
+	NumEndpoints() int
+	// Send delivers a batch from one worker to another. The transport owns
+	// the batch slice afterwards.
+	Send(from, to int, batch []M)
+	// FinishRound marks the end of `from`'s sends for the current round.
+	FinishRound(from int)
+	// Drain returns and clears all batches addressed to `to` for the
+	// current round.
+	Drain(to int) [][]M
+	// Stats exposes the traffic counters.
+	Stats() *Stats
+	// Err reports the first asynchronous transport failure, if any.
+	Err() error
+	// Close releases sockets and wakes blocked Drains.
+	Close() error
+}
+
+// Local implements Interface (FinishRound and Close are no-ops, Err never
+// fires — in-process delivery cannot fail).
+
+// FinishRound implements Interface.
+func (t *Local[M]) FinishRound(int) {}
+
+// Err implements Interface.
+func (t *Local[M]) Err() error { return nil }
+
+// Close implements Interface.
+func (t *Local[M]) Close() error { return nil }
+
+var _ Interface[int] = (*Local[int])(nil)
+
+// New constructs a transport for the requested network. mode selects the
+// receive-queue discipline for InProcess (the TCP transport always uses a
+// locked inbox; its contention is real, not simulated).
+func New[M any](network Network, n int, mode QueueMode, sizeOf func(M) int64) (Interface[M], error) {
+	switch network {
+	case InProcess:
+		return NewLocal[M](n, mode, sizeOf), nil
+	case TCPLoopback:
+		return NewRPC[M](n)
+	default:
+		return nil, errUnknownNetwork(int(network))
+	}
+}
+
+type errUnknownNetwork int
+
+func (e errUnknownNetwork) Error() string { return "transport: unknown network mode" }

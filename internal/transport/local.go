@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// QueueMode selects the receive-side queue discipline.
+type QueueMode int
+
+const (
+	// GlobalQueue appends every incoming batch to one locked queue per
+	// receiver, as Hama does (§4.1): senders from different workers contend
+	// on the receiver's mutex.
+	GlobalQueue QueueMode = iota
+	// PerSenderQueue gives each (sender, receiver) pair its own slot, as
+	// Cyclops does: a slot has exactly one writer, so enqueueing never
+	// contends.
+	PerSenderQueue
+)
+
+// String implements fmt.Stringer for reports.
+func (m QueueMode) String() string {
+	switch m {
+	case GlobalQueue:
+		return "global-queue"
+	case PerSenderQueue:
+		return "per-sender"
+	default:
+		return fmt.Sprintf("QueueMode(%d)", int(m))
+	}
+}
+
+// Local is an in-process transport between n workers. Send is synchronous:
+// when it returns, the batch is visible to the receiver's next Drain. The
+// caller transfers ownership of the batch slice.
+type Local[M any] struct {
+	n      int
+	mode   QueueMode
+	sizeOf func(M) int64
+	stats  Stats
+
+	// GlobalQueue state: one locked queue per receiver.
+	global []lockedQueue[M]
+	// PerSenderQueue state: slot [to][from], single writer each.
+	slots [][]slot[M]
+}
+
+type lockedQueue[M any] struct {
+	mu      sync.Mutex
+	batches [][]M
+}
+
+type slot[M any] struct {
+	mu      sync.Mutex // uncontended: single writer; keeps the race detector honest
+	batches [][]M
+}
+
+// NewLocal creates a transport between n workers with the given queue mode.
+// sizeOf estimates a message's wire size for byte accounting; nil means a
+// flat 16 bytes per message (two words: vertex id + value).
+func NewLocal[M any](n int, mode QueueMode, sizeOf func(M) int64) *Local[M] {
+	t := &Local[M]{n: n, mode: mode, sizeOf: sizeOf}
+	switch mode {
+	case GlobalQueue:
+		t.global = make([]lockedQueue[M], n)
+	case PerSenderQueue:
+		t.slots = make([][]slot[M], n)
+		for i := range t.slots {
+			t.slots[i] = make([]slot[M], n)
+		}
+	default:
+		panic(fmt.Sprintf("transport: unknown queue mode %d", mode))
+	}
+	return t
+}
+
+// NumEndpoints reports the number of workers the transport connects.
+func (t *Local[M]) NumEndpoints() int { return t.n }
+
+// Mode reports the queue discipline.
+func (t *Local[M]) Mode() QueueMode { return t.mode }
+
+// Stats exposes the traffic counters.
+func (t *Local[M]) Stats() *Stats { return &t.stats }
+
+func (t *Local[M]) batchBytes(batch []M) int64 {
+	if t.sizeOf == nil {
+		return int64(len(batch)) * 16
+	}
+	var b int64
+	for i := range batch {
+		b += t.sizeOf(batch[i])
+	}
+	return b
+}
+
+// Send delivers a batch from worker `from` to worker `to`. Empty batches are
+// dropped. The batch slice is owned by the transport afterwards.
+func (t *Local[M]) Send(from, to int, batch []M) {
+	if len(batch) == 0 {
+		return
+	}
+	if to < 0 || to >= t.n || from < 0 || from >= t.n {
+		panic(fmt.Sprintf("transport: send %d→%d outside [0,%d)", from, to, t.n))
+	}
+	bytes := t.batchBytes(batch)
+	switch t.mode {
+	case GlobalQueue:
+		q := &t.global[to]
+		q.mu.Lock()
+		q.batches = append(q.batches, batch)
+		q.mu.Unlock()
+		t.stats.count(int64(len(batch)), bytes, true)
+	case PerSenderQueue:
+		s := &t.slots[to][from]
+		s.mu.Lock()
+		s.batches = append(s.batches, batch)
+		s.mu.Unlock()
+		t.stats.count(int64(len(batch)), bytes, false)
+	}
+}
+
+// Drain returns and clears all batches queued for worker `to`. It must only
+// be called when no Send to `to` is in flight (i.e. after a barrier), which
+// is how the BSP superstep structure uses it.
+func (t *Local[M]) Drain(to int) [][]M {
+	switch t.mode {
+	case GlobalQueue:
+		q := &t.global[to]
+		q.mu.Lock()
+		out := q.batches
+		q.batches = nil
+		q.mu.Unlock()
+		return out
+	default:
+		var out [][]M
+		for from := range t.slots[to] {
+			s := &t.slots[to][from]
+			s.mu.Lock()
+			if len(s.batches) > 0 {
+				out = append(out, s.batches...)
+				s.batches = nil
+			}
+			s.mu.Unlock()
+		}
+		return out
+	}
+}
+
+// Pending reports whether worker `to` has undrained batches (test helper).
+func (t *Local[M]) Pending(to int) bool {
+	switch t.mode {
+	case GlobalQueue:
+		q := &t.global[to]
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.batches) > 0
+	default:
+		for from := range t.slots[to] {
+			s := &t.slots[to][from]
+			s.mu.Lock()
+			n := len(s.batches)
+			s.mu.Unlock()
+			if n > 0 {
+				return true
+			}
+		}
+		return false
+	}
+}

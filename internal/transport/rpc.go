@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// RPC is a real networked transport: n endpoints fully connected by TCP
+// loopback sockets carrying gob-encoded frames, mirroring Hama's use of
+// Hadoop RPC. It exists to keep the engines honest about serialisation —
+// the Table 3 microbenchmark and the transport tests drive real bytes
+// through real sockets — while the large experiments use Local for speed.
+//
+// The round protocol matches BSP supersteps: each endpoint Sends any number
+// of batches, then calls FinishRound exactly once; Drain blocks until every
+// endpoint's round marker has arrived, then returns all batches.
+type RPC[M any] struct {
+	n     int
+	stats Stats
+
+	listeners []net.Listener
+	// conns[from][to] is the client-side connection used by `from` to send
+	// to `to`; nil on the diagonal (self-sends short-circuit).
+	conns    [][]net.Conn
+	encoders [][]*gob.Encoder
+	encMu    []sync.Mutex // one per sender: engines may send from several goroutines
+
+	inboxes []rpcInbox[M]
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+}
+
+type rpcInbox[M any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	batches [][]M
+	ends    int
+	closed  bool
+}
+
+type frame[M any] struct {
+	End   bool
+	Batch []M
+}
+
+// NewRPC creates a fully connected loopback transport between n endpoints.
+func NewRPC[M any](n int) (*RPC[M], error) {
+	t := &RPC[M]{
+		n:         n,
+		listeners: make([]net.Listener, n),
+		conns:     make([][]net.Conn, n),
+		encoders:  make([][]*gob.Encoder, n),
+		encMu:     make([]sync.Mutex, n),
+		inboxes:   make([]rpcInbox[M], n),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i].cond = sync.NewCond(&t.inboxes[i].mu)
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		t.listeners[i] = ln
+	}
+	// Accept loops: every endpoint accepts n-1 inbound connections. The
+	// first gob value on each connection identifies the sender (unused
+	// beyond handshake ordering, but it keeps accept deterministic).
+	for to := 0; to < n; to++ {
+		to := to
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for i := 0; i < n-1; i++ {
+				conn, err := t.listeners[to].Accept()
+				if err != nil {
+					return
+				}
+				t.wg.Add(1)
+				go func() {
+					defer t.wg.Done()
+					t.receiveLoop(to, conn)
+				}()
+			}
+		}()
+	}
+	for from := 0; from < n; from++ {
+		t.conns[from] = make([]net.Conn, n)
+		t.encoders[from] = make([]*gob.Encoder, n)
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			conn, err := net.Dial("tcp", t.listeners[to].Addr().String())
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("transport: dial %d→%d: %w", from, to, err)
+			}
+			t.conns[from][to] = conn
+			t.encoders[from][to] = gob.NewEncoder(conn)
+		}
+	}
+	return t, nil
+}
+
+func (t *RPC[M]) receiveLoop(to int, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame[M]
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		in := &t.inboxes[to]
+		in.mu.Lock()
+		if f.End {
+			in.ends++
+		} else {
+			in.batches = append(in.batches, f.Batch)
+		}
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	}
+}
+
+// NumEndpoints reports the number of endpoints.
+func (t *RPC[M]) NumEndpoints() int { return t.n }
+
+// Stats exposes the traffic counters. Bytes are counted as 16/message to
+// stay comparable with Local; the real wire bytes are strictly larger.
+func (t *RPC[M]) Stats() *Stats { return &t.stats }
+
+// recordErr keeps the first asynchronous failure for Err.
+func (t *RPC[M]) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.errMu.Unlock()
+}
+
+// Err implements Interface: the first send/encode failure, if any.
+func (t *RPC[M]) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+// Send delivers a batch from `from` to `to`. Self-sends bypass the network.
+// Failures are reported through Err (the Interface contract keeps the send
+// path non-blocking for engines; a dead socket fails the whole run anyway).
+func (t *RPC[M]) Send(from, to int, batch []M) {
+	if len(batch) == 0 {
+		return
+	}
+	t.stats.count(int64(len(batch)), int64(len(batch))*16, true)
+	if from == to {
+		in := &t.inboxes[to]
+		in.mu.Lock()
+		in.batches = append(in.batches, batch)
+		in.cond.Broadcast()
+		in.mu.Unlock()
+		return
+	}
+	t.encMu[from].Lock()
+	defer t.encMu[from].Unlock()
+	t.recordErr(t.encoders[from][to].Encode(frame[M]{Batch: batch}))
+}
+
+// FinishRound marks the end of `from`'s sends for the current round.
+func (t *RPC[M]) FinishRound(from int) {
+	t.encMu[from].Lock()
+	defer t.encMu[from].Unlock()
+	for to := 0; to < t.n; to++ {
+		if to == from {
+			in := &t.inboxes[to]
+			in.mu.Lock()
+			in.ends++
+			in.cond.Broadcast()
+			in.mu.Unlock()
+			continue
+		}
+		t.recordErr(t.encoders[from][to].Encode(frame[M]{End: true}))
+	}
+}
+
+// Drain blocks until every endpoint has finished the round, then returns all
+// batches received by `to` and resets the round.
+func (t *RPC[M]) Drain(to int) [][]M {
+	in := &t.inboxes[to]
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.ends < t.n && !in.closed {
+		in.cond.Wait()
+	}
+	out := in.batches
+	in.batches = nil
+	in.ends -= t.n
+	if in.ends < 0 {
+		in.ends = 0
+	}
+	return out
+}
+
+// Close shuts down all sockets. Safe to call multiple times.
+func (t *RPC[M]) Close() error {
+	t.closeOnce.Do(func() {
+		for _, ln := range t.listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, row := range t.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+		for i := range t.inboxes {
+			in := &t.inboxes[i]
+			in.mu.Lock()
+			in.closed = true
+			in.cond.Broadcast()
+			in.mu.Unlock()
+		}
+	})
+	return nil
+}
+
+var _ Interface[int] = (*RPC[int])(nil)

@@ -1,0 +1,76 @@
+// Package transport carries messages between the simulated cluster's
+// workers. It provides two in-process queue disciplines that reproduce the
+// communication structures compared in the paper — Hama's locked global
+// in-queue (every sender contends on one mutex per receiver, §2.2.2) and
+// Cyclops' per-sender sub-queues (each slot has a single writer, so enqueue
+// is contention-free, §4.1) — plus a real gob-over-TCP RPC transport and the
+// Table 3 message-passing microbenchmark. All transports count messages,
+// batches and estimated bytes so the harness can report the communication
+// volumes of Figures 10(3) and Table 4 exactly.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats accumulates traffic counters. All fields are updated atomically and
+// may be read concurrently with traffic.
+type Stats struct {
+	messages atomic.Int64
+	batches  atomic.Int64
+	bytes    atomic.Int64
+	enqueues atomic.Int64 // enqueue operations that took the shared lock
+}
+
+// Count records a delivered batch of n messages totalling b bytes.
+func (s *Stats) count(n, b int64, locked bool) {
+	s.messages.Add(n)
+	s.batches.Add(1)
+	s.bytes.Add(b)
+	if locked {
+		s.enqueues.Add(1)
+	}
+}
+
+// Messages reports the total messages sent.
+func (s *Stats) Messages() int64 { return s.messages.Load() }
+
+// Batches reports the total batches sent.
+func (s *Stats) Batches() int64 { return s.batches.Load() }
+
+// Bytes reports the total estimated payload bytes sent.
+func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// LockedEnqueues reports how many enqueues serialised on a shared lock —
+// zero for the per-sender discipline, equal to Batches for the global queue.
+func (s *Stats) LockedEnqueues() int64 { return s.enqueues.Load() }
+
+// Reset zeroes all counters (used between supersteps when per-step counts
+// are wanted).
+func (s *Stats) Reset() {
+	s.messages.Store(0)
+	s.batches.Store(0)
+	s.bytes.Store(0)
+	s.enqueues.Store(0)
+}
+
+// Snapshot is a plain-struct copy of the counters for reporting.
+type Snapshot struct {
+	Messages, Batches, Bytes, LockedEnqueues int64
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Messages:       s.Messages(),
+		Batches:        s.Batches(),
+		Bytes:          s.Bytes(),
+		LockedEnqueues: s.LockedEnqueues(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("msgs=%d batches=%d bytes=%d locked=%d",
+		s.Messages, s.Batches, s.Bytes, s.LockedEnqueues)
+}
