@@ -8,6 +8,9 @@
 //	cyclops-bench -list
 //	cyclops-bench -exp fig9.1 -scale 0.5
 //	cyclops-bench -exp all
+//	cyclops-bench -exp fig10.1 -verbose               # narrate supersteps (JSONL on stderr)
+//	cyclops-bench -exp fig9.2 -debug-addr :6060       # live /metrics, /trace, /debug/pprof
+//	cyclops-bench -exp fig10.2 -trace steps.csv       # per-superstep CSV of every run
 package main
 
 import (
@@ -16,17 +19,22 @@ import (
 	"os"
 
 	"cyclops/internal/harness"
+	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop size)")
-		seed    = flag.Int64("seed", 1, "random seed for synthetic datasets")
-		mach    = flag.Int("machines", 6, "simulated machines (paper: 6)")
-		workers = flag.Int("workers", 8, "workers per machine (paper: 8)")
-		eps     = flag.Float64("eps", 1e-9, "PageRank convergence bound")
+		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop size)")
+		seed      = flag.Int64("seed", 1, "random seed for synthetic datasets")
+		mach      = flag.Int("machines", 6, "simulated machines (paper: 6)")
+		workers   = flag.Int("workers", 8, "workers per machine (paper: 8)")
+		eps       = flag.Float64("eps", 1e-9, "PageRank convergence bound")
+		traceCSV  = flag.String("trace", "", "write per-superstep statistics of every engine run to this CSV file")
+		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /debug/pprof) on this address")
+		verbose   = flag.Bool("verbose", false, "narrate each experiment's supersteps as JSONL events on stderr")
 	)
 	flag.Parse()
 
@@ -49,21 +57,76 @@ func main() {
 		Eps:               *eps,
 	}
 
-	if *exp == "all" {
-		if err := harness.RunAll(o, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "cyclops-bench:", err)
-			os.Exit(1)
+	// Live observability: a tracer narrates supersteps (to stderr when
+	// -verbose, ring-buffer-only otherwise) and a collector feeds /metrics.
+	// With neither flag set, Hooks stays nil and engines keep their fast
+	// path.
+	var tracer *obs.Tracer
+	if *verbose {
+		tracer = obs.NewTracer(os.Stderr, obs.TracerOptions{})
+	} else if *debugAddr != "" {
+		tracer = obs.NewTracer(nil, obs.TracerOptions{})
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		collector := obs.NewCollector(reg)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring())
+		if err != nil {
+			fatal(err)
 		}
-		return
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cyclops-bench: diagnostics at %s\n", srv.URL())
+		o.Hooks = obs.Multi(tracer, collector)
+	} else if tracer != nil {
+		o.Hooks = tracer
 	}
-	e, ok := harness.Lookup(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
+
+	var traces []*metrics.Trace
+	if *traceCSV != "" {
+		o.TraceSink = func(t *metrics.Trace) { traces = append(traces, t) }
 	}
-	fmt.Printf("%s — %s\n\n", e.ID, e.Title)
-	if err := e.Run(o, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cyclops-bench:", err)
-		os.Exit(1)
+
+	run := func() error {
+		if *exp == "all" {
+			return harness.RunAll(o, os.Stdout)
+		}
+		e, ok := harness.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if tracer != nil {
+			tracer.Logger().Info("experiment-start", "span", "experiment", "id", e.ID, "title", e.Title)
+		}
+		fmt.Printf("%s — %s\n\n", e.ID, e.Title)
+		err := e.Run(o, os.Stdout)
+		if tracer != nil {
+			tracer.Logger().Info("experiment-end", "span", "experiment", "id", e.ID, "err", err != nil)
+		}
+		return err
 	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteCSVAll(f, traces...); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d run traces to %s\n", len(traces), *traceCSV)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cyclops-bench:", err)
+	os.Exit(1)
 }

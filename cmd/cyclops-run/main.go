@@ -26,6 +26,7 @@ import (
 	"cyclops/internal/gen"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 	"cyclops/internal/partition"
 )
 
@@ -48,6 +49,8 @@ func main() {
 		source    = flag.Uint("source", 0, "source vertex (SSSP)")
 		top       = flag.Int("top", 5, "print the top-N result vertices")
 		traceCSV  = flag.String("trace", "", "write per-superstep statistics to this CSV file")
+		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /debug/pprof) on this address")
+		verbose   = flag.Bool("verbose", false, "narrate supersteps as JSONL events on stderr")
 	)
 	flag.Parse()
 
@@ -68,7 +71,33 @@ func main() {
 		fatal(err)
 	}
 
-	values, summary, trace, err := run(*engine, *algo, g, cc, part, *eps, *steps, graph.ID(*source))
+	// Live observability (opt-in): -verbose narrates supersteps on stderr;
+	// -debug-addr additionally serves /metrics, /trace and /debug/pprof
+	// while the run advances.
+	var hooks obs.Hooks
+	var tracer *obs.Tracer
+	if *verbose {
+		tracer = obs.NewTracer(os.Stderr, obs.TracerOptions{})
+	} else if *debugAddr != "" {
+		tracer = obs.NewTracer(nil, obs.TracerOptions{})
+	}
+	if tracer != nil {
+		hooks = tracer
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		collector := obs.NewCollector(reg)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cyclops-run: diagnostics at %s\n", srv.URL())
+		hooks = obs.Multi(tracer, collector)
+	}
+
+	values, summary, trace, err := run(*engine, *algo, g, cc, part, *eps, *steps, graph.ID(*source), hooks)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,12 +149,13 @@ func pickPartitioner(name string, seed int64) (partition.Partitioner, error) {
 }
 
 func run(engine, algo string, g *graph.Graph, cc cluster.Config,
-	part partition.Partitioner, eps float64, steps int, source graph.ID) ([]float64, string, *metrics.Trace, error) {
+	part partition.Partitioner, eps float64, steps int, source graph.ID,
+	hooks obs.Hooks) ([]float64, string, *metrics.Trace, error) {
 
 	switch engine + "/" + algo {
 	case "cyclops/PR":
 		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: eps},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -136,7 +166,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "cyclops/SSSP":
 		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: source},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -147,7 +177,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CD":
 		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -159,7 +189,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	case "hama/PR":
 		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: eps},
 			bsp.Config[float64, float64]{
-				Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks,
 				Halt: aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), eps),
 			})
 		if err != nil {
@@ -172,7 +202,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "hama/SSSP":
 		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: source},
-			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -183,7 +213,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CC":
 		e, err := cyclops.New[int64, int64](g, algorithms.CCCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -196,7 +226,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
 	case "hama/CC":
 		e, err := bsp.New[int64, int64](g, algorithms.CCBSP{},
-			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps})
+			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -210,7 +240,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	case "hama/CD":
 		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
 			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Halt: algorithms.CDHalt()})
+				Hooks: hooks, Halt: algorithms.CDHalt()})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -221,7 +251,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return toFloats(e.Values()), tr.String(), tr, nil
 	case "powergraph/PR":
 		e, err := gas.New[algorithms.PRValue, float64](g, algorithms.NewPageRankGAS(g, steps, eps),
-			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps})
+			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -233,7 +263,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "powergraph/SSSP":
 		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: source},
-			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps})
+			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks})
 		if err != nil {
 			return nil, "", nil, err
 		}

@@ -20,6 +20,7 @@ import (
 	"cyclops/internal/cluster"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 	"cyclops/internal/partition"
 	"cyclops/internal/transport"
 )
@@ -74,6 +75,10 @@ type Config[V, M any] struct {
 	// Checkpoints receives the snapshots (in-memory sink; cmd tools wrap it
 	// with file persistence).
 	Checkpoints func(State[V, M]) error
+	// Hooks receives live instrumentation events (run/superstep/phase spans
+	// and per-worker stats). nil disables observation; the hot path then
+	// pays only a nil-check per phase.
+	Hooks obs.Hooks
 }
 
 // envelope routes one message to a destination vertex.
@@ -292,6 +297,16 @@ func (c *Context[V, M]) AggregateValue(name string) (float64, bool) {
 // checkpointed superstep.
 func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	workers := e.cfg.Cluster.Workers()
+	hooks := e.cfg.Hooks
+	if hooks != nil {
+		hooks.OnRunStart(obs.RunInfo{
+			Engine:   e.trace.Engine,
+			Workers:  workers,
+			Vertices: e.g.NumVertices(),
+			Edges:    e.g.NumEdges(),
+		})
+	}
+	stopReason := obs.ReasonMaxSupersteps
 	if !e.primed {
 		// Establish round 0 so the first superstep's drain has markers to
 		// consume on round-based transports.
@@ -302,25 +317,38 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	}
 	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
 		stats := metrics.StepStats{Step: e.step}
+		if hooks != nil {
+			hooks.OnSuperstepStart(e.step)
+		}
 
 		// PRS: drain the locked global in-queue, group messages per vertex,
 		// reactivate recipients. One thread per worker, as in Hama.
 		start := time.Now()
+		recvCounts := make([]int64, workers)
+		recvBatches := make([]int64, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for _, batch := range e.tr.Drain(w) {
+				batches := e.tr.Drain(w)
+				recvBatches[w] = int64(len(batches))
+				var recv int64
+				for _, batch := range batches {
+					recv += int64(len(batch))
 					for _, env := range batch {
 						e.inbox[env.Dst] = append(e.inbox[env.Dst], env.Msg)
 						e.halted[env.Dst] = false
 					}
 				}
+				recvCounts[w] = recv
 			}(w)
 		}
 		wg.Wait()
 		stats.Durations[metrics.Parse] = time.Since(start)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Parse, stats.Durations[metrics.Parse])
+		}
 
 		// CMP: run Compute on active vertices, one thread per worker.
 		start = time.Now()
@@ -384,6 +412,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			}
 		}
 		stats.Durations[metrics.Compute] = time.Since(start)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Compute, stats.Durations[metrics.Compute])
+		}
 
 		// SND: flush per-worker bundles through the transport. Senders from
 		// all workers contend on each receiver's global queue lock.
@@ -400,6 +431,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 		wg.Wait()
 		stats.Durations[metrics.Send] = time.Since(start)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Send, stats.Durations[metrics.Send])
+		}
 
 		// SYN: barrier — fold aggregates, decide termination, checkpoint.
 		start = time.Now()
@@ -416,6 +450,20 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			1, 1, workers, !e.cfg.PerSenderQueues, e.model.FlatBarrier(workers))
 		stats.Durations[metrics.Sync] = time.Since(start)
 		e.trace.Append(stats)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Sync, stats.Durations[metrics.Sync])
+			for w := 0; w < workers; w++ {
+				hooks.OnWorkerStats(obs.WorkerStats{
+					Step:         e.step,
+					Worker:       w,
+					ComputeUnits: computeUnits[w],
+					Sent:         sendCounts[w],
+					Received:     recvCounts[w],
+					QueueDepth:   recvBatches[w],
+				})
+			}
+			hooks.OnSuperstepEnd(e.step, stats)
+		}
 
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
@@ -430,12 +478,17 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		nextActive := e.countActive() + pendingEstimate(sentTotal.Load())
 		if sentTotal.Load() == 0 && e.countActive() == 0 {
 			e.step++
+			stopReason = obs.ReasonNoActive
 			break
 		}
 		if e.cfg.Halt != nil && e.cfg.Halt(e.step, e.agg.Value, nextActive) {
 			e.step++
+			stopReason = obs.ReasonHalt
 			break
 		}
+	}
+	if hooks != nil {
+		hooks.OnConverged(e.step, stopReason)
 	}
 	if err := e.tr.Err(); err != nil {
 		return e.trace, fmt.Errorf("bsp: transport: %w", err)

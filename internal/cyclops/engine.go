@@ -26,6 +26,7 @@ import (
 	"cyclops/internal/cluster"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 	"cyclops/internal/partition"
 	"cyclops/internal/transport"
 )
@@ -72,6 +73,10 @@ type Config[V, M any] struct {
 	CostModel *metrics.CostModel
 	// OnStep runs after each barrier (values consistent).
 	OnStep func(step int, e *Engine[V, M])
+	// Hooks receives live instrumentation events (run/superstep/phase spans
+	// and per-worker stats). nil disables observation; the hot path then
+	// pays only a nil-check per phase.
+	Hooks obs.Hooks
 	// CheckpointEvery saves state every k supersteps to Checkpoints (k>0).
 	// Per §3.6, checkpoints exclude replicas and messages.
 	CheckpointEvery int

@@ -1,0 +1,140 @@
+package cyclops_test
+
+// Benchmarks the cost of the observability hook points on the Cyclops
+// superstep loop. The acceptance bar for the obs layer is that a nil Hooks
+// (the default) adds <2% to the superstep loop versus the pre-hooks engine;
+// since every hook site is a nil-check, comparing Hooks:nil against
+// Hooks:obs.Nop{} bounds that cost from above — the Nop run *takes* every
+// call and still measures the same loop.
+//
+//	go test ./internal/cyclops/ -run='^$' -bench=BenchmarkHooks -count=5
+//
+// Also asserts (as a plain test) that a full PageRank run fires the hook
+// sequence engines promise: one OnRunStart, per-step start/phases/worker
+// stats/end, one OnConverged.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cyclops/internal/algorithms"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
+	"cyclops/internal/partition"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, _, err := gen.Dataset("wiki", 0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func runPR(tb testing.TB, g *graph.Graph, hooks obs.Hooks) {
+	e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: 1e-4},
+		cyclops.Config[float64, float64]{
+			Cluster:       cluster.Flat(2, 2),
+			Partitioner:   partition.Hash{},
+			MaxSupersteps: 30,
+			Hooks:         hooks,
+		})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkHooksNil is the default path: Hooks == nil, hook sites reduce to
+// one nil-check each.
+func BenchmarkHooksNil(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPR(b, g, nil)
+	}
+}
+
+// BenchmarkHooksNop takes every hook call through a do-nothing observer — an
+// upper bound on the dispatch overhead the hook points add.
+func BenchmarkHooksNop(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPR(b, g, obs.Nop{})
+	}
+}
+
+// BenchmarkHooksTracer prices the full ring-only tracer, for context (this
+// is what -debug-addr without -verbose costs).
+func BenchmarkHooksTracer(b *testing.B) {
+	g := benchGraph(b)
+	tracer := obs.NewTracer(nil, obs.TracerOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPR(b, g, tracer)
+	}
+}
+
+// countingHooks records how often each hook fires.
+type countingHooks struct {
+	runStarts, stepStarts, phases, workerStats, stepEnds, converged atomic.Int64
+	lastReason                                                      string
+	lastStats                                                       metrics.StepStats
+}
+
+func (c *countingHooks) OnRunStart(obs.RunInfo) { c.runStarts.Add(1) }
+func (c *countingHooks) OnSuperstepStart(int)   { c.stepStarts.Add(1) }
+func (c *countingHooks) OnPhase(int, metrics.Phase, time.Duration) {
+	c.phases.Add(1)
+}
+func (c *countingHooks) OnWorkerStats(obs.WorkerStats) { c.workerStats.Add(1) }
+func (c *countingHooks) OnSuperstepEnd(_ int, s metrics.StepStats) {
+	c.stepEnds.Add(1)
+	c.lastStats = s
+}
+func (c *countingHooks) OnConverged(_ int, reason string) {
+	c.converged.Add(1)
+	c.lastReason = reason
+}
+
+func TestHookSequenceOnRealRun(t *testing.T) {
+	g, _, err := gen.Dataset("wiki", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &countingHooks{}
+	runPR(t, g, c)
+
+	steps := c.stepEnds.Load()
+	if c.runStarts.Load() != 1 || c.converged.Load() != 1 {
+		t.Fatalf("run span: %d starts, %d converged; want 1/1",
+			c.runStarts.Load(), c.converged.Load())
+	}
+	if steps == 0 || c.stepStarts.Load() != steps {
+		t.Fatalf("superstep span: %d starts vs %d ends", c.stepStarts.Load(), steps)
+	}
+	// Cyclops times CMP, SND, PRS(recv) and SYN each superstep.
+	if c.phases.Load() != 4*steps {
+		t.Fatalf("phases: %d, want 4 per %d supersteps", c.phases.Load(), steps)
+	}
+	// Flat(2,2) = 4 workers, one stats record each per superstep.
+	if c.workerStats.Load() != 4*steps {
+		t.Fatalf("worker stats: %d, want 4 per %d supersteps", c.workerStats.Load(), steps)
+	}
+	if c.lastReason != obs.ReasonHalt && c.lastReason != obs.ReasonNoActive &&
+		c.lastReason != obs.ReasonMaxSupersteps {
+		t.Fatalf("unknown termination reason %q", c.lastReason)
+	}
+	if c.lastStats.Active < 0 {
+		t.Fatalf("bogus final step stats: %+v", c.lastStats)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"cyclops/internal/aggregate"
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 )
 
 // pending holds a worker's publish results for the update phase. Compute
@@ -30,6 +31,18 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	threads := e.cfg.Cluster.Normalize().Threads
 	receivers := e.cfg.Cluster.Normalize().Receivers
 
+	hooks := e.cfg.Hooks
+	if hooks != nil {
+		hooks.OnRunStart(obs.RunInfo{
+			Engine:   e.trace.Engine,
+			Workers:  workers,
+			Vertices: e.g.NumVertices(),
+			Edges:    e.g.NumEdges(),
+			Replicas: e.ingress.Replicas,
+		})
+	}
+	stopReason := obs.ReasonMaxSupersteps
+
 	pend := make([]pending[M], workers)
 	for w := range pend {
 		pend[w] = pending[M]{
@@ -40,6 +53,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 
 	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
 		stats := metrics.StepStats{Step: e.step}
+		if hooks != nil {
+			hooks.OnSuperstepStart(e.step)
+		}
 
 		// CMP: active masters compute over the immutable view, striped
 		// across T threads per worker.
@@ -99,6 +115,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 		wg.Wait()
 		stats.Durations[metrics.Compute] = time.Since(start)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Compute, stats.Durations[metrics.Compute])
+		}
 
 		// SND: apply publishes to the local view, perform lock-free local
 		// activation, and send one sync message per replica of each
@@ -155,12 +174,16 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 		wg.Wait()
 		stats.Durations[metrics.Send] = time.Since(start)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Send, stats.Durations[metrics.Send])
+		}
 
 		// RECV: replica updates, parallel across R receivers per worker.
 		// Each replica has exactly one writer per superstep, so updates are
 		// lock-free and there is no parse phase (§4.1).
 		start = time.Now()
 		recvCounts := make([]int64, workers)
+		recvBatches := make([]int64, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
@@ -171,6 +194,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				for _, b := range batches {
 					recv += int64(len(b))
 				}
+				recvBatches[w] = int64(len(batches))
 				var rwg sync.WaitGroup
 				for r := 0; r < receivers; r++ {
 					rwg.Add(1)
@@ -194,6 +218,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 		wg.Wait()
 		stats.Durations[metrics.Parse] = time.Since(start) // replica apply ≈ Cyclops' PRS
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Parse, stats.Durations[metrics.Parse])
+		}
 
 		// SYN: hierarchical or flat barrier — fold aggregates, swap
 		// activation buffers, decide termination.
@@ -245,6 +272,20 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			threads, receivers, workers, false, barrier)
 		stats.Durations[metrics.Sync] = time.Since(start)
 		e.trace.Append(stats)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Sync, stats.Durations[metrics.Sync])
+			for w := 0; w < workers; w++ {
+				hooks.OnWorkerStats(obs.WorkerStats{
+					Step:         e.step,
+					Worker:       w,
+					ComputeUnits: computeUnits[w],
+					Sent:         sendCounts[w],
+					Received:     recvCounts[w],
+					QueueDepth:   recvBatches[w],
+				})
+			}
+			hooks.OnSuperstepEnd(e.step, stats)
+		}
 
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
@@ -258,12 +299,17 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 
 		if nextActive == 0 {
 			e.step++
+			stopReason = obs.ReasonNoActive
 			break
 		}
 		if e.cfg.Halt != nil && e.cfg.Halt(e.step, e.agg.Value, nextActive) {
 			e.step++
+			stopReason = obs.ReasonHalt
 			break
 		}
+	}
+	if hooks != nil {
+		hooks.OnConverged(e.step, stopReason)
 	}
 	if err := e.tr.Err(); err != nil {
 		return e.trace, fmt.Errorf("cyclops: transport: %w", err)

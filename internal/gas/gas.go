@@ -19,6 +19,7 @@ import (
 	"cyclops/internal/cluster"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 	"cyclops/internal/transport"
 )
 
@@ -139,6 +140,9 @@ type Config[V, G any] struct {
 	Network   transport.Network
 	CostModel *metrics.CostModel
 	OnStep    func(step int, e *Engine[V, G])
+	// Hooks receives live instrumentation events (run/superstep/phase spans
+	// and per-worker stats). nil disables observation.
+	Hooks obs.Hooks
 }
 
 // message kinds: the five per-mirror messages of §2.3.
@@ -357,10 +361,30 @@ func (e *Engine[V, G]) Values() []V {
 // superstep budget is exhausted.
 func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 	k := e.cfg.Cluster.Workers()
+	hooks := e.cfg.Hooks
+	if hooks != nil {
+		hooks.OnRunStart(obs.RunInfo{
+			Engine:   e.trace.Engine,
+			Workers:  k,
+			Vertices: e.g.NumVertices(),
+			Edges:    e.g.NumEdges(),
+			Replicas: e.mirrors,
+		})
+	}
+	stopReason := obs.ReasonMaxSupersteps
 	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
 		stats := metrics.StepStats{Step: e.step}
 		var msgs, computeUnits atomic.Int64
 		var active int64
+		// Per-worker counters for OnWorkerStats; allocated only when
+		// observation is on.
+		var sentPerW, unitsPerW, recvPerW, batchPerW []int64
+		if hooks != nil {
+			sentPerW = make([]int64, k)
+			unitsPerW = make([]int64, k)
+			recvPerW = make([]int64, k)
+			batchPerW = make([]int64, k)
+		}
 		for _, ws := range e.ws {
 			for s := range ws.verts {
 				if ws.verts[s].master && ws.verts[s].active {
@@ -369,9 +393,13 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			}
 		}
 		if active == 0 {
+			stopReason = obs.ReasonNoActive
 			break
 		}
 		stats.Active = active
+		if hooks != nil {
+			hooks.OnSuperstepStart(e.step)
+		}
 
 		cmpStart := time.Now()
 
@@ -388,13 +416,16 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindGatherReq, Slot: m.slot})
 				}
 			}
-			e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs)
+			if sentPerW != nil {
+				sentPerW[w] += sent
+			}
 		})
 
 		// Round 2 — mirrors compute partial gathers and reply; masters add
 		// their own local partials. Draining is a separate barrier so a fast
 		// worker's replies cannot race into a slow worker's request drain.
-		inbound := e.drainAll(k)
+		inbound := e.drainAll(k, recvPerW, batchPerW)
 		acc := make([]map[int32]gasMsg[V, G], k) // masterSlot → partial at master's worker
 		e.parallel(k, func(w int) {
 			ws := e.ws[w]
@@ -437,13 +468,17 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				local[int32(s)] = gasMsg[V, G]{Acc: sum, Has: has}
 			}
 			acc[w] = local
-			e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs)
+			if sentPerW != nil {
+				sentPerW[w] += sent
+				unitsPerW[w] += units
+			}
 			computeUnits.Add(units)
 		})
 
 		// Round 3 — masters fold partials, apply, and push new values to
 		// mirrors.
-		inbound = e.drainAll(k)
+		inbound = e.drainAll(k, recvPerW, batchPerW)
 		activateNext := make([]map[int32]bool, k) // masterSlot → scatter? at each worker
 		e.parallel(k, func(w int) {
 			ws := e.ws[w]
@@ -476,11 +511,14 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 			}
 			activateNext[w] = scatter
-			e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs)
+			if sentPerW != nil {
+				sentPerW[w] += sent
+			}
 		})
 
 		// Round 4 — mirrors refresh caches; masters send scatter requests.
-		inbound = e.drainAll(k)
+		inbound = e.drainAll(k, recvPerW, batchPerW)
 		e.parallel(k, func(w int) {
 			ws := e.ws[w]
 			for _, batch := range inbound[w] {
@@ -500,7 +538,10 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindScatterReq, Slot: m.slot})
 				}
 			}
-			e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs)
+			if sentPerW != nil {
+				sentPerW[w] += sent
+			}
 		})
 
 		// Round 5 — scatter: mirrors (and masters locally) activate the
@@ -512,7 +553,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		}
 		// nextActive[w] is only written by worker w's goroutine in each of
 		// the two sequential rounds below, so no locking is needed.
-		inbound = e.drainAll(k)
+		inbound = e.drainAll(k, recvPerW, batchPerW)
 		e.parallel(k, func(w int) {
 			ws := e.ws[w]
 			out := make([][]gasMsg[V, G], k)
@@ -544,11 +585,14 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					activateLocalOuts(s)
 				}
 			}
-			e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs)
+			if sentPerW != nil {
+				sentPerW[w] += sent
+			}
 		})
 
 		// Final drain: deliver activation returns to masters.
-		inbound = e.drainAll(k)
+		inbound = e.drainAll(k, recvPerW, batchPerW)
 		e.parallel(k, func(w int) {
 			for _, batch := range inbound[w] {
 				for _, m := range batch {
@@ -560,8 +604,12 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			}
 		})
 		stats.Durations[metrics.Compute] = time.Since(cmpStart)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Compute, stats.Durations[metrics.Compute])
+		}
 
 		// Barrier bookkeeping: set next activation.
+		synStart := time.Now()
 		for w := 0; w < k; w++ {
 			ws := e.ws[w]
 			for s := range ws.verts {
@@ -570,6 +618,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 			}
 		}
+		stats.Durations[metrics.Sync] = time.Since(synStart)
 
 		stats.Messages = msgs.Load()
 		stats.ComputeUnitsMax = computeUnits.Load() / int64(k)
@@ -579,9 +628,26 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			stats.ComputeUnitsMax, stats.SendMax, stats.RecvMax,
 			e.cfg.Cluster.Threads, 1, k, true, e.model.FlatBarrier(k))
 		e.trace.Append(stats)
+		if hooks != nil {
+			hooks.OnPhase(e.step, metrics.Sync, stats.Durations[metrics.Sync])
+			for w := 0; w < k; w++ {
+				hooks.OnWorkerStats(obs.WorkerStats{
+					Step:         e.step,
+					Worker:       w,
+					ComputeUnits: unitsPerW[w],
+					Sent:         sentPerW[w],
+					Received:     recvPerW[w],
+					QueueDepth:   batchPerW[w],
+				})
+			}
+			hooks.OnSuperstepEnd(e.step, stats)
+		}
 		if e.cfg.OnStep != nil {
 			e.cfg.OnStep(e.step, e)
 		}
+	}
+	if hooks != nil {
+		hooks.OnConverged(e.step, stopReason)
 	}
 	if err := e.tr.Err(); err != nil {
 		return e.trace, fmt.Errorf("gas: transport: %w", err)
@@ -590,10 +656,20 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 }
 
 // drainAll drains every worker's queue behind a barrier, so messages of the
-// next round can never race into the current round's processing.
-func (e *Engine[V, G]) drainAll(k int) [][][]gasMsg[V, G] {
+// next round can never race into the current round's processing. recvPerW
+// and batchPerW, when non-nil, accumulate per-worker receive counts for the
+// observation hooks (each slot is written only by its own worker).
+func (e *Engine[V, G]) drainAll(k int, recvPerW, batchPerW []int64) [][][]gasMsg[V, G] {
 	out := make([][][]gasMsg[V, G], k)
-	e.parallel(k, func(w int) { out[w] = e.tr.Drain(w) })
+	e.parallel(k, func(w int) {
+		out[w] = e.tr.Drain(w)
+		if recvPerW != nil {
+			for _, b := range out[w] {
+				recvPerW[w] += int64(len(b))
+			}
+			batchPerW[w] += int64(len(out[w]))
+		}
+	})
 	return out
 }
 
@@ -611,16 +687,20 @@ func (e *Engine[V, G]) parallel(k int, fn func(w int)) {
 }
 
 // flush sends per-destination batches, counts messages, and closes the
-// worker's communication round so the next drain can proceed.
-func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64) {
+// worker's communication round so the next drain can proceed. It returns
+// the number of messages sent.
+func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64) int64 {
+	var sent int64
 	for to, batch := range out {
 		if len(batch) == 0 {
 			continue
 		}
-		msgs.Add(int64(len(batch)))
+		sent += int64(len(batch))
 		e.tr.Send(from, to, batch)
 	}
+	msgs.Add(sent)
 	e.tr.FinishRound(from)
+	return sent
 }
 
 // Close releases transport resources (sockets in TCPLoopback mode).

@@ -21,6 +21,7 @@ import (
 	"cyclops/internal/gen"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
 	"cyclops/internal/partition"
 )
 
@@ -38,6 +39,14 @@ type Options struct {
 	WorkersPerMachine int
 	// Eps is the PageRank convergence bound.
 	Eps float64
+	// Hooks, when set, is installed in every engine an experiment runs —
+	// the harness's -verbose mode wires an obs.Tracer here so each
+	// experiment's supersteps are narrated live instead of silently
+	// spinning.
+	Hooks obs.Hooks
+	// TraceSink, when set, receives each finished run's per-superstep
+	// trace (cyclops-bench -trace collects these into one CSV).
+	TraceSink func(*metrics.Trace)
 }
 
 // DefaultOptions mirrors the paper's testbed shape at laptop scale.
@@ -168,10 +177,15 @@ type runParams struct {
 	alsUsers    int
 	trackMemory bool
 	onValues    func(step int, values []float64)
+	hooks       obs.Hooks
+	traceSink   func(*metrics.Trace)
 }
 
 func defaultParams(o Options) runParams {
-	return runParams{maxSteps: 200, eps: o.Eps, cdIters: 20, alsSweeps: 3}
+	return runParams{
+		maxSteps: 200, eps: o.Eps, cdIters: 20, alsSweeps: 3,
+		hooks: o.Hooks, traceSink: o.TraceSink,
+	}
 }
 
 // memTracker samples heap usage at barriers.
@@ -225,16 +239,22 @@ func (t *memTracker) finish(r *RunResult) {
 func RunWorkload(engine, algo string, g *graph.Graph, cc cluster.Config,
 	part partition.Partitioner, p runParams) (RunResult, error) {
 
+	var r RunResult
+	var err error
 	switch engine {
 	case "hama":
-		return runHama(algo, g, cc, part, p)
+		r, err = runHama(algo, g, cc, part, p)
 	case "cyclops":
-		return runCyclops(algo, g, cc, part, p)
+		r, err = runCyclops(algo, g, cc, part, p)
 	case "powergraph":
-		return runGAS(algo, g, cc, p)
+		r, err = runGAS(algo, g, cc, p)
 	default:
 		return RunResult{}, fmt.Errorf("harness: unknown engine %q", engine)
 	}
+	if err == nil && p.traceSink != nil && r.Trace != nil {
+		p.traceSink(r.Trace)
+	}
+	return r, err
 }
 
 func finish(r *RunResult, wall time.Duration) {
@@ -289,13 +309,6 @@ func (t *table) write(w io.Writer) {
 	for _, row := range t.rows {
 		line(row)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // sortedKeys returns map keys in sorted order (stable output).

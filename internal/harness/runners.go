@@ -34,6 +34,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster:       cc,
 				Partitioner:   part,
 				MaxSupersteps: p.maxSteps,
+				Hooks:         p.hooks,
 				Halt:          haltForPR(g.NumVertices(), p.eps),
 				// "Same value" at the working epsilon: the redundant-message
 				// metric of Figure 3(2) counts re-sends of converged ranks.
@@ -60,6 +61,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: 0},
 			bsp.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
+				Hooks:  p.hooks,
 				OnStep: func(int, *bsp.Engine[float64, float64]) { mem.sample() },
 			})
 		if err != nil {
@@ -77,6 +79,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
 			bsp.Config[int64, int64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters + 1,
+				Hooks:  p.hooks,
 				Halt:   algorithms.CDHalt(),
 				OnStep: func(int, *bsp.Engine[int64, int64]) { mem.sample() },
 			})
@@ -96,6 +99,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := bsp.New[[]float64, algorithms.ALSMsg](g, algorithms.ALSBSP{Cfg: cfg},
 			bsp.Config[[]float64, algorithms.ALSMsg]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: cfg.TotalSupersteps() + 4,
+				Hooks:     p.hooks,
 				SizeOfMsg: func(m algorithms.ALSMsg) int64 { return int64(8*len(m.Vec)) + 8 },
 				OnStep:    func(int, *bsp.Engine[[]float64, algorithms.ALSMsg]) { mem.sample() },
 			})
@@ -129,6 +133,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: p.eps},
 			cyclops.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps,
+				Hooks: p.hooks,
 				Equal: func(a, b float64) bool { return abs64(a-b) < p.eps },
 				OnStep: func(step int, e *cyclops.Engine[float64, float64]) {
 					mem.sample()
@@ -154,6 +159,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: 0},
 			cyclops.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
+				Hooks:  p.hooks,
 				OnStep: func(int, *cyclops.Engine[float64, float64]) { mem.sample() },
 			})
 		if err != nil {
@@ -173,6 +179,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
 			cyclops.Config[int64, int64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters,
+				Hooks:  p.hooks,
 				OnStep: func(int, *cyclops.Engine[int64, int64]) { mem.sample() },
 			})
 		if err != nil {
@@ -193,6 +200,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[[]float64, []float64](g, algorithms.ALSCyclops{Cfg: cfg},
 			cyclops.Config[[]float64, []float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: cfg.TotalSupersteps(),
+				Hooks:     p.hooks,
 				SizeOfMsg: func(m []float64) int64 { return int64(8 * len(m)) },
 				OnStep:    func(int, *cyclops.Engine[[]float64, []float64]) { mem.sample() },
 			})
@@ -231,6 +239,7 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 			algorithms.NewPageRankGAS(g, p.maxSteps, p.eps),
 			gas.Config[algorithms.PRValue, float64]{
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps,
+				Hooks: p.hooks,
 			})
 		if err != nil {
 			return r, err
@@ -248,6 +257,7 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: 0},
 			gas.Config[float64, float64]{
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps * 10,
+				Hooks: p.hooks,
 			})
 		if err != nil {
 			return r, err

@@ -7,18 +7,41 @@ import (
 	"strconv"
 )
 
+// CSVHeader is the stable column set of WriteCSV, exported so tests and
+// external consumers can assert against it.
+var CSVHeader = []string{
+	"engine", "workers", "step", "active", "changed", "messages",
+	"redundant_messages", "compute_units_max", "send_max", "recv_max",
+	"prs_ns", "cmp_ns", "snd_ns", "syn_ns", "model_ns",
+}
+
 // WriteCSV emits the trace as one CSV row per superstep, for external
 // plotting of the Figure 10/13-style series. Columns are stable API.
 func WriteCSV(w io.Writer, t *Trace) error {
+	return WriteCSVAll(w, t)
+}
+
+// WriteCSVAll emits several traces into one CSV with a single header; the
+// engine and workers columns distinguish the runs (cyclops-bench -trace
+// collects every engine run of an experiment this way).
+func WriteCSVAll(w io.Writer, traces ...*Trace) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"engine", "workers", "step", "active", "changed", "messages",
-		"redundant_messages", "compute_units_max", "send_max", "recv_max",
-		"prs_ns", "cmp_ns", "snd_ns", "syn_ns", "model_ns",
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(CSVHeader); err != nil {
 		return fmt.Errorf("metrics: csv: %w", err)
 	}
+	for _, t := range traces {
+		if err := writeRows(cw, t); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: csv: %w", err)
+	}
+	return nil
+}
+
+func writeRows(cw *csv.Writer, t *Trace) error {
 	for _, s := range t.Steps {
 		row := []string{
 			t.Engine,
@@ -40,10 +63,6 @@ func WriteCSV(w io.Writer, t *Trace) error {
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("metrics: csv: %w", err)
 		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return fmt.Errorf("metrics: csv: %w", err)
 	}
 	return nil
 }

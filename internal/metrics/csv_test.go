@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func sampleTrace(engine string, steps int) *Trace {
+	t := &Trace{Engine: engine, Workers: 48}
+	for i := 0; i < steps; i++ {
+		s := StepStats{
+			Step:              i,
+			Active:            int64(1000 - 10*i),
+			Changed:           int64(900 - 10*i),
+			Messages:          int64(5000 - 100*i),
+			RedundantMessages: int64(40 * i),
+			ComputeUnitsMax:   int64(777 + i),
+			SendMax:           int64(120 + i),
+			RecvMax:           int64(110 + i),
+			ModelNanos:        1.5e6,
+		}
+		s.Durations[Parse] = 2 * time.Millisecond
+		s.Durations[Compute] = 7 * time.Millisecond
+		s.Durations[Send] = 3 * time.Millisecond
+		s.Durations[Sync] = time.Millisecond
+		t.Steps = append(t.Steps, s)
+	}
+	return t
+}
+
+// TestWriteCSVRoundTrip re-parses WriteCSV output and checks the header is
+// the stable exported column set and every superstep became one row with the
+// values it was given.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace("cyclops", 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 1+len(tr.Steps) {
+		t.Fatalf("got %d rows, want header + %d steps", len(rows), len(tr.Steps))
+	}
+	if len(rows[0]) != len(CSVHeader) {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(CSVHeader))
+	}
+	for i, col := range CSVHeader {
+		if rows[0][i] != col {
+			t.Errorf("header[%d] = %q, want %q (CSVHeader is stable API)", i, rows[0][i], col)
+		}
+	}
+
+	col := func(name string) int {
+		for i, c := range CSVHeader {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
+	for i, row := range rows[1:] {
+		s := tr.Steps[i]
+		checks := map[string]string{
+			"engine":             tr.Engine,
+			"workers":            strconv.Itoa(tr.Workers),
+			"step":               strconv.Itoa(s.Step),
+			"active":             strconv.FormatInt(s.Active, 10),
+			"changed":            strconv.FormatInt(s.Changed, 10),
+			"messages":           strconv.FormatInt(s.Messages, 10),
+			"redundant_messages": strconv.FormatInt(s.RedundantMessages, 10),
+			"compute_units_max":  strconv.FormatInt(s.ComputeUnitsMax, 10),
+			"send_max":           strconv.FormatInt(s.SendMax, 10),
+			"recv_max":           strconv.FormatInt(s.RecvMax, 10),
+			"prs_ns":             "2000000",
+			"cmp_ns":             "7000000",
+			"snd_ns":             "3000000",
+			"syn_ns":             "1000000",
+			"model_ns":           "1500000",
+		}
+		for name, want := range checks {
+			if got := row[col(name)]; got != want {
+				t.Errorf("row %d column %s = %q, want %q", i, name, got, want)
+			}
+		}
+	}
+}
+
+// TestWriteCSVAllMultiTrace checks several runs share one header and the
+// engine column tells them apart.
+func TestWriteCSVAllMultiTrace(t *testing.T) {
+	a := sampleTrace("hama", 3)
+	b := sampleTrace("cyclops", 4)
+	var buf bytes.Buffer
+	if err := WriteCSVAll(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 1+3+4 {
+		t.Fatalf("got %d rows, want 1 header + 7 steps", len(rows))
+	}
+	engines := make(map[string]int)
+	for _, row := range rows[1:] {
+		engines[row[0]]++
+	}
+	if engines["hama"] != 3 || engines["cyclops"] != 4 {
+		t.Fatalf("engine column split = %v, want hama:3 cyclops:4", engines)
+	}
+}
+
+// TestWriteCSVAllEmpty keeps the header-only case valid.
+func TestWriteCSVAllEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSVAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("want exactly the header row, got %d rows (err %v)", len(rows), err)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+
+	"cyclops/internal/metrics"
+	"cyclops/internal/transport"
+)
+
+// Metric names exported by the Collector. The DESIGN.md observability
+// section maps these to the paper's Figure 10 quantities.
+const (
+	MetricSupersteps  = "cyclops_supersteps_total"
+	MetricSuperstep   = "cyclops_superstep"
+	MetricActive      = "cyclops_active_vertices"
+	MetricChanged     = "cyclops_changed_vertices"
+	MetricMessages    = "cyclops_messages_total"
+	MetricRedundant   = "cyclops_redundant_messages_total"
+	MetricPhase       = "cyclops_phase_seconds"
+	MetricWorkers     = "cyclops_workers"
+	MetricReplication = "cyclops_replication_factor"
+	MetricRuns        = "cyclops_runs_total"
+	MetricRunsDone    = "cyclops_runs_completed_total"
+
+	MetricTransportMessages = "cyclops_transport_messages_total"
+	MetricTransportBatches  = "cyclops_transport_batches_total"
+	MetricTransportBytes    = "cyclops_transport_bytes_total"
+	MetricTransportLocked   = "cyclops_transport_locked_enqueues_total"
+)
+
+// Collector is a Hooks implementation that folds engine events into a
+// Registry for the /metrics endpoint.
+type Collector struct {
+	reg *Registry
+
+	runs        *Counter
+	supersteps  *Counter
+	stepGauge   *Gauge
+	active      *Gauge
+	changed     *Gauge
+	messages    *Counter
+	redundant   *Counter
+	phase       *Histogram
+	workers     *Gauge
+	replication *Gauge
+}
+
+// NewCollector registers the standard engine metrics on reg and returns the
+// hooks feeding them.
+func NewCollector(reg *Registry) *Collector {
+	return &Collector{
+		reg:  reg,
+		runs: reg.Counter(MetricRuns, "Engine runs started."),
+		supersteps: reg.Counter(MetricSupersteps,
+			"Supersteps completed across all runs."),
+		stepGauge: reg.Gauge(MetricSuperstep,
+			"Current superstep index of the latest run."),
+		active: reg.Gauge(MetricActive,
+			"Vertices that computed in the last superstep (Figure 10(2))."),
+		changed: reg.Gauge(MetricChanged,
+			"Computed vertices whose value changed in the last superstep."),
+		messages: reg.Counter(MetricMessages,
+			"Data messages sent, summed over supersteps (Figure 10(3))."),
+		redundant: reg.Counter(MetricRedundant,
+			"Messages from vertices whose value did not change (Figure 3(2))."),
+		phase: reg.Histogram(MetricPhase,
+			"Per-superstep phase durations (PRS/CMP/SND/SYN of Figure 10(1)).",
+			"phase", DefaultDurationBuckets()),
+		workers: reg.Gauge(MetricWorkers,
+			"Workers (= graph partitions) of the latest run."),
+		replication: reg.Gauge(MetricReplication,
+			"Replicas per vertex of the latest run (Figure 11)."),
+	}
+}
+
+// Registry returns the registry the collector writes into.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// WatchTransport registers scrape-time counters over a transport snapshot
+// source (typically Engine.TransportStats). Call once per engine; repeated
+// calls rebind the source to the newest engine.
+func (c *Collector) WatchTransport(fn func() transport.Snapshot) {
+	c.reg.CounterFunc(MetricTransportMessages,
+		"Messages through the transport layer.",
+		func() float64 { return float64(fn().Messages) })
+	c.reg.CounterFunc(MetricTransportBatches,
+		"Batches through the transport layer.",
+		func() float64 { return float64(fn().Batches) })
+	c.reg.CounterFunc(MetricTransportBytes,
+		"Estimated payload bytes through the transport layer (Table 4).",
+		func() float64 { return float64(fn().Bytes) })
+	c.reg.CounterFunc(MetricTransportLocked,
+		"Enqueues that serialised on a shared lock (zero for per-sender queues).",
+		func() float64 { return float64(fn().LockedEnqueues) })
+}
+
+// OnRunStart implements Hooks.
+func (c *Collector) OnRunStart(info RunInfo) {
+	c.runs.Inc()
+	c.workers.Set(float64(info.Workers))
+	if info.Vertices > 0 {
+		c.replication.Set(float64(info.Replicas) / float64(info.Vertices))
+	}
+}
+
+// OnSuperstepStart implements Hooks.
+func (c *Collector) OnSuperstepStart(step int) {
+	c.stepGauge.Set(float64(step))
+}
+
+// OnPhase implements Hooks.
+func (c *Collector) OnPhase(step int, phase metrics.Phase, d time.Duration) {
+	c.phase.Observe(phase.String(), d.Seconds())
+}
+
+// OnWorkerStats implements Hooks (per-worker data feeds the tracer; the
+// registry keeps aggregate series only).
+func (c *Collector) OnWorkerStats(WorkerStats) {}
+
+// OnSuperstepEnd implements Hooks.
+func (c *Collector) OnSuperstepEnd(step int, s metrics.StepStats) {
+	c.supersteps.Inc()
+	c.active.Set(float64(s.Active))
+	c.changed.Set(float64(s.Changed))
+	c.messages.Add(float64(s.Messages))
+	c.redundant.Add(float64(s.RedundantMessages))
+}
+
+// OnConverged implements Hooks.
+func (c *Collector) OnConverged(step int, reason string) {
+	c.reg.LabeledCounter(MetricRunsDone,
+		"Engine runs completed, by termination reason.", "reason", reason).Inc()
+}
+
+// RegisterRuntime adds process-level gauges (goroutines, heap) to reg —
+// cheap enough to evaluate at every scrape.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("go_heap_sys_bytes", "Heap bytes obtained from the OS.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapSys)
+		})
+}

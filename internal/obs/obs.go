@@ -1,0 +1,156 @@
+// Package obs is the live observability layer: engine-agnostic
+// instrumentation hooks, a structured (slog/JSONL) superstep tracer with a
+// slow-phase detector, a small Prometheus-text-format metrics registry, and
+// an HTTP diagnostics server exposing /metrics, /trace and /debug/pprof.
+//
+// The paper's evaluation (Figures 9–13) is entirely observational — phase
+// breakdowns, message counts, active-vertex curves — but internal/metrics
+// only materialises those numbers after a run finishes. This package makes
+// the same quantities visible *while* a run executes: every engine accepts
+// an obs.Hooks in its Config, and when the field is nil the hot path pays a
+// single nil-check per phase (benchmarked in internal/cyclops).
+package obs
+
+import (
+	"time"
+
+	"cyclops/internal/metrics"
+)
+
+// RunInfo describes a run as it starts.
+type RunInfo struct {
+	// Engine is the engine's trace name ("hama", "cyclops", "cyclopsmt",
+	// "powergraph").
+	Engine string
+	// Workers is the number of simulated workers (= graph partitions).
+	Workers int
+	// Vertices and Edges describe the input graph.
+	Vertices int
+	Edges    int
+	// Replicas is the replica (Cyclops) or mirror (GAS) count; zero for
+	// engines without a replicated view (Hama).
+	Replicas int64
+}
+
+// WorkerStats is one worker's share of one superstep — the per-worker
+// visibility needed to spot stragglers and skewed partitions live.
+type WorkerStats struct {
+	Step   int
+	Worker int
+	// ComputeUnits is the number of edges scanned in the compute phase.
+	ComputeUnits int64
+	// Sent and Received count this worker's messages this superstep.
+	Sent     int64
+	Received int64
+	// QueueDepth is the number of inbound batches drained this superstep
+	// (a proxy for receive-side pressure).
+	QueueDepth int64
+}
+
+// Termination reasons passed to OnConverged.
+const (
+	ReasonNoActive      = "no-active"      // no vertex is active
+	ReasonHalt          = "halt"           // the Halt function fired
+	ReasonMaxSupersteps = "max-supersteps" // the superstep budget ran out
+)
+
+// Hooks observes an engine run. Implementations must be safe for calls from
+// the engine's coordinator goroutine; OnWorkerStats may be called once per
+// worker per superstep (always from the coordinator, between barriers).
+//
+// All engines treat a nil Hooks as "disabled": the only cost on the hot path
+// is a nil-check.
+type Hooks interface {
+	// OnRunStart fires once, before the first superstep.
+	OnRunStart(info RunInfo)
+	// OnSuperstepStart fires at the top of each superstep.
+	OnSuperstepStart(step int)
+	// OnPhase fires after each timed phase of a superstep.
+	OnPhase(step int, phase metrics.Phase, d time.Duration)
+	// OnWorkerStats fires once per worker after the superstep's barriers.
+	OnWorkerStats(ws WorkerStats)
+	// OnSuperstepEnd fires with the superstep's aggregate statistics.
+	OnSuperstepEnd(step int, stats metrics.StepStats)
+	// OnConverged fires once when the run terminates.
+	OnConverged(step int, reason string)
+}
+
+// Nop is a Hooks that does nothing. Engines treat nil and Nop identically;
+// Nop exists so overhead can be benchmarked with the hook calls *taken*.
+type Nop struct{}
+
+// OnRunStart implements Hooks.
+func (Nop) OnRunStart(RunInfo) {}
+
+// OnSuperstepStart implements Hooks.
+func (Nop) OnSuperstepStart(int) {}
+
+// OnPhase implements Hooks.
+func (Nop) OnPhase(int, metrics.Phase, time.Duration) {}
+
+// OnWorkerStats implements Hooks.
+func (Nop) OnWorkerStats(WorkerStats) {}
+
+// OnSuperstepEnd implements Hooks.
+func (Nop) OnSuperstepEnd(int, metrics.StepStats) {}
+
+// OnConverged implements Hooks.
+func (Nop) OnConverged(int, string) {}
+
+// multi fans hook calls out to several observers.
+type multi []Hooks
+
+// Multi combines hooks, skipping nils. It returns nil when no non-nil hook
+// remains (so engines keep their fast path) and the hook itself when only
+// one remains.
+func Multi(hs ...Hooks) Hooks {
+	var m multi
+	for _, h := range hs {
+		if h != nil {
+			m = append(m, h)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
+func (m multi) OnRunStart(info RunInfo) {
+	for _, h := range m {
+		h.OnRunStart(info)
+	}
+}
+
+func (m multi) OnSuperstepStart(step int) {
+	for _, h := range m {
+		h.OnSuperstepStart(step)
+	}
+}
+
+func (m multi) OnPhase(step int, phase metrics.Phase, d time.Duration) {
+	for _, h := range m {
+		h.OnPhase(step, phase, d)
+	}
+}
+
+func (m multi) OnWorkerStats(ws WorkerStats) {
+	for _, h := range m {
+		h.OnWorkerStats(ws)
+	}
+}
+
+func (m multi) OnSuperstepEnd(step int, stats metrics.StepStats) {
+	for _, h := range m {
+		h.OnSuperstepEnd(step, stats)
+	}
+}
+
+func (m multi) OnConverged(step int, reason string) {
+	for _, h := range m {
+		h.OnConverged(step, reason)
+	}
+}

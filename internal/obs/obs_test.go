@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclops/internal/metrics"
+)
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append([]byte(fmt.Sprintf("line-%d", i)))
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	lines := r.Lines()
+	want := []string{"line-2", "line-3", "line-4"}
+	for i, w := range want {
+		if string(lines[i]) != w {
+			t.Errorf("lines[%d] = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestRingWriteTo(t *testing.T) {
+	r := NewRing(8)
+	r.Append([]byte("a"))
+	r.Append([]byte("b"))
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a\nb\n" {
+		t.Fatalf("WriteTo = %q", buf.String())
+	}
+}
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{Level: slog.LevelDebug})
+
+	tr.OnRunStart(RunInfo{Engine: "cyclops", Workers: 4, Vertices: 100, Edges: 400, Replicas: 37})
+	tr.OnSuperstepStart(0)
+	tr.OnPhase(0, metrics.Compute, 3*time.Millisecond)
+	tr.OnWorkerStats(WorkerStats{Step: 0, Worker: 1, ComputeUnits: 10, Sent: 5, Received: 2})
+	tr.OnSuperstepEnd(0, metrics.StepStats{Step: 0, Active: 100, Messages: 37})
+	tr.OnConverged(1, ReasonNoActive)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d event lines, want 6:\n%s", len(lines), buf.String())
+	}
+	// Every line must be valid JSON with msg + span fields.
+	msgs := make([]string, 0, len(lines))
+	for _, l := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", l, err)
+		}
+		if _, ok := ev["span"]; !ok {
+			t.Errorf("event %q has no span field", l)
+		}
+		msgs = append(msgs, ev["msg"].(string))
+	}
+	want := []string{"run-start", "superstep-start", "phase", "worker", "superstep", "run-end"}
+	for i, w := range want {
+		if msgs[i] != w {
+			t.Errorf("event %d = %q, want %q", i, msgs[i], w)
+		}
+	}
+	// The ring must hold the same events.
+	if tr.Ring().Len() != 6 {
+		t.Errorf("ring holds %d events, want 6", tr.Ring().Len())
+	}
+}
+
+func TestTracerSlowPhaseDetector(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{
+		Level: slog.LevelWarn, SlowFactor: 2, SlowMinSamples: 3,
+	})
+	tr.OnRunStart(RunInfo{Engine: "cyclops", Workers: 1})
+	buf.Reset()
+
+	// Steady phases: no warning.
+	for i := 0; i < 5; i++ {
+		tr.OnPhase(i, metrics.Compute, 10*time.Millisecond)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("steady phases produced output: %s", buf.String())
+	}
+	// A 10x outlier beyond the warm-up must warn.
+	tr.OnPhase(5, metrics.Compute, 100*time.Millisecond)
+	if !strings.Contains(buf.String(), "slow-phase") {
+		t.Fatalf("outlier did not trigger slow-phase: %s", buf.String())
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &ev); err != nil {
+		t.Fatalf("slow-phase event not JSON: %v", err)
+	}
+	if ev["phase"] != "CMP" {
+		t.Errorf("slow-phase phase = %v, want CMP", ev["phase"])
+	}
+	if f, _ := ev["factor"].(float64); f < 2 {
+		t.Errorf("slow-phase factor = %v, want >= 2", ev["factor"])
+	}
+}
+
+func TestTracerSeparateRunsResetDetector(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{Level: slog.LevelWarn, SlowFactor: 2, SlowMinSamples: 3})
+	tr.OnRunStart(RunInfo{Engine: "a"})
+	for i := 0; i < 5; i++ {
+		tr.OnPhase(i, metrics.Compute, time.Millisecond)
+	}
+	// New run: the old trailing mean must not leak into this run.
+	tr.OnRunStart(RunInfo{Engine: "b"})
+	buf.Reset()
+	tr.OnPhase(0, metrics.Compute, 100*time.Millisecond)
+	if strings.Contains(buf.String(), "slow-phase") {
+		t.Fatalf("detector state leaked across runs: %s", buf.String())
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	n := Nop{}
+	if Multi(nil, n) != Hooks(n) {
+		t.Error("Multi with one non-nil hook should return it unwrapped")
+	}
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{})
+	m := Multi(tr, Nop{})
+	m.OnRunStart(RunInfo{Engine: "x", Workers: 1})
+	if !strings.Contains(buf.String(), "run-start") {
+		t.Error("Multi did not fan out to the tracer")
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "A counter.")
+	c.Add(3)
+	g := reg.Gauge("test_gauge", "A gauge.")
+	g.Set(1.5)
+	reg.GaugeFunc("test_fn", "A gauge func.", func() float64 { return 42 })
+	h := reg.Histogram("test_seconds", "A histogram.", "phase", []float64{0.1, 1})
+	h.Observe("CMP", 0.05)
+	h.Observe("CMP", 0.5)
+	h.Observe("CMP", 5)
+	reg.LabeledCounter("test_labeled_total", "Labeled.", "reason", "halt").Inc()
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_total counter",
+		"test_total 3",
+		"test_gauge 1.5",
+		"test_fn 42",
+		`test_labeled_total{reason="halt"} 1`,
+		`test_seconds_bucket{phase="CMP",le="0.1"} 1`,
+		`test_seconds_bucket{phase="CMP",le="1"} 2`,
+		`test_seconds_bucket{phase="CMP",le="+Inf"} 3`,
+		`test_seconds_count{phase="CMP"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorFoldsSteps(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	c.OnRunStart(RunInfo{Engine: "cyclops", Workers: 4, Vertices: 100, Replicas: 250})
+	c.OnSuperstepStart(0)
+	c.OnPhase(0, metrics.Compute, time.Millisecond)
+	c.OnSuperstepEnd(0, metrics.StepStats{Active: 100, Changed: 90, Messages: 40, RedundantMessages: 3})
+	c.OnSuperstepEnd(1, metrics.StepStats{Active: 50, Changed: 20, Messages: 10})
+	c.OnConverged(2, ReasonNoActive)
+
+	var buf bytes.Buffer
+	reg.WriteTo(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		MetricSupersteps + " 2",
+		MetricActive + " 50",
+		MetricMessages + " 50",
+		MetricRedundant + " 3",
+		MetricReplication + " 2.5",
+		MetricRunsDone + `{reason="no-active"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("collector output missing %q:\n%s", want, out)
+		}
+	}
+}

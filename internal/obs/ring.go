@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// Ring is a bounded, concurrency-safe buffer of recent event lines. The
+// tracer appends every rendered JSONL event; the diagnostics server's /trace
+// endpoint replays the buffer, so the last few thousand events survive even
+// when no log file was configured.
+type Ring struct {
+	mu   sync.Mutex
+	buf  [][]byte
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to n lines (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([][]byte, n)}
+}
+
+// Append stores one line (without trailing newline), evicting the oldest
+// line when full. The line is copied.
+func (r *Ring) Append(line []byte) {
+	cp := append([]byte(nil), line...)
+	r.mu.Lock()
+	r.buf[r.next] = cp
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of buffered lines.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Lines returns the buffered lines, oldest first.
+func (r *Ring) Lines() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out [][]byte
+	if r.full {
+		out = make([][]byte, 0, len(r.buf))
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf[:r.next]...)
+	}
+	return out
+}
+
+// WriteTo dumps the buffer as newline-terminated lines, oldest first.
+func (r *Ring) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, line := range r.Lines() {
+		n, err := w.Write(append(line, '\n'))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live diagnostics endpoint: Prometheus-text /metrics, JSONL
+// /trace, and net/http/pprof under /debug/pprof/. It is opt-in (the
+// -debug-addr flag on cmd/cyclops-run and cmd/cyclops-bench) and serves
+// while supersteps advance, so a stuck or slow run can be inspected instead
+// of silently spinning.
+type Server struct {
+	reg  *Registry
+	ring *Ring
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// NewMux builds the diagnostics routes. reg and ring may each be nil; the
+// corresponding endpoint then reports 404.
+func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/debug/pprof/\n")
+	})
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WriteTo(w)
+		})
+	}
+	if ring != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			ring.WriteTo(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the diagnostics server on addr (e.g. "localhost:6060", or
+// ":0" for an ephemeral port) and returns immediately; requests are handled
+// on a background goroutine until Close.
+func Serve(addr string, reg *Registry, ring *Ring) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		reg:  reg,
+		ring: ring,
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           NewMux(reg, ring),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL reports the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

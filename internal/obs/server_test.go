@@ -1,0 +1,210 @@
+package obs_test
+
+// Acceptance test for the live diagnostics server: while a Cyclops PageRank
+// run on the wiki-class synthetic dataset advances, /metrics must serve
+// parseable Prometheus text with the engine series present, /trace must serve
+// valid JSONL, and /debug/pprof/ must answer. A gate hook pauses the engine
+// between two supersteps so the scrapes deterministically observe a run in
+// flight.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclops/internal/algorithms"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gen"
+	"cyclops/internal/metrics"
+	"cyclops/internal/obs"
+)
+
+// gate blocks the engine's coordinator at the end of superstep `at` until the
+// test releases it.
+type gate struct {
+	obs.Nop
+	at      int
+	reached chan struct{}
+	release chan struct{}
+}
+
+func (g *gate) OnSuperstepEnd(step int, _ metrics.StepStats) {
+	if step == g.at {
+		close(g.reached)
+		<-g.release
+	}
+}
+
+// promLine matches one Prometheus text exposition sample line.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? ` +
+		`(-?[0-9.e+-]+|\+Inf|NaN)$`)
+
+func TestServerLiveDuringRun(t *testing.T) {
+	g, _, err := gen.Dataset("wiki", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer(nil, obs.TracerOptions{})
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	collector := obs.NewCollector(reg)
+	gt := &gate{at: 2, reached: make(chan struct{}), release: make(chan struct{})}
+
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: 1e-9},
+		cyclops.Config[float64, float64]{
+			Cluster:       cluster.Flat(2, 2),
+			MaxSupersteps: 20,
+			Hooks:         obs.Multi(tracer, collector, gt),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector.WatchTransport(e.TransportStats)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run()
+		done <- err
+	}()
+
+	select {
+	case <-gt.reached:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never reached superstep 2")
+	}
+	// The run is now provably in flight: superstep 2 ended, the coordinator
+	// is parked in our gate, more supersteps are pending.
+
+	t.Run("metrics", func(t *testing.T) {
+		body := get(t, srv.URL()+"/metrics", "text/plain")
+		var samples int
+		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if !promLine.MatchString(line) {
+				t.Errorf("unparseable Prometheus sample line: %q", line)
+			}
+			samples++
+		}
+		if samples == 0 {
+			t.Fatal("no samples in /metrics")
+		}
+		for _, want := range []string{
+			obs.MetricSupersteps + " 3", // steps 0,1,2 completed, run gated
+			obs.MetricActive,
+			obs.MetricMessages,
+			obs.MetricPhase + `_bucket{phase="CMP"`,
+			obs.MetricReplication,
+			obs.MetricTransportMessages,
+			obs.MetricWorkers + " 4",
+			"go_goroutines",
+			"go_heap_alloc_bytes",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		body := get(t, srv.URL()+"/trace", "application/x-ndjson")
+		sc := bufio.NewScanner(strings.NewReader(body))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		var lines, runStarts, stepEnds int
+		for sc.Scan() {
+			var ev map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+			}
+			lines++
+			switch ev["msg"] {
+			case "run-start":
+				runStarts++
+				if ev["engine"] != "cyclops" {
+					t.Errorf("run-start engine = %v, want cyclops", ev["engine"])
+				}
+			case "superstep":
+				stepEnds++
+			}
+		}
+		if lines == 0 || runStarts != 1 || stepEnds != 3 {
+			t.Errorf("trace shape: %d lines, %d run-starts, %d superstep ends; want >0/1/3",
+				lines, runStarts, stepEnds)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		get(t, srv.URL()+"/debug/pprof/", "")
+		get(t, srv.URL()+"/debug/pprof/goroutine?debug=1", "")
+	})
+
+	close(gt.release)
+	if err := <-done; err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+
+	// After the run, the converged counter and final step totals must land.
+	body := get(t, srv.URL()+"/metrics", "")
+	if !strings.Contains(body, obs.MetricRunsDone) {
+		t.Errorf("post-run /metrics missing %s", obs.MetricRunsDone)
+	}
+}
+
+func get(t *testing.T, url, wantCT string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if wantCT != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), wantCT) {
+		t.Fatalf("GET %s: Content-Type %q, want prefix %q", url, resp.Header.Get("Content-Type"), wantCT)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}
+
+// TestServeEphemeralPort keeps ":0" usable for tests and CLIs.
+func TestServeEphemeralPort(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", srv.URL())
+	}
+	body := get(t, srv.URL()+"/", "")
+	for _, want := range []string{"/metrics", "/trace", "/debug/pprof/"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	if resp, err := http.Get(srv.URL() + "/nope"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
