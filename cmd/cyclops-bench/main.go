@@ -33,7 +33,10 @@ func main() {
 		workers   = flag.Int("workers", 8, "workers per machine (paper: 8)")
 		eps       = flag.Float64("eps", 1e-9, "PageRank convergence bound")
 		traceCSV  = flag.String("trace", "", "write per-superstep statistics of every engine run to this CSV file")
-		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /debug/pprof) on this address")
+		commCSV   = flag.String("comm", "", "write the last engine run's per-superstep worker×worker traffic matrix to this CSV file")
+		skew      = flag.Bool("skew", false, "print each run's load-imbalance profile after the experiments")
+		audit     = flag.Bool("audit", false, "verify engine invariants each superstep; a violation fails the experiment")
+		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
 		verbose   = flag.Bool("verbose", false, "narrate each experiment's supersteps as JSONL events on stderr")
 	)
 	flag.Parse()
@@ -55,32 +58,49 @@ func main() {
 		Machines:          *mach,
 		WorkersPerMachine: *workers,
 		Eps:               *eps,
+		Audit:             *audit,
 	}
 
 	// Live observability: a tracer narrates supersteps (to stderr when
-	// -verbose, ring-buffer-only otherwise) and a collector feeds /metrics.
-	// With neither flag set, Hooks stays nil and engines keep their fast
-	// path.
+	// -verbose, ring-buffer-only otherwise), a collector feeds /metrics, a
+	// comm tracker accumulates the traffic matrix and a skew profiler folds
+	// worker stats into imbalance coefficients. With no flags set, Hooks
+	// stays nil and engines keep their fast path.
+	var hookList []obs.Hooks
 	var tracer *obs.Tracer
 	if *verbose {
 		tracer = obs.NewTracer(os.Stderr, obs.TracerOptions{})
 	} else if *debugAddr != "" {
 		tracer = obs.NewTracer(nil, obs.TracerOptions{})
 	}
+	if tracer != nil {
+		hookList = append(hookList, tracer)
+	}
+	var reg *obs.Registry
 	if *debugAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		obs.RegisterRuntime(reg)
-		collector := obs.NewCollector(reg)
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring())
+		hookList = append(hookList, obs.NewCollector(reg))
+	}
+	var comm *obs.CommTracker
+	if *commCSV != "" || *debugAddr != "" {
+		comm = obs.NewCommTracker()
+		hookList = append(hookList, comm)
+	}
+	var skewProf *obs.SkewProfiler
+	if *skew {
+		skewProf = obs.NewSkewProfiler(reg) // reg may be nil: report-only mode
+		hookList = append(hookList, skewProf)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "cyclops-bench: diagnostics at %s\n", srv.URL())
-		o.Hooks = obs.Multi(tracer, collector)
-	} else if tracer != nil {
-		o.Hooks = tracer
 	}
+	o.Hooks = obs.Multi(hookList...)
 
 	var traces []*metrics.Trace
 	if *traceCSV != "" {
@@ -123,6 +143,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d run traces to %s\n", len(traces), *traceCSV)
+	}
+	if skewProf != nil {
+		fmt.Println("\nskew profiles (imbalance = max/mean across workers, peak over supersteps):")
+		for _, rep := range skewProf.Reports() {
+			fmt.Println(" ", rep)
+		}
+	}
+	if *commCSV != "" {
+		f, err := os.Create(*commCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := comm.WriteCSV(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote traffic matrix to %s\n", *commCSV)
 	}
 }
 

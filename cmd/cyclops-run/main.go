@@ -7,12 +7,13 @@
 //
 //	cyclops-run -algo PR -dataset gweb -engine cyclops -machines 6 -threads 8
 //	cyclops-run -algo SSSP -graph road.txt -engine hama
-//	cyclops-run -algo PR -dataset amazon -engine powergraph
+//	cyclops-run -algo PR -dataset amazon -engine powergraph -audit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -31,34 +32,50 @@ import (
 )
 
 func main() {
+	if err := cliMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-run:", err)
+		os.Exit(1)
+	}
+}
+
+// cliMain is the whole CLI behind a testable seam: flags in, output to the
+// given writers, errors returned instead of exiting.
+func cliMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cyclops-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		algo      = flag.String("algo", "PR", "algorithm: PR, SSSP, CD, CC")
-		dsName    = flag.String("dataset", "", "synthetic dataset name (see graphgen -list)")
-		graphFile = flag.String("graph", "", "edge-list file (alternative to -dataset; .bin files use the binary CSR format)")
-		loaders   = flag.Int("loaders", 4, "parallel parser goroutines for text edge lists")
-		engine    = flag.String("engine", "cyclops", "engine: hama, cyclops, powergraph")
-		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed      = flag.Int64("seed", 1, "dataset seed")
-		machines  = flag.Int("machines", 6, "simulated machines")
-		workers   = flag.Int("workers", 1, "workers per machine")
-		threads   = flag.Int("threads", 1, "compute threads per worker (CyclopsMT)")
-		receivers = flag.Int("receivers", 1, "receiver threads per worker (CyclopsMT)")
-		partName  = flag.String("partitioner", "hash", "partitioner: hash, metis, range")
-		eps       = flag.Float64("eps", 1e-9, "convergence bound (PR)")
-		steps     = flag.Int("steps", 100, "max supersteps")
-		source    = flag.Uint("source", 0, "source vertex (SSSP)")
-		top       = flag.Int("top", 5, "print the top-N result vertices")
-		traceCSV  = flag.String("trace", "", "write per-superstep statistics to this CSV file")
-		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /debug/pprof) on this address")
-		verbose   = flag.Bool("verbose", false, "narrate supersteps as JSONL events on stderr")
+		algo      = fs.String("algo", "PR", "algorithm: PR, SSSP, CD, CC")
+		dsName    = fs.String("dataset", "", "synthetic dataset name (see graphgen -list)")
+		graphFile = fs.String("graph", "", "edge-list file (alternative to -dataset; .bin files use the binary CSR format)")
+		loaders   = fs.Int("loaders", 4, "parallel parser goroutines for text edge lists")
+		engine    = fs.String("engine", "cyclops", "engine: hama, cyclops, powergraph")
+		scale     = fs.Float64("scale", 1.0, "dataset scale factor")
+		seed      = fs.Int64("seed", 1, "dataset seed")
+		machines  = fs.Int("machines", 6, "simulated machines")
+		workers   = fs.Int("workers", 1, "workers per machine")
+		threads   = fs.Int("threads", 1, "compute threads per worker (CyclopsMT)")
+		receivers = fs.Int("receivers", 1, "receiver threads per worker (CyclopsMT)")
+		partName  = fs.String("partitioner", "hash", "partitioner: hash, metis, range")
+		eps       = fs.Float64("eps", 1e-9, "convergence bound (PR)")
+		steps     = fs.Int("steps", 100, "max supersteps")
+		source    = fs.Uint("source", 0, "source vertex (SSSP)")
+		top       = fs.Int("top", 5, "print the top-N result vertices")
+		traceCSV  = fs.String("trace", "", "write per-superstep statistics to this CSV file")
+		commCSV   = fs.String("comm", "", "write the per-superstep worker×worker traffic matrix to this CSV file")
+		skewFlag  = fs.Bool("skew", false, "print the per-superstep load-imbalance profile after the run")
+		audit     = fs.Bool("audit", false, "verify the engine's structural invariants each superstep (replica consistency, message conservation, mirror coherence); a violation fails the run")
+		debugAddr = fs.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
+		verbose   = fs.Bool("verbose", false, "narrate supersteps as JSONL events on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	g, err := loadGraph(*dsName, *graphFile, *scale, *seed, *loaders)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("graph: %s\n", graph.ComputeStats(g))
+	fmt.Fprintf(stdout, "graph: %s\n", graph.ComputeStats(g))
 
 	cc := cluster.Config{
 		Machines:          *machines,
@@ -68,55 +85,91 @@ func main() {
 	}
 	part, err := pickPartitioner(*partName, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Live observability (opt-in): -verbose narrates supersteps on stderr;
-	// -debug-addr additionally serves /metrics, /trace and /debug/pprof
-	// while the run advances.
-	var hooks obs.Hooks
+	// -debug-addr additionally serves /metrics, /trace, /comm and
+	// /debug/pprof while the run advances; -comm and -skew collect the
+	// traffic matrix and the imbalance profile without a server.
+	var hookList []obs.Hooks
 	var tracer *obs.Tracer
 	if *verbose {
-		tracer = obs.NewTracer(os.Stderr, obs.TracerOptions{})
+		tracer = obs.NewTracer(stderr, obs.TracerOptions{})
 	} else if *debugAddr != "" {
 		tracer = obs.NewTracer(nil, obs.TracerOptions{})
 	}
 	if tracer != nil {
-		hooks = tracer
+		hookList = append(hookList, tracer)
+	}
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		hookList = append(hookList, obs.NewCollector(reg))
+	}
+	var comm *obs.CommTracker
+	if *commCSV != "" || *debugAddr != "" {
+		comm = obs.NewCommTracker()
+		hookList = append(hookList, comm)
+	}
+	var skew *obs.SkewProfiler
+	if *skewFlag {
+		skew = obs.NewSkewProfiler(reg) // reg may be nil: report-only mode
+		hookList = append(hookList, skew)
 	}
 	if *debugAddr != "" {
-		reg := obs.NewRegistry()
-		obs.RegisterRuntime(reg)
-		collector := obs.NewCollector(reg)
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring())
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "cyclops-run: diagnostics at %s\n", srv.URL())
-		hooks = obs.Multi(tracer, collector)
+		fmt.Fprintf(stderr, "cyclops-run: diagnostics at %s\n", srv.URL())
 	}
+	hooks := obs.Multi(hookList...)
 
-	values, summary, trace, err := run(*engine, *algo, g, cc, part, *eps, *steps, graph.ID(*source), hooks)
+	values, summary, trace, err := run(*engine, *algo, g, cc, part, *eps, *steps,
+		graph.ID(*source), hooks, *audit)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(summary)
-	printTop(values, *top)
+	fmt.Fprintln(stdout, summary)
+	printTop(stdout, values, *top)
+	if skew != nil {
+		for _, rep := range skew.Reports() {
+			if err := rep.WriteTable(stdout); err != nil {
+				return err
+			}
+		}
+	}
 	if *traceCSV != "" && trace != nil {
-		f, err := os.Create(*traceCSV)
-		if err != nil {
-			fatal(err)
+		if err := writeFile(*traceCSV, func(f io.Writer) error {
+			return metrics.WriteCSV(f, trace)
+		}); err != nil {
+			return err
 		}
-		if err := metrics.WriteCSV(f, trace); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Println("wrote trace to", *traceCSV)
+		fmt.Fprintln(stdout, "wrote trace to", *traceCSV)
 	}
+	if *commCSV != "" {
+		if err := writeFile(*commCSV, comm.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote traffic matrix to", *commCSV)
+	}
+	return nil
+}
+
+// writeFile creates path, streams write into it, and reports close errors.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadGraph(dsName, graphFile string, scale float64, seed int64, loaders int) (*graph.Graph, error) {
@@ -150,12 +203,12 @@ func pickPartitioner(name string, seed int64) (partition.Partitioner, error) {
 
 func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	part partition.Partitioner, eps float64, steps int, source graph.ID,
-	hooks obs.Hooks) ([]float64, string, *metrics.Trace, error) {
+	hooks obs.Hooks, audit bool) ([]float64, string, *metrics.Trace, error) {
 
 	switch engine + "/" + algo {
 	case "cyclops/PR":
 		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: eps},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -166,7 +219,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "cyclops/SSSP":
 		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: source},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -177,7 +230,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CD":
 		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -189,7 +242,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	case "hama/PR":
 		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: eps},
 			bsp.Config[float64, float64]{
-				Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks,
+				Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit,
 				Halt: aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), eps),
 			})
 		if err != nil {
@@ -202,7 +255,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "hama/SSSP":
 		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: source},
-			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
+			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -213,7 +266,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CC":
 		e, err := cyclops.New[int64, int64](g, algorithms.CCCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -226,7 +279,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
 	case "hama/CC":
 		e, err := bsp.New[int64, int64](g, algorithms.CCBSP{},
-			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks})
+			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -240,7 +293,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	case "hama/CD":
 		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
 			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Halt: algorithms.CDHalt()})
+				Hooks: hooks, Audit: audit, Halt: algorithms.CDHalt()})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -251,7 +304,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return toFloats(e.Values()), tr.String(), tr, nil
 	case "powergraph/PR":
 		e, err := gas.New[algorithms.PRValue, float64](g, algorithms.NewPageRankGAS(g, steps, eps),
-			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks})
+			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -263,7 +316,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "powergraph/SSSP":
 		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: source},
-			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks})
+			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -285,7 +338,7 @@ func toFloats(in []int64) []float64 {
 	return out
 }
 
-func printTop(values []float64, n int) {
+func printTop(w io.Writer, values []float64, n int) {
 	type kv struct {
 		v   int
 		val float64
@@ -298,13 +351,8 @@ func printTop(values []float64, n int) {
 	if n > len(order) {
 		n = len(order)
 	}
-	fmt.Printf("top %d vertices:\n", n)
+	fmt.Fprintf(w, "top %d vertices:\n", n)
 	for _, e := range order[:n] {
-		fmt.Printf("  vertex %-8d %g\n", e.v, e.val)
+		fmt.Fprintf(w, "  vertex %-8d %g\n", e.v, e.val)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cyclops-run:", err)
-	os.Exit(1)
 }

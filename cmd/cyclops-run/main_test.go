@@ -1,0 +1,85 @@
+package main
+
+// End-to-end smoke test: the CLI must run a tiny PageRank job to completion
+// with tracing, traffic-matrix export, skew profiling and the invariant
+// auditor all on, exit cleanly, and leave non-empty CSV artifacts behind.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cyclops/internal/obs"
+)
+
+func TestCLISmokePageRank(t *testing.T) {
+	dir := t.TempDir()
+	traceCSV := filepath.Join(dir, "trace.csv")
+	commCSV := filepath.Join(dir, "comm.csv")
+
+	var stdout, stderr bytes.Buffer
+	err := cliMain([]string{
+		"-dataset", "wiki", "-scale", "0.02", "-algo", "PR", "-engine", "cyclops",
+		"-machines", "2", "-workers", "2", "-steps", "30",
+		"-audit", "-skew",
+		"-trace", traceCSV, "-comm", commCSV,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("cliMain failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	out := stdout.String()
+	for _, want := range []string{
+		"graph:",
+		"cyclops:",              // trace summary line
+		"phases:",               // Trace.String now includes the phase ratios
+		"replication factor:",   // engine-specific summary
+		"top 5 vertices:",       // result rendering
+		"skew profile: cyclops", // -skew report
+		"wrote trace to",
+		"wrote traffic matrix to",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	trace, err := os.ReadFile(traceCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(trace), "\n"); lines < 2 {
+		t.Errorf("trace CSV has %d lines, want a header plus supersteps", lines)
+	}
+
+	comm, err := os.ReadFile(commCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(comm), obs.CommCSVHeader) {
+		t.Errorf("comm CSV header = %q, want %q", firstLine(string(comm)), obs.CommCSVHeader)
+	}
+	if lines := strings.Count(string(comm), "\n"); lines < 2 {
+		t.Errorf("comm CSV has %d lines, want a header plus traffic rows", lines)
+	}
+}
+
+func TestCLIErrorsReturnNotExit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := cliMain([]string{"-engine", "nope", "-dataset", "wiki", "-scale", "0.01"},
+		&stdout, &stderr); err == nil {
+		t.Fatal("unknown engine must surface as an error")
+	}
+	if err := cliMain(nil, &stdout, &stderr); err == nil {
+		t.Fatal("missing -dataset/-graph must surface as an error")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

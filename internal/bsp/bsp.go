@@ -79,6 +79,12 @@ type Config[V, M any] struct {
 	// and per-worker stats). nil disables observation; the hot path then
 	// pays only a nil-check per phase.
 	Hooks obs.Hooks
+	// Audit verifies message conservation each superstep: every envelope put
+	// on the wire at SND must be delivered by the next PRS — BSP's analogue
+	// of Cyclops' replica invariants (there are no replicas to check here).
+	// A violation fails the run with *obs.AuditError. Off by default; when
+	// off the loop pays one branch per phase.
+	Audit bool
 }
 
 // envelope routes one message to a destination vertex.
@@ -122,6 +128,13 @@ type Engine[V, M any] struct {
 
 	step   int
 	primed bool
+
+	// auditPrevSent is the wire-level envelope count of the previous SND
+	// phase, compared against the next PRS delivery count when Audit is on.
+	// -1 means "no previous superstep to check against" (fresh or restored
+	// engine): the Combiner makes logical sent ≠ wire envelopes, so the count
+	// must be taken at flush time, and a restore replaces in-flight state.
+	auditPrevSent int64
 }
 
 // Close releases transport resources (sockets in TCPLoopback mode).
@@ -166,6 +179,8 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		agg:    aggregate.NewRegistry(),
 		trace:  &metrics.Trace{Engine: "hama", Workers: workers},
 		model:  metrics.DefaultCostModel(),
+
+		auditPrevSent: -1,
 	}
 	if cfg.CostModel != nil {
 		e.model = *cfg.CostModel
@@ -307,6 +322,14 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		})
 	}
 	stopReason := obs.ReasonMaxSupersteps
+
+	// prevComm anchors the per-superstep traffic deltas; starting from the
+	// current snapshot keeps deltas correct across resumed runs.
+	var prevComm transport.MatrixSnapshot
+	if hooks != nil {
+		prevComm = e.tr.Matrix().Snapshot()
+	}
+
 	if !e.primed {
 		// Establish round 0 so the first superstep's drain has markers to
 		// consume on round-based transports.
@@ -350,11 +373,34 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			hooks.OnPhase(e.step, metrics.Parse, stats.Durations[metrics.Parse])
 		}
 
+		// Audit: every envelope the previous SND put on the wire must have
+		// arrived. The count is wire-level (post-Combiner), so it is exact.
+		var violations []obs.Violation
+		if e.cfg.Audit && e.auditPrevSent >= 0 {
+			var delivered int64
+			for _, r := range recvCounts {
+				delivered += r
+			}
+			if delivered != e.auditPrevSent {
+				violations = append(violations, obs.Violation{
+					Engine: e.trace.Engine,
+					Step:   e.step,
+					Worker: -1,
+					Vertex: -1,
+					Kind:   obs.ViolationMessageConservation,
+					Detail: fmt.Sprintf(
+						"superstep %d delivered %d envelopes but superstep %d put %d on the wire",
+						e.step, delivered, e.step-1, e.auditPrevSent),
+				})
+			}
+		}
+
 		// CMP: run Compute on active vertices, one thread per worker.
 		start = time.Now()
 		var active, changed, sentTotal, redundant atomic.Int64
 		var computeMax, sendMax int64
 		computeUnits := make([]int64, workers)
+		activeCounts := make([]int64, workers)
 		sendCounts := make([]int64, workers)
 		partials := make([]aggregate.Values, workers)
 		outs := make([][][]envelope[M], workers)
@@ -393,6 +439,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					}
 				}
 				computeUnits[w] = units
+				activeCounts[w] = computed
 				sendCounts[w] = sent
 				partials[w] = ctx.local
 				outs[w] = ctx.out
@@ -419,17 +466,27 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// SND: flush per-worker bundles through the transport. Senders from
 		// all workers contend on each receiver's global queue lock.
 		start = time.Now()
+		wireCounts := make([]int64, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var wire int64
 				for to, batch := range outs[w] {
+					wire += int64(len(batch))
 					e.tr.Send(w, to, batch)
 				}
 				e.tr.FinishRound(w)
+				wireCounts[w] = wire
 			}(w)
 		}
 		wg.Wait()
+		if e.cfg.Audit {
+			e.auditPrevSent = 0
+			for _, n := range wireCounts {
+				e.auditPrevSent += n
+			}
+		}
 		stats.Durations[metrics.Send] = time.Since(start)
 		if hooks != nil {
 			hooks.OnPhase(e.step, metrics.Send, stats.Durations[metrics.Send])
@@ -459,10 +516,23 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					ComputeUnits: computeUnits[w],
 					Sent:         sendCounts[w],
 					Received:     recvCounts[w],
+					Active:       activeCounts[w],
 					QueueDepth:   recvBatches[w],
 				})
 			}
+			cur := e.tr.Matrix().Snapshot()
+			hooks.OnCommMatrix(e.step, cur.Sub(prevComm))
+			prevComm = cur
+			for _, v := range violations {
+				hooks.OnViolation(v)
+			}
 			hooks.OnSuperstepEnd(e.step, stats)
+		}
+		if len(violations) > 0 {
+			if hooks != nil {
+				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
+			}
+			return e.trace, fmt.Errorf("bsp: %w", &obs.AuditError{Violations: violations})
 		}
 
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
@@ -573,5 +643,6 @@ func (e *Engine[V, M]) Restore(s State[V, M]) error {
 		e.inbox[v] = e.inbox[v][:0]
 	}
 	e.step = s.Step
+	e.auditPrevSent = -1 // restored pending state has no audited SND phase
 	return nil
 }

@@ -1,0 +1,94 @@
+package cyclops
+
+import (
+	"fmt"
+
+	"cyclops/internal/obs"
+)
+
+// The replica-invariant auditor (Config.Audit). Cyclops' communication
+// claims follow from three structural invariants of the distributed
+// immutable view (§3.4): sync traffic flows master→replica only, each
+// replica receives at most one message per superstep, and after the SYN
+// barrier every replica holds exactly its master's published value. The
+// engine maintains these by construction; the auditor re-derives them from
+// observed state each superstep so a regression (or a deliberate fault
+// injection in tests) surfaces as a structured violation instead of a wrong
+// result many supersteps later.
+
+// auditMaxViolations caps how many violations one check collects per
+// superstep, so a systemic fault doesn't flood the tracer: the run fails on
+// the first violation regardless.
+const auditMaxViolations = 64
+
+// auditDeliveries verifies invariants 2 and 3 on one worker's drained
+// batches: no message targets a master slot, and no replica slot is hit
+// twice. Called from the worker's own receive goroutine, before the batches
+// are applied; it only reads them.
+func (e *Engine[V, M]) auditDeliveries(w int, batches [][]syncMsg[M]) []obs.Violation {
+	ws := e.ws[w]
+	numMasters := ws.numMasters()
+	var out []obs.Violation
+	seen := make(map[int32]int)
+	for _, b := range batches {
+		for _, m := range b {
+			if int(m.Slot) < numMasters {
+				if len(out) < auditMaxViolations {
+					out = append(out, obs.Violation{
+						Engine: e.trace.Engine,
+						Step:   e.step,
+						Worker: w,
+						Vertex: int64(ws.masters[m.Slot]),
+						Kind:   obs.ViolationReplicaToMaster,
+						Detail: fmt.Sprintf("sync message targeted master slot %d", m.Slot),
+					})
+				}
+				continue
+			}
+			seen[m.Slot]++
+		}
+	}
+	for slot, n := range seen {
+		if n > 1 && len(out) < auditMaxViolations {
+			out = append(out, obs.Violation{
+				Engine: e.trace.Engine,
+				Step:   e.step,
+				Worker: w,
+				Vertex: int64(ws.replicaIDs[int(slot)-numMasters]),
+				Kind:   obs.ViolationDoubleDelivery,
+				Detail: fmt.Sprintf("replica slot %d received %d sync messages", slot, n),
+			})
+		}
+	}
+	return out
+}
+
+// auditViewConsistency verifies invariant 1 after the receive phase: every
+// replica's view value equals its master's. Exact equality is the right
+// test — sync messages carry the master's value verbatim.
+func (e *Engine[V, M]) auditViewConsistency() []obs.Violation {
+	var out []obs.Violation
+	for w, ws := range e.ws {
+		for s := range ws.masters {
+			for _, ref := range ws.replicas[s] {
+				if obs.ExactEqual(ws.view[s], e.ws[ref.worker].view[ref.slot]) {
+					continue
+				}
+				out = append(out, obs.Violation{
+					Engine: e.trace.Engine,
+					Step:   e.step,
+					Worker: int(ref.worker),
+					Vertex: int64(ws.masters[s]),
+					Kind:   obs.ViolationReplicaDesync,
+					Detail: fmt.Sprintf(
+						"replica at worker %d slot %d diverges from master at worker %d slot %d",
+						ref.worker, ref.slot, w, s),
+				})
+				if len(out) >= auditMaxViolations {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -77,6 +77,14 @@ type Config[V, M any] struct {
 	// and per-worker stats). nil disables observation; the hot path then
 	// pays only a nil-check per phase.
 	Hooks obs.Hooks
+	// Audit enables the replica-invariant auditor: after each SYN phase the
+	// engine verifies that every replica equals its master's published value,
+	// that each replica received at most one sync message, and that no
+	// message targeted a master slot (§3.4's unidirectional-communication
+	// invariants). Violations are reported through Hooks.OnViolation and
+	// fail the run with an *obs.AuditError. Off by default: auditing scans
+	// every replica each superstep.
+	Audit bool
 	// CheckpointEvery saves state every k supersteps to Checkpoints (k>0).
 	// Per §3.6, checkpoints exclude replicas and messages.
 	CheckpointEvery int
@@ -362,6 +370,16 @@ func (e *Engine[V, M]) ViewOf(id graph.ID) M {
 
 // TransportStats exposes raw traffic counters.
 func (e *Engine[V, M]) TransportStats() transport.Snapshot { return e.tr.Stats().Snapshot() }
+
+// workerReplicas reports how many replicas each worker hosts (the skew
+// profiler's replica-placement vector).
+func (e *Engine[V, M]) workerReplicas() []int64 {
+	out := make([]int64, len(e.ws))
+	for w, ws := range e.ws {
+		out[w] = int64(len(ws.replicaIDs))
+	}
+	return out
+}
 
 // Close releases transport resources (sockets in TCPLoopback mode).
 func (e *Engine[V, M]) Close() error { return e.tr.Close() }

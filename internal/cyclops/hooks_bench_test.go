@@ -26,6 +26,7 @@ import (
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
 	"cyclops/internal/partition"
+	"cyclops/internal/transport"
 )
 
 func benchGraph(b *testing.B) *graph.Graph {
@@ -38,12 +39,17 @@ func benchGraph(b *testing.B) *graph.Graph {
 }
 
 func runPR(tb testing.TB, g *graph.Graph, hooks obs.Hooks) {
+	runPRAudit(tb, g, hooks, false)
+}
+
+func runPRAudit(tb testing.TB, g *graph.Graph, hooks obs.Hooks, audit bool) {
 	e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: 1e-4},
 		cyclops.Config[float64, float64]{
 			Cluster:       cluster.Flat(2, 2),
 			Partitioner:   partition.Hash{},
 			MaxSupersteps: 30,
 			Hooks:         hooks,
+			Audit:         audit,
 		})
 	if err != nil {
 		tb.Fatal(err)
@@ -84,9 +90,35 @@ func BenchmarkHooksTracer(b *testing.B) {
 	}
 }
 
+// BenchmarkAuditOff prices the default Audit=false path. The auditor adds
+// one branch per superstep and one per receive phase when disabled, so this
+// must stay within noise of BenchmarkHooksNil (the PR 1 baseline, which also
+// already includes the transport's per-peer matrix counting — two atomic
+// adds per batch).
+func BenchmarkAuditOff(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPRAudit(b, g, nil, false)
+	}
+}
+
+// BenchmarkAuditOn prices the full replica-invariant audit — a delivery
+// pre-pass over every drained batch plus an exact-equality scan of every
+// replica against its master, each superstep. This is the documented cost of
+// -audit; it is opt-in and deliberately not optimised further.
+func BenchmarkAuditOn(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPRAudit(b, g, nil, true)
+	}
+}
+
 // countingHooks records how often each hook fires.
 type countingHooks struct {
 	runStarts, stepStarts, phases, workerStats, stepEnds, converged atomic.Int64
+	commSteps, commMessages, violations                             atomic.Int64
 	lastReason                                                      string
 	lastStats                                                       metrics.StepStats
 }
@@ -97,6 +129,11 @@ func (c *countingHooks) OnPhase(int, metrics.Phase, time.Duration) {
 	c.phases.Add(1)
 }
 func (c *countingHooks) OnWorkerStats(obs.WorkerStats) { c.workerStats.Add(1) }
+func (c *countingHooks) OnCommMatrix(_ int, delta transport.MatrixSnapshot) {
+	c.commSteps.Add(1)
+	c.commMessages.Add(delta.TotalMessages())
+}
+func (c *countingHooks) OnViolation(obs.Violation) { c.violations.Add(1) }
 func (c *countingHooks) OnSuperstepEnd(_ int, s metrics.StepStats) {
 	c.stepEnds.Add(1)
 	c.lastStats = s
@@ -129,6 +166,13 @@ func TestHookSequenceOnRealRun(t *testing.T) {
 	// Flat(2,2) = 4 workers, one stats record each per superstep.
 	if c.workerStats.Load() != 4*steps {
 		t.Fatalf("worker stats: %d, want 4 per %d supersteps", c.workerStats.Load(), steps)
+	}
+	// One traffic-matrix delta per superstep; a clean run has no violations.
+	if c.commSteps.Load() != steps {
+		t.Fatalf("comm matrices: %d, want 1 per %d supersteps", c.commSteps.Load(), steps)
+	}
+	if c.violations.Load() != 0 {
+		t.Fatalf("violations on a clean run: %d", c.violations.Load())
 	}
 	if c.lastReason != obs.ReasonHalt && c.lastReason != obs.ReasonNoActive &&
 		c.lastReason != obs.ReasonMaxSupersteps {

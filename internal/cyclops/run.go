@@ -9,6 +9,7 @@ import (
 	"cyclops/internal/aggregate"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/transport"
 )
 
 // pending holds a worker's publish results for the update phase. Compute
@@ -34,14 +35,22 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	hooks := e.cfg.Hooks
 	if hooks != nil {
 		hooks.OnRunStart(obs.RunInfo{
-			Engine:   e.trace.Engine,
-			Workers:  workers,
-			Vertices: e.g.NumVertices(),
-			Edges:    e.g.NumEdges(),
-			Replicas: e.ingress.Replicas,
+			Engine:         e.trace.Engine,
+			Workers:        workers,
+			Vertices:       e.g.NumVertices(),
+			Edges:          e.g.NumEdges(),
+			Replicas:       e.ingress.Replicas,
+			WorkerReplicas: e.workerReplicas(),
 		})
 	}
 	stopReason := obs.ReasonMaxSupersteps
+
+	// prevComm anchors the per-superstep traffic deltas; starting from the
+	// current snapshot keeps deltas correct across resumed runs.
+	var prevComm transport.MatrixSnapshot
+	if hooks != nil {
+		prevComm = e.tr.Matrix().Snapshot()
+	}
 
 	pend := make([]pending[M], workers)
 	for w := range pend {
@@ -62,6 +71,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		start := time.Now()
 		var active, changedTotal atomic.Int64
 		computeUnits := make([]int64, workers)
+		activeCounts := make([]int64, workers)
 		partials := make([][]aggregate.Values, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -110,6 +120,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					computed += activeCh[t]
 				}
 				computeUnits[w] = units
+				activeCounts[w] = computed
 				active.Add(computed)
 			}(w)
 		}
@@ -158,9 +169,13 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 							atomic.StoreUint32(&ws.next[ls], 1)
 						}
 					}
+					// Send the view value, not the raw publish: when Equal
+					// suppressed a sub-epsilon change the master's view kept
+					// the old value, and replicas must match it exactly
+					// (§3.4's consistency invariant, checked by Audit).
 					for _, ref := range ws.replicas[s] {
 						out[ref.worker] = append(out[ref.worker],
-							syncMsg[M]{Slot: ref.slot, Val: val, Activate: activate})
+							syncMsg[M]{Slot: ref.slot, Val: ws.view[s], Activate: activate})
 						sent++
 					}
 				}
@@ -184,6 +199,10 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		start = time.Now()
 		recvCounts := make([]int64, workers)
 		recvBatches := make([]int64, workers)
+		var auditPerW [][]obs.Violation
+		if e.cfg.Audit {
+			auditPerW = make([][]obs.Violation, workers)
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
@@ -195,6 +214,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					recv += int64(len(b))
 				}
 				recvBatches[w] = int64(len(batches))
+				if e.cfg.Audit {
+					auditPerW[w] = e.auditDeliveries(w, batches)
+				}
 				var rwg sync.WaitGroup
 				for r := 0; r < receivers; r++ {
 					rwg.Add(1)
@@ -220,6 +242,16 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		stats.Durations[metrics.Parse] = time.Since(start) // replica apply ≈ Cyclops' PRS
 		if hooks != nil {
 			hooks.OnPhase(e.step, metrics.Parse, stats.Durations[metrics.Parse])
+		}
+
+		// Audit: with all replicas refreshed and the barrier passed, every
+		// replica must now equal its master's published view value.
+		var violations []obs.Violation
+		if e.cfg.Audit {
+			for _, vs := range auditPerW {
+				violations = append(violations, vs...)
+			}
+			violations = append(violations, e.auditViewConsistency()...)
 		}
 
 		// SYN: hierarchical or flat barrier — fold aggregates, swap
@@ -281,10 +313,23 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					ComputeUnits: computeUnits[w],
 					Sent:         sendCounts[w],
 					Received:     recvCounts[w],
+					Active:       activeCounts[w],
 					QueueDepth:   recvBatches[w],
 				})
 			}
+			cur := e.tr.Matrix().Snapshot()
+			hooks.OnCommMatrix(e.step, cur.Sub(prevComm))
+			prevComm = cur
+			for _, v := range violations {
+				hooks.OnViolation(v)
+			}
 			hooks.OnSuperstepEnd(e.step, stats)
+		}
+		if len(violations) > 0 {
+			if hooks != nil {
+				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
+			}
+			return e.trace, fmt.Errorf("cyclops: %w", &obs.AuditError{Violations: violations})
 		}
 
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&

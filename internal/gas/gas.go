@@ -143,6 +143,12 @@ type Config[V, G any] struct {
 	// Hooks receives live instrumentation events (run/superstep/phase spans
 	// and per-worker stats). nil disables observation.
 	Hooks obs.Hooks
+	// Audit verifies mirror coherence after every superstep: each mirror's
+	// cached value must exactly equal its master's (the GAS analogue of
+	// Cyclops' replica invariant — apply pushes are PowerGraph's only value
+	// channel, so a divergent mirror means a lost or corrupted push). A
+	// violation fails the run with *obs.AuditError. Off by default.
+	Audit bool
 }
 
 // message kinds: the five per-mirror messages of §2.3.
@@ -204,8 +210,9 @@ type Engine[V, G any] struct {
 	trace *metrics.Trace
 	model metrics.CostModel
 
-	mirrors int64 // total mirror count (replication metric)
-	step    int
+	mirrors     int64   // total mirror count (replication metric)
+	mirrorsPerW []int64 // mirrors hosted per worker (skew reporting)
+	step        int
 }
 
 // New builds the engine: cuts edges across workers, creates masters and
@@ -227,13 +234,14 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 		return nil, fmt.Errorf("gas: transport: %w", err)
 	}
 	e := &Engine[V, G]{
-		g:     g,
-		prog:  prog,
-		cfg:   cfg,
-		ws:    make([]*workerState[V], k),
-		tr:    tr,
-		trace: &metrics.Trace{Engine: "powergraph", Workers: k},
-		model: metrics.DefaultCostModel(),
+		g:           g,
+		prog:        prog,
+		cfg:         cfg,
+		ws:          make([]*workerState[V], k),
+		tr:          tr,
+		trace:       &metrics.Trace{Engine: "powergraph", Workers: k},
+		model:       metrics.DefaultCostModel(),
+		mirrorsPerW: make([]int64, k),
 	}
 	if cfg.CostModel != nil {
 		e.model = *cfg.CostModel
@@ -306,6 +314,7 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 				mirror.masterSlot = ms
 				master.mirrors = append(master.mirrors, mirrorRef{worker: int32(w), slot: s})
 				e.mirrors++
+				e.mirrorsPerW[w]++
 			}
 		}
 	}
@@ -364,31 +373,44 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 	hooks := e.cfg.Hooks
 	if hooks != nil {
 		hooks.OnRunStart(obs.RunInfo{
-			Engine:   e.trace.Engine,
-			Workers:  k,
-			Vertices: e.g.NumVertices(),
-			Edges:    e.g.NumEdges(),
-			Replicas: e.mirrors,
+			Engine:         e.trace.Engine,
+			Workers:        k,
+			Vertices:       e.g.NumVertices(),
+			Edges:          e.g.NumEdges(),
+			Replicas:       e.mirrors,
+			WorkerReplicas: append([]int64(nil), e.mirrorsPerW...),
 		})
 	}
 	stopReason := obs.ReasonMaxSupersteps
+
+	// prevComm anchors the per-superstep traffic deltas; starting from the
+	// current snapshot keeps deltas correct across resumed runs.
+	var prevComm transport.MatrixSnapshot
+	if hooks != nil {
+		prevComm = e.tr.Matrix().Snapshot()
+	}
+
 	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
 		stats := metrics.StepStats{Step: e.step}
 		var msgs, computeUnits atomic.Int64
 		var active int64
 		// Per-worker counters for OnWorkerStats; allocated only when
 		// observation is on.
-		var sentPerW, unitsPerW, recvPerW, batchPerW []int64
+		var sentPerW, unitsPerW, recvPerW, batchPerW, activePerW []int64
 		if hooks != nil {
 			sentPerW = make([]int64, k)
 			unitsPerW = make([]int64, k)
 			recvPerW = make([]int64, k)
 			batchPerW = make([]int64, k)
+			activePerW = make([]int64, k)
 		}
-		for _, ws := range e.ws {
+		for w, ws := range e.ws {
 			for s := range ws.verts {
 				if ws.verts[s].master && ws.verts[s].active {
 					active++
+					if activePerW != nil {
+						activePerW[w]++
+					}
 				}
 			}
 		}
@@ -608,6 +630,14 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			hooks.OnPhase(e.step, metrics.Compute, stats.Durations[metrics.Compute])
 		}
 
+		// Audit: round 4 refreshed every applied master's mirrors, and
+		// unapplied masters did not change — so every mirror must now equal
+		// its master exactly.
+		var violations []obs.Violation
+		if e.cfg.Audit {
+			violations = e.auditMirrors()
+		}
+
 		// Barrier bookkeeping: set next activation.
 		synStart := time.Now()
 		for w := 0; w < k; w++ {
@@ -637,10 +667,23 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					ComputeUnits: unitsPerW[w],
 					Sent:         sentPerW[w],
 					Received:     recvPerW[w],
+					Active:       activePerW[w],
 					QueueDepth:   batchPerW[w],
 				})
 			}
+			cur := e.tr.Matrix().Snapshot()
+			hooks.OnCommMatrix(e.step, cur.Sub(prevComm))
+			prevComm = cur
+			for _, v := range violations {
+				hooks.OnViolation(v)
+			}
 			hooks.OnSuperstepEnd(e.step, stats)
+		}
+		if len(violations) > 0 {
+			if hooks != nil {
+				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
+			}
+			return e.trace, fmt.Errorf("gas: %w", &obs.AuditError{Violations: violations})
 		}
 		if e.cfg.OnStep != nil {
 			e.cfg.OnStep(e.step, e)

@@ -23,6 +23,7 @@ import (
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
 	"cyclops/internal/partition"
+	"cyclops/internal/transport"
 )
 
 // Options configures all experiments.
@@ -47,6 +48,10 @@ type Options struct {
 	// TraceSink, when set, receives each finished run's per-superstep
 	// trace (cyclops-bench -trace collects these into one CSV).
 	TraceSink func(*metrics.Trace)
+	// Audit turns on each engine's invariant auditor (replica consistency on
+	// Cyclops, message conservation on Hama, mirror coherence on PowerGraph).
+	// A violation fails the experiment with *obs.AuditError.
+	Audit bool
 }
 
 // DefaultOptions mirrors the paper's testbed shape at laptop scale.
@@ -111,6 +116,7 @@ func Experiments() []Experiment {
 		{"table2", "Table 2: memory behaviour (PR, wiki)", Table2Memory},
 		{"table3", "Table 3: message-passing microbenchmark", Table3Micro},
 		{"table4", "Table 4: CyclopsMT vs PowerGraph (PR)", Table4PowerGraph},
+		{"comm", "Comm observatory: per-worker traffic matrix and skew (PR, gweb)", Comm},
 		{"ablation.queue", "Ablation: locked global queue vs per-sender queues", AblationQueue},
 		{"ablation.combiner", "Ablation: Hama message combiner on/off", AblationCombiner},
 		{"ablation.activation", "Ablation: dynamic activation vs eager recompute", AblationActivation},
@@ -162,6 +168,9 @@ type RunResult struct {
 	Values []float64
 	// Ingress carries Cyclops' replica-creation breakdown.
 	Ingress cyclops.IngressStats
+	// Transport holds the raw wire counters at the end of the run — the
+	// ground truth the /comm traffic matrix must sum to exactly.
+	Transport transport.Snapshot
 	// HeapPeak, GCs and GCPause (ns) are filled when memory tracking is on.
 	HeapPeak uint64
 	GCs      uint32
@@ -176,6 +185,7 @@ type runParams struct {
 	alsSweeps   int
 	alsUsers    int
 	trackMemory bool
+	audit       bool
 	onValues    func(step int, values []float64)
 	hooks       obs.Hooks
 	traceSink   func(*metrics.Trace)
@@ -184,7 +194,7 @@ type runParams struct {
 func defaultParams(o Options) runParams {
 	return runParams{
 		maxSteps: 200, eps: o.Eps, cdIters: 20, alsSweeps: 3,
-		hooks: o.Hooks, traceSink: o.TraceSink,
+		hooks: o.Hooks, traceSink: o.TraceSink, audit: o.Audit,
 	}
 }
 

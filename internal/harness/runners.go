@@ -35,6 +35,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Partitioner:   part,
 				MaxSupersteps: p.maxSteps,
 				Hooks:         p.hooks,
+				Audit:         p.audit,
 				Halt:          haltForPR(g.NumVertices(), p.eps),
 				// "Same value" at the working epsilon: the redundant-message
 				// metric of Figure 3(2) counts re-sends of converged ranks.
@@ -55,6 +56,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = append([]float64(nil), e.Values()...)
 		finish(&r, time.Since(start))
 	case "SSSP":
@@ -62,6 +64,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			bsp.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
 				Hooks:  p.hooks,
+				Audit:  p.audit,
 				OnStep: func(int, *bsp.Engine[float64, float64]) { mem.sample() },
 			})
 		if err != nil {
@@ -73,6 +76,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = append([]float64(nil), e.Values()...)
 		finish(&r, time.Since(start))
 	case "CD":
@@ -80,6 +84,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			bsp.Config[int64, int64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters + 1,
 				Hooks:  p.hooks,
+				Audit:  p.audit,
 				Halt:   algorithms.CDHalt(),
 				OnStep: func(int, *bsp.Engine[int64, int64]) { mem.sample() },
 			})
@@ -92,6 +97,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = int64sToFloats(e.Values())
 		finish(&r, time.Since(start))
 	case "ALS":
@@ -100,6 +106,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			bsp.Config[[]float64, algorithms.ALSMsg]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: cfg.TotalSupersteps() + 4,
 				Hooks:     p.hooks,
+				Audit:     p.audit,
 				SizeOfMsg: func(m algorithms.ALSMsg) int64 { return int64(8*len(m.Vec)) + 8 },
 				OnStep:    func(int, *bsp.Engine[[]float64, algorithms.ALSMsg]) { mem.sample() },
 			})
@@ -112,6 +119,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		finish(&r, time.Since(start))
 	default:
 		return r, fmt.Errorf("harness: unknown algorithm %q", algo)
@@ -134,6 +142,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			cyclops.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps,
 				Hooks: p.hooks,
+				Audit: p.audit,
 				Equal: func(a, b float64) bool { return abs64(a-b) < p.eps },
 				OnStep: func(step int, e *cyclops.Engine[float64, float64]) {
 					mem.sample()
@@ -151,6 +160,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = e.Values()
 		r.Replication = e.ReplicationFactor()
 		r.Ingress = e.Ingress()
@@ -160,6 +170,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			cyclops.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
 				Hooks:  p.hooks,
+				Audit:  p.audit,
 				OnStep: func(int, *cyclops.Engine[float64, float64]) { mem.sample() },
 			})
 		if err != nil {
@@ -171,6 +182,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = e.Values()
 		r.Replication = e.ReplicationFactor()
 		r.Ingress = e.Ingress()
@@ -180,6 +192,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			cyclops.Config[int64, int64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters,
 				Hooks:  p.hooks,
+				Audit:  p.audit,
 				OnStep: func(int, *cyclops.Engine[int64, int64]) { mem.sample() },
 			})
 		if err != nil {
@@ -191,6 +204,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = int64sToFloats(e.Values())
 		r.Replication = e.ReplicationFactor()
 		r.Ingress = e.Ingress()
@@ -201,6 +215,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			cyclops.Config[[]float64, []float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: cfg.TotalSupersteps(),
 				Hooks:     p.hooks,
+				Audit:     p.audit,
 				SizeOfMsg: func(m []float64) int64 { return int64(8 * len(m)) },
 				OnStep:    func(int, *cyclops.Engine[[]float64, []float64]) { mem.sample() },
 			})
@@ -213,6 +228,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Replication = e.ReplicationFactor()
 		r.Ingress = e.Ingress()
 		finish(&r, time.Since(start))
@@ -240,6 +256,7 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 			gas.Config[algorithms.PRValue, float64]{
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps,
 				Hooks: p.hooks,
+				Audit: p.audit,
 			})
 		if err != nil {
 			return r, err
@@ -250,6 +267,7 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = algorithms.Ranks(e.Values())
 		r.Replication = e.ReplicationFactor()
 		finish(&r, time.Since(start))
@@ -258,6 +276,7 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 			gas.Config[float64, float64]{
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps * 10,
 				Hooks: p.hooks,
+				Audit: p.audit,
 			})
 		if err != nil {
 			return r, err
@@ -268,6 +287,7 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 			return r, err
 		}
 		r.Trace = trace
+		r.Transport = e.TransportStats()
 		r.Values = e.Values()
 		r.Replication = e.ReplicationFactor()
 		finish(&r, time.Since(start))

@@ -138,11 +138,17 @@ func (t *Trace) PhaseRatios() [4]float64 {
 	return ratios
 }
 
-// String renders a compact multi-line summary for logs and the CLI.
+// String renders a compact multi-line summary for logs and the CLI,
+// including the phase breakdown of Figure 10(1).
 func (t *Trace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d workers, %d supersteps, %d msgs, wall %v, model %.2fms",
 		t.Engine, t.Workers, len(t.Steps), t.TotalMessages(),
 		t.TotalDuration().Round(time.Microsecond), t.ModelTime()/1e6)
+	ratios := t.PhaseRatios()
+	b.WriteString("\n  phases:")
+	for p := Phase(0); p < numPhases; p++ {
+		fmt.Fprintf(&b, " %s %.1f%%", p, ratios[p]*100)
+	}
 	return b.String()
 }

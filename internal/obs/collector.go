@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"cyclops/internal/metrics"
@@ -27,6 +29,14 @@ const (
 	MetricTransportBatches  = "cyclops_transport_batches_total"
 	MetricTransportBytes    = "cyclops_transport_bytes_total"
 	MetricTransportLocked   = "cyclops_transport_locked_enqueues_total"
+
+	// Communication observatory series.
+	MetricCommMessages    = "cyclops_comm_messages_total"
+	MetricCommBytes       = "cyclops_comm_bytes_total"
+	MetricWorkerEgress    = "cyclops_worker_egress_messages"
+	MetricWorkerIngress   = "cyclops_worker_ingress_messages"
+	MetricSkew            = "cyclops_skew_imbalance"
+	MetricAuditViolations = "cyclops_audit_violations_total"
 )
 
 // Collector is a Hooks implementation that folds engine events into a
@@ -44,6 +54,10 @@ type Collector struct {
 	phase       *Histogram
 	workers     *Gauge
 	replication *Gauge
+
+	egressMu sync.Mutex
+	egress   []int64 // cumulative per-worker sent messages, latest run
+	ingress  []int64 // cumulative per-worker received messages, latest run
 }
 
 // NewCollector registers the standard engine metrics on reg and returns the
@@ -117,6 +131,39 @@ func (c *Collector) OnPhase(step int, phase metrics.Phase, d time.Duration) {
 // OnWorkerStats implements Hooks (per-worker data feeds the tracer; the
 // registry keeps aggregate series only).
 func (c *Collector) OnWorkerStats(WorkerStats) {}
+
+// OnCommMatrix implements Hooks: exports each worker's cumulative egress and
+// ingress message counts of the current run as labelled gauges.
+func (c *Collector) OnCommMatrix(step int, delta transport.MatrixSnapshot) {
+	c.egressMu.Lock()
+	if step == 0 || len(c.egress) != delta.Workers {
+		c.egress = make([]int64, delta.Workers)
+		c.ingress = make([]int64, delta.Workers)
+	}
+	for w, v := range delta.Egress() {
+		c.egress[w] += v
+	}
+	for w, v := range delta.Ingress() {
+		c.ingress[w] += v
+	}
+	for w := range c.egress {
+		label := fmt.Sprintf("%d", w)
+		c.reg.LabeledGauge(MetricWorkerEgress,
+			"Messages sent by each worker, cumulative over the latest run.",
+			"worker", label).Set(float64(c.egress[w]))
+		c.reg.LabeledGauge(MetricWorkerIngress,
+			"Messages received by each worker, cumulative over the latest run.",
+			"worker", label).Set(float64(c.ingress[w]))
+	}
+	c.egressMu.Unlock()
+}
+
+// OnViolation implements Hooks: counts auditor findings by kind.
+func (c *Collector) OnViolation(v Violation) {
+	c.reg.LabeledCounter(MetricAuditViolations,
+		"Replica-invariant violations found by the auditor, by kind.",
+		"kind", v.Kind).Inc()
+}
 
 // OnSuperstepEnd implements Hooks.
 func (c *Collector) OnSuperstepEnd(step int, s metrics.StepStats) {

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"cyclops/internal/transport"
+)
+
+// CommTracker folds the per-superstep traffic deltas from OnCommMatrix into
+// the worker×worker communication picture of the latest run: who sent how
+// many messages and bytes to whom, per superstep and cumulatively. It backs
+// the /comm endpoint (JSON and Prometheus text) and the comm CSV export, and
+// is the live counterpart of the paper's Table 4 (total communication
+// volume) and Figure 10(3) (per-superstep message counts), refined
+// per-worker. By construction the cumulative matrix matches the transport's
+// Stats totals exactly.
+type CommTracker struct {
+	Nop // no-op for the hook points the tracker does not consume
+
+	mu      sync.Mutex
+	engine  string
+	workers int
+	steps   []CommStep
+	cum     transport.MatrixSnapshot
+}
+
+// CommStep is one superstep's traffic delta.
+type CommStep struct {
+	Step  int
+	Delta transport.MatrixSnapshot
+}
+
+// NewCommTracker returns an empty tracker. Register it in the engine's
+// Hooks (typically via Multi) to populate it.
+func NewCommTracker() *CommTracker {
+	return &CommTracker{}
+}
+
+// OnRunStart implements Hooks: resets the tracker so it describes the
+// newest run.
+func (c *CommTracker) OnRunStart(info RunInfo) {
+	c.mu.Lock()
+	c.engine = info.Engine
+	c.workers = info.Workers
+	c.steps = nil
+	c.cum = transport.MatrixSnapshot{}
+	c.mu.Unlock()
+}
+
+// OnCommMatrix implements Hooks: records the superstep's delta.
+func (c *CommTracker) OnCommMatrix(step int, delta transport.MatrixSnapshot) {
+	c.mu.Lock()
+	c.steps = append(c.steps, CommStep{Step: step, Delta: delta})
+	c.cum = c.cum.AddInto(delta)
+	c.mu.Unlock()
+}
+
+// Engine reports the engine of the run being tracked.
+func (c *CommTracker) Engine() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engine
+}
+
+// Cumulative returns a copy of the run-so-far matrix.
+func (c *CommTracker) Cumulative() transport.MatrixSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cum.Clone()
+}
+
+// Steps returns a copy of the per-superstep deltas.
+func (c *CommTracker) Steps() []CommStep {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CommStep(nil), c.steps...)
+}
+
+// commJSON is the /comm JSON document.
+type commJSON struct {
+	Engine          string    `json:"engine"`
+	Workers         int       `json:"workers"`
+	Supersteps      int       `json:"supersteps"`
+	MessagesTotal   int64     `json:"messages_total"`
+	BytesTotal      int64     `json:"bytes_total"`
+	EgressMessages  []int64   `json:"egress_messages"`
+	IngressMessages []int64   `json:"ingress_messages"`
+	EgressBytes     []int64   `json:"egress_bytes"`
+	IngressBytes    []int64   `json:"ingress_bytes"`
+	Messages        [][]int64 `json:"messages"`
+	Bytes           [][]int64 `json:"bytes"`
+}
+
+// WriteJSON renders the cumulative matrix of the latest run as JSON.
+func (c *CommTracker) WriteJSON(w io.Writer) error {
+	c.mu.Lock()
+	doc := commJSON{
+		Engine:          c.engine,
+		Workers:         c.workers,
+		Supersteps:      len(c.steps),
+		MessagesTotal:   c.cum.TotalMessages(),
+		BytesTotal:      c.cum.TotalBytes(),
+		EgressMessages:  c.cum.Egress(),
+		IngressMessages: c.cum.Ingress(),
+		EgressBytes:     c.cum.EgressBytes(),
+		IngressBytes:    c.cum.IngressBytes(),
+		Messages:        c.cum.Messages,
+		Bytes:           c.cum.Bytes,
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WritePromText renders the cumulative matrix in the Prometheus text
+// exposition format (zero cells omitted to bound output size).
+func (c *CommTracker) WritePromText(w io.Writer) error {
+	c.mu.Lock()
+	cum := c.cum.Clone()
+	c.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s Messages sent between worker pairs, latest run.\n# TYPE %s counter\n",
+		MetricCommMessages, MetricCommMessages); err != nil {
+		return err
+	}
+	for f, row := range cum.Messages {
+		for t, v := range row {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{from=\"%d\",to=\"%d\"} %d\n",
+				MetricCommMessages, f, t, v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s Estimated bytes sent between worker pairs, latest run.\n# TYPE %s counter\n",
+		MetricCommBytes, MetricCommBytes); err != nil {
+		return err
+	}
+	for f, row := range cum.Bytes {
+		for t, v := range row {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{from=\"%d\",to=\"%d\"} %d\n",
+				MetricCommBytes, f, t, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CommCSVHeader is the stable column set of the comm CSV export: one row
+// per (superstep, sender, receiver) cell with non-zero traffic.
+const CommCSVHeader = "engine,workers,step,from,to,messages,bytes"
+
+// WriteCSV renders the per-superstep deltas as CSV (zero cells omitted).
+// It lives here rather than in internal/metrics because the matrix type
+// belongs to the transport layer, which metrics does not depend on.
+func (c *CommTracker) WriteCSV(w io.Writer) error {
+	c.mu.Lock()
+	engine, workers := c.engine, c.workers
+	steps := append([]CommStep(nil), c.steps...)
+	c.mu.Unlock()
+
+	if _, err := fmt.Fprintln(w, CommCSVHeader); err != nil {
+		return err
+	}
+	for _, st := range steps {
+		for f, row := range st.Delta.Messages {
+			for t, v := range row {
+				if v == 0 && st.Delta.Bytes[f][t] == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d\n",
+					engine, workers, st.Step, f, t, v, st.Delta.Bytes[f][t]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ServeHTTP implements the /comm endpoint: JSON by default, Prometheus text
+// with ?format=prom.
+func (c *CommTracker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		c.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WritePromText(w) //nolint:errcheck
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		c.WriteCSV(w) //nolint:errcheck
+	default:
+		http.Error(w, "unknown format (want json, prom or csv)", http.StatusBadRequest)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cyclops/internal/metrics"
+	"cyclops/internal/transport"
 )
 
 // RunInfo describes a run as it starts.
@@ -30,6 +31,10 @@ type RunInfo struct {
 	// Replicas is the replica (Cyclops) or mirror (GAS) count; zero for
 	// engines without a replicated view (Hama).
 	Replicas int64
+	// WorkerReplicas is the per-worker replica/mirror placement (len ==
+	// Workers); nil for engines without a replicated view. It feeds the skew
+	// profiler's replica-imbalance coefficient.
+	WorkerReplicas []int64
 }
 
 // WorkerStats is one worker's share of one superstep — the per-worker
@@ -42,6 +47,9 @@ type WorkerStats struct {
 	// Sent and Received count this worker's messages this superstep.
 	Sent     int64
 	Received int64
+	// Active is the number of this worker's vertices that computed this
+	// superstep.
+	Active int64
 	// QueueDepth is the number of inbound batches drained this superstep
 	// (a proxy for receive-side pressure).
 	QueueDepth int64
@@ -52,6 +60,7 @@ const (
 	ReasonNoActive      = "no-active"      // no vertex is active
 	ReasonHalt          = "halt"           // the Halt function fired
 	ReasonMaxSupersteps = "max-supersteps" // the superstep budget ran out
+	ReasonAuditFailed   = "audit-failed"   // the replica-invariant auditor found a breach
 )
 
 // Hooks observes an engine run. Implementations must be safe for calls from
@@ -69,6 +78,15 @@ type Hooks interface {
 	OnPhase(step int, phase metrics.Phase, d time.Duration)
 	// OnWorkerStats fires once per worker after the superstep's barriers.
 	OnWorkerStats(ws WorkerStats)
+	// OnCommMatrix fires once per superstep (before OnSuperstepEnd) with the
+	// worker×worker traffic delta of that superstep. Summing the deltas of a
+	// run reproduces the transport's cumulative Matrix — and therefore its
+	// Stats totals — exactly.
+	OnCommMatrix(step int, delta transport.MatrixSnapshot)
+	// OnViolation fires once per invariant violation found by the
+	// replica-invariant auditor (engines with Config.Audit enabled). The run
+	// fails with an AuditError after the violating superstep's hooks.
+	OnViolation(v Violation)
 	// OnSuperstepEnd fires with the superstep's aggregate statistics.
 	OnSuperstepEnd(step int, stats metrics.StepStats)
 	// OnConverged fires once when the run terminates.
@@ -90,6 +108,12 @@ func (Nop) OnPhase(int, metrics.Phase, time.Duration) {}
 
 // OnWorkerStats implements Hooks.
 func (Nop) OnWorkerStats(WorkerStats) {}
+
+// OnCommMatrix implements Hooks.
+func (Nop) OnCommMatrix(int, transport.MatrixSnapshot) {}
+
+// OnViolation implements Hooks.
+func (Nop) OnViolation(Violation) {}
 
 // OnSuperstepEnd implements Hooks.
 func (Nop) OnSuperstepEnd(int, metrics.StepStats) {}
@@ -140,6 +164,18 @@ func (m multi) OnPhase(step int, phase metrics.Phase, d time.Duration) {
 func (m multi) OnWorkerStats(ws WorkerStats) {
 	for _, h := range m {
 		h.OnWorkerStats(ws)
+	}
+}
+
+func (m multi) OnCommMatrix(step int, delta transport.MatrixSnapshot) {
+	for _, h := range m {
+		h.OnCommMatrix(step, delta)
+	}
+}
+
+func (m multi) OnViolation(v Violation) {
+	for _, h := range m {
+		h.OnViolation(v)
 	}
 }
 

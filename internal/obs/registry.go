@@ -135,6 +135,15 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return &Gauge{s: f.sample("")}
 }
 
+// LabeledGauge registers a gauge with one fixed label, e.g.
+// LabeledGauge("skew", "...", "metric", "compute").
+func (r *Registry) LabeledGauge(name, help, label, value string) *Gauge {
+	f := r.family(name, help, "gauge")
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	return &Gauge{s: f.sample(renderLabels(label, value))}
+}
+
 // GaugeFunc registers a gauge evaluated at scrape time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.family(name, help, "gauge")

@@ -9,10 +9,10 @@ import (
 )
 
 // Server is the live diagnostics endpoint: Prometheus-text /metrics, JSONL
-// /trace, and net/http/pprof under /debug/pprof/. It is opt-in (the
-// -debug-addr flag on cmd/cyclops-run and cmd/cyclops-bench) and serves
-// while supersteps advance, so a stuck or slow run can be inspected instead
-// of silently spinning.
+// /trace, the worker×worker traffic matrix on /comm, and net/http/pprof
+// under /debug/pprof/. It is opt-in (the -debug-addr flag on cmd/cyclops-run
+// and cmd/cyclops-bench) and serves while supersteps advance, so a stuck or
+// slow run can be inspected instead of silently spinning.
 type Server struct {
 	reg  *Registry
 	ring *Ring
@@ -20,16 +20,16 @@ type Server struct {
 	srv  *http.Server
 }
 
-// NewMux builds the diagnostics routes. reg and ring may each be nil; the
-// corresponding endpoint then reports 404.
-func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
+// NewMux builds the diagnostics routes. reg, ring and comm may each be nil;
+// the corresponding endpoint then reports 404.
+func NewMux(reg *Registry, ring *Ring, comm *CommTracker) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/debug/pprof/\n")
+		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/debug/pprof/\n")
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -43,6 +43,9 @@ func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
 			ring.WriteTo(w)
 		})
 	}
+	if comm != nil {
+		mux.Handle("/comm", comm)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -54,7 +57,7 @@ func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
 // Serve starts the diagnostics server on addr (e.g. "localhost:6060", or
 // ":0" for an ephemeral port) and returns immediately; requests are handled
 // on a background goroutine until Close.
-func Serve(addr string, reg *Registry, ring *Ring) (*Server, error) {
+func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -64,7 +67,7 @@ func Serve(addr string, reg *Registry, ring *Ring) (*Server, error) {
 		ring: ring,
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           NewMux(reg, ring),
+			Handler:           NewMux(reg, ring, comm),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

@@ -56,9 +56,10 @@ func TestServerLiveDuringRun(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	collector := obs.NewCollector(reg)
+	comm := obs.NewCommTracker()
 	gt := &gate{at: 2, reached: make(chan struct{}), release: make(chan struct{})}
 
-	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring())
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestServerLiveDuringRun(t *testing.T) {
 		cyclops.Config[float64, float64]{
 			Cluster:       cluster.Flat(2, 2),
 			MaxSupersteps: 20,
-			Hooks:         obs.Multi(tracer, collector, gt),
+			Hooks:         obs.Multi(tracer, collector, comm, gt),
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +112,8 @@ func TestServerLiveDuringRun(t *testing.T) {
 			obs.MetricPhase + `_bucket{phase="CMP"`,
 			obs.MetricReplication,
 			obs.MetricTransportMessages,
+			obs.MetricWorkerEgress + `{worker="0"}`,
+			obs.MetricWorkerIngress + `{worker="3"}`,
 			obs.MetricWorkers + " 4",
 			"go_goroutines",
 			"go_heap_alloc_bytes",
@@ -145,6 +148,37 @@ func TestServerLiveDuringRun(t *testing.T) {
 		if lines == 0 || runStarts != 1 || stepEnds != 3 {
 			t.Errorf("trace shape: %d lines, %d run-starts, %d superstep ends; want >0/1/3",
 				lines, runStarts, stepEnds)
+		}
+	})
+
+	t.Run("comm", func(t *testing.T) {
+		body := get(t, srv.URL()+"/comm", "application/json")
+		var doc struct {
+			Engine   string    `json:"engine"`
+			Workers  int       `json:"workers"`
+			Messages [][]int64 `json:"messages"`
+			Total    int64     `json:"messages_total"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("invalid /comm JSON: %v", err)
+		}
+		if doc.Engine != "cyclops" || doc.Workers != 4 || len(doc.Messages) != 4 {
+			t.Errorf("/comm shape: engine=%q workers=%d rows=%d", doc.Engine, doc.Workers, len(doc.Messages))
+		}
+		if doc.Total <= 0 {
+			t.Errorf("/comm messages_total = %d mid-run, want > 0", doc.Total)
+		}
+		prom := get(t, srv.URL()+"/comm?format=prom", "text/plain")
+		for _, line := range strings.Split(strings.TrimRight(prom, "\n"), "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if !promLine.MatchString(line) {
+				t.Errorf("unparseable /comm prom line: %q", line)
+			}
+		}
+		if !strings.Contains(prom, obs.MetricCommMessages+"{from=") {
+			t.Errorf("/comm prom output missing %s series", obs.MetricCommMessages)
 		}
 	})
 
@@ -187,7 +221,7 @@ func get(t *testing.T, url, wantCT string) string {
 
 // TestServeEphemeralPort keeps ":0" usable for tests and CLIs.
 func TestServeEphemeralPort(t *testing.T) {
-	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4))
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +230,7 @@ func TestServeEphemeralPort(t *testing.T) {
 		t.Fatalf("URL = %q", srv.URL())
 	}
 	body := get(t, srv.URL()+"/", "")
-	for _, want := range []string{"/metrics", "/trace", "/debug/pprof/"} {
+	for _, want := range []string{"/metrics", "/trace", "/comm", "/debug/pprof/"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %q", want)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cyclops/internal/metrics"
+	"cyclops/internal/transport"
 )
 
 // TracerOptions tunes a Tracer.
@@ -186,6 +187,25 @@ func (t *Tracer) OnWorkerStats(ws WorkerStats) {
 		"worker", ws.Worker, "compute_units", ws.ComputeUnits,
 		"sent", ws.Sent, "received", ws.Received,
 		"queue_depth", ws.QueueDepth)
+}
+
+// OnCommMatrix implements Hooks: logs the superstep's traffic totals and
+// per-worker egress at Debug (the full matrix is the /comm endpoint's job;
+// the trace keeps the compact row sums).
+func (t *Tracer) OnCommMatrix(step int, delta transport.MatrixSnapshot) {
+	t.log.Debug("comm", "span", "superstep",
+		"run", t.run(), "engine", t.engineName(), "step", step,
+		"messages", delta.TotalMessages(), "bytes", delta.TotalBytes(),
+		"egress", delta.Egress(), "ingress", delta.Ingress())
+}
+
+// OnViolation implements Hooks: an audited invariant was breached — this is
+// a correctness event, logged at Error with every structured field.
+func (t *Tracer) OnViolation(v Violation) {
+	t.log.Error("invariant-violation", "span", "superstep",
+		"run", t.run(), "engine", v.Engine, "step", v.Step,
+		"worker", v.Worker, "vertex", v.Vertex,
+		"kind", v.Kind, "detail", v.Detail)
 }
 
 // OnSuperstepEnd implements Hooks.

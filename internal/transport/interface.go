@@ -47,6 +47,9 @@ type Interface[M any] interface {
 	Drain(to int) [][]M
 	// Stats exposes the traffic counters.
 	Stats() *Stats
+	// Matrix exposes the per-peer traffic counters: messages and bytes per
+	// (sender, receiver) pair. Its grand totals equal Stats exactly.
+	Matrix() *Matrix
 	// Err reports the first asynchronous transport failure, if any.
 	Err() error
 	// Close releases sockets and wakes blocked Drains.

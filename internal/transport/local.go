@@ -39,6 +39,7 @@ type Local[M any] struct {
 	mode   QueueMode
 	sizeOf func(M) int64
 	stats  Stats
+	matrix *Matrix
 
 	// GlobalQueue state: one locked queue per receiver.
 	global []lockedQueue[M]
@@ -60,7 +61,7 @@ type slot[M any] struct {
 // sizeOf estimates a message's wire size for byte accounting; nil means a
 // flat 16 bytes per message (two words: vertex id + value).
 func NewLocal[M any](n int, mode QueueMode, sizeOf func(M) int64) *Local[M] {
-	t := &Local[M]{n: n, mode: mode, sizeOf: sizeOf}
+	t := &Local[M]{n: n, mode: mode, sizeOf: sizeOf, matrix: NewMatrix(n)}
 	switch mode {
 	case GlobalQueue:
 		t.global = make([]lockedQueue[M], n)
@@ -84,6 +85,9 @@ func (t *Local[M]) Mode() QueueMode { return t.mode }
 // Stats exposes the traffic counters.
 func (t *Local[M]) Stats() *Stats { return &t.stats }
 
+// Matrix exposes the per-peer traffic counters.
+func (t *Local[M]) Matrix() *Matrix { return t.matrix }
+
 func (t *Local[M]) batchBytes(batch []M) int64 {
 	if t.sizeOf == nil {
 		return int64(len(batch)) * 16
@@ -105,6 +109,7 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 		panic(fmt.Sprintf("transport: send %d→%d outside [0,%d)", from, to, t.n))
 	}
 	bytes := t.batchBytes(batch)
+	t.matrix.Add(from, to, int64(len(batch)), bytes)
 	switch t.mode {
 	case GlobalQueue:
 		q := &t.global[to]

@@ -45,6 +45,23 @@ type MicroResult struct {
 	// Checksum guards against dead-code elimination and wrong results: it is
 	// the sum of the final array, identical across implementations.
 	Checksum float64
+	// SenderMessages is the per-peer accounting for the microbenchmark: one
+	// count per sender. All traffic targets the single master, so the full
+	// worker×worker matrix collapses to this egress vector; its sum equals
+	// Messages, mirroring the Matrix/Stats consistency of the engine
+	// transports.
+	SenderMessages []int64
+}
+
+// microSenderCounts returns how many messages each of the disjoint sender
+// ranges covers. The sum is total by construction.
+func microSenderCounts(total, senders int) []int64 {
+	out := make([]int64, senders)
+	for s := 0; s < senders; s++ {
+		lo, hi := microRange(total, senders, s)
+		out[s] = int64(hi - lo)
+	}
+	return out
 }
 
 const microBatch = 4096
@@ -123,7 +140,8 @@ func MicroHama(total, senders int) MicroResult {
 	return MicroResult{
 		Impl: "hama", Messages: total,
 		Send: send, Parse: parse, Total: send + parse,
-		Checksum: microChecksum(arr),
+		Checksum:       microChecksum(arr),
+		SenderMessages: microSenderCounts(total, senders),
 	}
 }
 
@@ -179,7 +197,8 @@ func MicroPowerGraph(total, senders int) MicroResult {
 	return MicroResult{
 		Impl: "powergraph", Messages: total,
 		Send: send, Parse: parse, Total: send + parse,
-		Checksum: microChecksum(arr),
+		Checksum:       microChecksum(arr),
+		SenderMessages: microSenderCounts(total, senders),
 	}
 }
 
@@ -207,7 +226,8 @@ func MicroCyclops(total, senders int) MicroResult {
 	return MicroResult{
 		Impl: "cyclops", Messages: total,
 		Send: send, Parse: 0, Total: send,
-		Checksum: microChecksum(arr),
+		Checksum:       microChecksum(arr),
+		SenderMessages: microSenderCounts(total, senders),
 	}
 }
 

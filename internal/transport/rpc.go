@@ -17,8 +17,9 @@ import (
 // of batches, then calls FinishRound exactly once; Drain blocks until every
 // endpoint's round marker has arrived, then returns all batches.
 type RPC[M any] struct {
-	n     int
-	stats Stats
+	n      int
+	stats  Stats
+	matrix *Matrix
 
 	listeners []net.Listener
 	// conns[from][to] is the client-side connection used by `from` to send
@@ -53,6 +54,7 @@ type frame[M any] struct {
 func NewRPC[M any](n int) (*RPC[M], error) {
 	t := &RPC[M]{
 		n:         n,
+		matrix:    NewMatrix(n),
 		listeners: make([]net.Listener, n),
 		conns:     make([][]net.Conn, n),
 		encoders:  make([][]*gob.Encoder, n),
@@ -136,6 +138,10 @@ func (t *RPC[M]) NumEndpoints() int { return t.n }
 // stay comparable with Local; the real wire bytes are strictly larger.
 func (t *RPC[M]) Stats() *Stats { return &t.stats }
 
+// Matrix exposes the per-peer traffic counters (same 16 bytes/message
+// estimate as Stats).
+func (t *RPC[M]) Matrix() *Matrix { return t.matrix }
+
 // recordErr keeps the first asynchronous failure for Err.
 func (t *RPC[M]) recordErr(err error) {
 	if err == nil {
@@ -163,6 +169,7 @@ func (t *RPC[M]) Send(from, to int, batch []M) {
 		return
 	}
 	t.stats.count(int64(len(batch)), int64(len(batch))*16, true)
+	t.matrix.Add(from, to, int64(len(batch)), int64(len(batch))*16)
 	if from == to {
 		in := &t.inboxes[to]
 		in.mu.Lock()
