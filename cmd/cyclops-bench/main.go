@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"cyclops/internal/harness"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/report"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 		eps       = flag.Float64("eps", 1e-9, "PageRank convergence bound")
 		traceCSV  = flag.String("trace", "", "write per-superstep statistics of every engine run to this CSV file")
 		commCSV   = flag.String("comm", "", "write the last engine run's per-superstep worker×worker traffic matrix to this CSV file")
+		record    = flag.String("record", "", "record every engine run as a flight-record directory under this path, plus a normalized BENCH_baseline.json")
 		skew      = flag.Bool("skew", false, "print each run's load-imbalance profile after the experiments")
 		audit     = flag.Bool("audit", false, "verify engine invariants each superstep; a violation fails the experiment")
 		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
@@ -50,6 +55,32 @@ func main() {
 			os.Exit(2)
 		}
 		return
+	}
+
+	// Fail fast on unusable output paths: a typo'd -trace/-comm/-record must
+	// abort before the experiments run, not after.
+	if *traceCSV != "" {
+		if err := obs.EnsureWritableFile(*traceCSV); err != nil {
+			fatal(fmt.Errorf("-trace %s: %w", *traceCSV, err))
+		}
+	}
+	if *commCSV != "" {
+		if err := obs.EnsureWritableFile(*commCSV); err != nil {
+			fatal(fmt.Errorf("-comm %s: %w", *commCSV, err))
+		}
+	}
+	var rec *obs.Recorder
+	if *record != "" {
+		var err error
+		if rec, err = obs.NewRecorder(*record); err != nil {
+			fatal(fmt.Errorf("-record %s: %w", *record, err))
+		}
+		rec.SetMeta(obs.RunMeta{
+			Seed:              *seed,
+			Scale:             *scale,
+			Machines:          *mach,
+			WorkersPerMachine: *workers,
+		})
 	}
 
 	o := harness.Options{
@@ -92,12 +123,21 @@ func main() {
 		skewProf = obs.NewSkewProfiler(reg) // reg may be nil: report-only mode
 		hookList = append(hookList, skewProf)
 	}
+	if rec != nil {
+		hookList = append(hookList, rec)
+	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record)
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		// Shutdown (not Close) so an in-flight /metrics scrape racing the
+		// process exit still completes.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
 		fmt.Fprintf(os.Stderr, "cyclops-bench: diagnostics at %s\n", srv.URL())
 	}
 	o.Hooks = obs.Multi(hookList...)
@@ -107,27 +147,53 @@ func main() {
 		o.TraceSink = func(t *metrics.Trace) { traces = append(traces, t) }
 	}
 
-	run := func() error {
-		if *exp == "all" {
-			return harness.RunAll(o, os.Stdout)
-		}
-		e, ok := harness.Lookup(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+	runOne := func(e harness.Experiment) error {
+		if rec != nil {
+			// Stamp the experiment id into the manifests of the runs it spawns
+			// so cyclops-report can match them against a baseline.
+			rec.SetExperiment(e.ID)
 		}
 		if tracer != nil {
 			tracer.Logger().Info("experiment-start", "span", "experiment", "id", e.ID, "title", e.Title)
 		}
-		fmt.Printf("%s — %s\n\n", e.ID, e.Title)
 		err := e.Run(o, os.Stdout)
 		if tracer != nil {
 			tracer.Logger().Info("experiment-end", "span", "experiment", "id", e.ID, "err", err != nil)
 		}
 		return err
 	}
+	run := func() error {
+		if *exp == "all" {
+			for _, e := range harness.Experiments() {
+				fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)
+				if err := runOne(e); err != nil {
+					return fmt.Errorf("%s: %w", e.ID, err)
+				}
+			}
+			return nil
+		}
+		e, ok := harness.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Printf("%s — %s\n\n", e.ID, e.Title)
+		return runOne(e)
+	}
 	if err := run(); err != nil {
 		fatal(err)
+	}
+
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			fatal(err)
+		}
+		ms := rec.Manifests()
+		baseline := filepath.Join(*record, "BENCH_baseline.json")
+		if err := report.Write(baseline, report.FromManifests(ms)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d runs under %s, baseline at %s\n", len(ms), *record, baseline)
 	}
 
 	if *traceCSV != "" {

@@ -1,0 +1,129 @@
+// Command cyclops-report inspects and diffs flight records produced by
+// cyclops-run/cyclops-bench -record.
+//
+//	cyclops-report list <record-dir>
+//	cyclops-report show <record-dir> <run-name>
+//	cyclops-report diff [-model-tol 0.05] <baseline> <current>
+//
+// diff's sides are each either a record directory (its run-* manifests are
+// normalized) or a baseline JSON file (BENCH_baseline.json). Deterministic
+// counts — supersteps, messages, bytes, replicas — must match exactly; model
+// time gets a relative tolerance band. The exit status is non-zero when any
+// metric regresses, which is what the CI perf-gate keys off.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cyclops/internal/obs"
+	"cyclops/internal/report"
+)
+
+func main() {
+	if err := cliMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclops-report:", err)
+		os.Exit(1)
+	}
+}
+
+// cliMain is the whole CLI behind a testable seam: args in, output to the
+// given writers, errors (including diff regressions) returned instead of
+// exiting.
+func cliMain(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "list":
+		if len(args) != 2 {
+			return usageError()
+		}
+		return list(args[1], stdout)
+	case "show":
+		if len(args) != 3 {
+			return usageError()
+		}
+		return show(args[1], args[2], stdout)
+	case "diff":
+		fs := flag.NewFlagSet("cyclops-report diff", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		modelTol := fs.Float64("model-tol", 0.05, "relative tolerance for model_ms")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 2 {
+			return usageError()
+		}
+		return diff(fs.Arg(0), fs.Arg(1), *modelTol, stdout)
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: cyclops-report list <dir> | show <dir> <run> | diff [-model-tol F] <baseline> <current>")
+}
+
+func list(dir string, w io.Writer) error {
+	ms, err := obs.ReadManifests(dir)
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		fmt.Fprintf(w, "no runs recorded under %s\n", dir)
+		return nil
+	}
+	fmt.Fprintf(w, "%-24s %-10s %-10s %6s %12s %10s %12s\n",
+		"run", "experiment", "engine", "steps", "messages", "model-ms", "wall-ms")
+	for _, m := range ms {
+		exp := m.Experiment
+		if exp == "" {
+			exp = "-"
+		}
+		fmt.Fprintf(w, "%-24s %-10s %-10s %6d %12d %10.1f %12.1f\n",
+			m.Run, exp, m.Engine, m.Supersteps, m.Messages,
+			m.ModelNanos/1e6, float64(m.WallNanos)/1e6)
+	}
+	return nil
+}
+
+func show(dir, run string, w io.Writer) error {
+	blob, err := os.ReadFile(filepath.Join(dir, run, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return fmt.Errorf("parse manifest: %w", err)
+	}
+	fmt.Fprintf(w, "%s", blob)
+	for _, name := range []string{"series.csv", "timings.csv"} {
+		body, err := os.ReadFile(filepath.Join(dir, run, name))
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s:\n%s", name, body)
+	}
+	return nil
+}
+
+func diff(oldPath, newPath string, modelTol float64, w io.Writer) error {
+	base, err := report.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := report.Load(newPath)
+	if err != nil {
+		return err
+	}
+	res := report.Diff(base, cur, report.Options{ModelTol: modelTol})
+	if err := res.WriteMarkdown(w); err != nil {
+		return err
+	}
+	return res.Err()
+}

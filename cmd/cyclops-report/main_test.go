@@ -1,0 +1,171 @@
+package main
+
+// Golden-file tests for the diff gate: an identical baseline/current pair must
+// return nil (CI exit 0) and a perturbed pair must return an error naming the
+// regressed metric (CI exit 1). The fixtures are written by the tests
+// themselves so they track the real report schema.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cyclops/internal/obs"
+	"cyclops/internal/report"
+)
+
+func fixtureBaseline() report.Baseline {
+	return report.Baseline{
+		Scale: 0.25,
+		Seed:  1,
+		Entries: []report.Entry{
+			{Experiment: "pagerank", Engine: "hama", Algorithm: "PR", Dataset: "gweb",
+				Supersteps: 42, Messages: 2519118, Bytes: 40305888, ModelMs: 110.18},
+			{Experiment: "pagerank", Engine: "cyclops", Algorithm: "PR", Dataset: "gweb",
+				Supersteps: 45, Messages: 1329773, Bytes: 21276368, Replicas: 39040, ModelMs: 56.31},
+		},
+	}
+}
+
+func writeBaseline(t *testing.T, dir, name string, b report.Baseline) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := report.Write(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffIdenticalExitsClean(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, "base.json", fixtureBaseline())
+	cur := writeBaseline(t, dir, "cur.json", fixtureBaseline())
+	var out, errw strings.Builder
+	if err := cliMain([]string{"diff", base, cur}, &out, &errw); err != nil {
+		t.Fatalf("identical diff returned %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "No regressions") {
+		t.Errorf("missing clean summary:\n%s", out.String())
+	}
+	for _, metric := range []string{"supersteps=", "messages=", "bytes=", "replicas=", "model_ms~"} {
+		if !strings.Contains(out.String(), metric) {
+			t.Errorf("diff table missing %q:\n%s", metric, out.String())
+		}
+	}
+}
+
+func TestDiffPerturbedNamesRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, "base.json", fixtureBaseline())
+	perturbed := fixtureBaseline()
+	perturbed.Entries[0].Messages += 1000
+	cur := writeBaseline(t, dir, "cur.json", perturbed)
+
+	var out, errw strings.Builder
+	err := cliMain([]string{"diff", base, cur}, &out, &errw)
+	if err == nil {
+		t.Fatalf("perturbed diff returned nil\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "messages") {
+		t.Errorf("error %q does not name the regressed metric", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") ||
+		!strings.Contains(out.String(), "pagerank/hama#0") {
+		t.Errorf("markdown lacks the regression row:\n%s", out.String())
+	}
+}
+
+func TestDiffModelTolFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, "base.json", fixtureBaseline())
+	drifted := fixtureBaseline()
+	drifted.Entries[0].ModelMs *= 1.08 // outside 5%, inside 10%
+	cur := writeBaseline(t, dir, "cur.json", drifted)
+
+	var out strings.Builder
+	if err := cliMain([]string{"diff", base, cur}, &out, &out); err == nil {
+		t.Error("8% model drift passed the default 5% band")
+	}
+	out.Reset()
+	if err := cliMain([]string{"diff", "-model-tol", "0.10", base, cur}, &out, &out); err != nil {
+		t.Errorf("8%% drift failed a 10%% band: %v", err)
+	}
+}
+
+func TestDiffAgainstRecordDir(t *testing.T) {
+	// The gate's real invocation: committed JSON baseline vs a fresh -record
+	// directory.
+	dir := t.TempDir()
+	m := obs.Manifest{Run: "run-001-hama", Experiment: "pagerank", Engine: "hama",
+		Algorithm: "PR", Dataset: "gweb", Supersteps: 42, Messages: 2519118,
+		Bytes: 40305888, ModelNanos: 110.18e6}
+	recDir := filepath.Join(dir, "rec")
+	if err := os.MkdirAll(filepath.Join(recDir, m.Run), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(recDir, m.Run, "manifest.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := fixtureBaseline()
+	b.Entries = b.Entries[:1]
+	base := writeBaseline(t, dir, "base.json", b)
+
+	var out strings.Builder
+	if err := cliMain([]string{"diff", base, recDir}, &out, &out); err != nil {
+		t.Fatalf("baseline-vs-record-dir diff failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestListAndShow(t *testing.T) {
+	dir := t.TempDir()
+	run := filepath.Join(dir, "run-001-cyclops")
+	if err := os.MkdirAll(run, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m := obs.Manifest{Run: "run-001-cyclops", Experiment: "pagerank", Engine: "cyclops",
+		Supersteps: 45, Messages: 1329773, ModelNanos: 56.31e6}
+	blob, _ := json.Marshal(m)
+	if err := os.WriteFile(filepath.Join(run, "manifest.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(run, "series.csv"),
+		[]byte("step,active\n1,10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := cliMain([]string{"list", dir}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "run-001-cyclops") ||
+		!strings.Contains(out.String(), "1329773") {
+		t.Errorf("list output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := cliMain([]string{"show", dir, "run-001-cyclops"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"engine": "cyclops"`) &&
+		!strings.Contains(out.String(), `"engine":"cyclops"`) {
+		t.Errorf("show output lacks manifest:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "series.csv") {
+		t.Errorf("show output lacks series:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{nil, {"bogus"}, {"list"}, {"show", "x"}, {"diff", "one"}} {
+		if err := cliMain(args, &out, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

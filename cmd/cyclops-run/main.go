@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"cyclops/internal/aggregate"
 	"cyclops/internal/algorithms"
@@ -62,6 +65,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		top       = fs.Int("top", 5, "print the top-N result vertices")
 		traceCSV  = fs.String("trace", "", "write per-superstep statistics to this CSV file")
 		commCSV   = fs.String("comm", "", "write the per-superstep worker×worker traffic matrix to this CSV file")
+		record    = fs.String("record", "", "record the run as a flight-record directory (manifest.json, series.csv, timings.csv) under this path")
 		skewFlag  = fs.Bool("skew", false, "print the per-superstep load-imbalance profile after the run")
 		audit     = fs.Bool("audit", false, "verify the engine's structural invariants each superstep (replica consistency, message conservation, mirror coherence); a violation fails the run")
 		debugAddr = fs.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
@@ -69,6 +73,26 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Fail fast on unusable output paths: a typo'd -trace/-comm/-record must
+	// abort now, not after the run has burned its minutes.
+	if *traceCSV != "" {
+		if err := obs.EnsureWritableFile(*traceCSV); err != nil {
+			return fmt.Errorf("-trace %s: %w", *traceCSV, err)
+		}
+	}
+	if *commCSV != "" {
+		if err := obs.EnsureWritableFile(*commCSV); err != nil {
+			return fmt.Errorf("-comm %s: %w", *commCSV, err)
+		}
+	}
+	var rec *obs.Recorder
+	if *record != "" {
+		var err error
+		if rec, err = obs.NewRecorder(*record); err != nil {
+			return fmt.Errorf("-record %s: %w", *record, err)
+		}
 	}
 
 	g, err := loadGraph(*dsName, *graphFile, *scale, *seed, *loaders)
@@ -118,12 +142,30 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		skew = obs.NewSkewProfiler(reg) // reg may be nil: report-only mode
 		hookList = append(hookList, skew)
 	}
+	if rec != nil {
+		rec.SetMeta(obs.RunMeta{
+			Algorithm:         *algo,
+			Dataset:           datasetLabel(*dsName, *graphFile),
+			Partitioner:       *partName,
+			Seed:              *seed,
+			Scale:             *scale,
+			Machines:          *machines,
+			WorkersPerMachine: *workers,
+		})
+		hookList = append(hookList, rec)
+	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Shutdown (not Close) so an in-flight /metrics scrape racing the
+		// process exit still completes.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
 		fmt.Fprintf(stderr, "cyclops-run: diagnostics at %s\n", srv.URL())
 	}
 	hooks := obs.Multi(hookList...)
@@ -156,7 +198,24 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "wrote traffic matrix to", *commCSV)
 	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		for _, m := range rec.Manifests() {
+			fmt.Fprintf(stdout, "recorded %s\n", m.Run)
+		}
+	}
 	return nil
+}
+
+// datasetLabel names the input for the manifest: the synthetic dataset name
+// or the base name of the edge-list file.
+func datasetLabel(dsName, graphFile string) string {
+	if dsName != "" {
+		return dsName
+	}
+	return filepath.Base(graphFile)
 }
 
 // writeFile creates path, streams write into it, and reports close errors.
@@ -208,7 +267,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	switch engine + "/" + algo {
 	case "cyclops/PR":
 		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: eps},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -219,7 +279,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "cyclops/SSSP":
 		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: source},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -230,7 +291,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CD":
 		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -243,7 +305,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: eps},
 			bsp.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit,
-				Halt: aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), eps),
+				Residual: scalarResid,
+				Halt:     aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), eps),
 			})
 		if err != nil {
 			return nil, "", nil, err
@@ -255,7 +318,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "hama/SSSP":
 		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: source},
-			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -266,7 +330,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CC":
 		e, err := cyclops.New[int64, int64](g, algorithms.CCCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -279,7 +344,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
 	case "hama/CC":
 		e, err := bsp.New[int64, int64](g, algorithms.CCBSP{},
-			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -293,7 +359,7 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	case "hama/CD":
 		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
 			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Halt: algorithms.CDHalt()})
+				Hooks: hooks, Audit: audit, Residual: labelResid, Halt: algorithms.CDHalt()})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -304,7 +370,9 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return toFloats(e.Values()), tr.String(), tr, nil
 	case "powergraph/PR":
 		e, err := gas.New[algorithms.PRValue, float64](g, algorithms.NewPageRankGAS(g, steps, eps),
-			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit,
+				Residual: func(old, new algorithms.PRValue) float64 { return scalarResid(old.Rank, new.Rank) }})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -316,7 +384,8 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "powergraph/SSSP":
 		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: source},
-			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps, Hooks: hooks, Audit: audit})
+			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid})
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -328,6 +397,24 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	default:
 		return nil, "", nil, fmt.Errorf("unsupported engine/algorithm pair %s/%s", engine, algo)
 	}
+}
+
+// scalarResid is the |Δ| convergence distance for float64-valued algorithms;
+// labelResid counts a relabel as distance 1 (labels are ids, not a metric
+// space), so the recorded residual quantiles read as the changed fraction.
+func scalarResid(old, new float64) float64 {
+	d := old - new
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func labelResid(old, new int64) float64 {
+	if old == new {
+		return 0
+	}
+	return 1
 }
 
 func toFloats(in []int64) []float64 {

@@ -18,13 +18,14 @@ func TestCLISmokePageRank(t *testing.T) {
 	dir := t.TempDir()
 	traceCSV := filepath.Join(dir, "trace.csv")
 	commCSV := filepath.Join(dir, "comm.csv")
+	recDir := filepath.Join(dir, "rec")
 
 	var stdout, stderr bytes.Buffer
 	err := cliMain([]string{
 		"-dataset", "wiki", "-scale", "0.02", "-algo", "PR", "-engine", "cyclops",
 		"-machines", "2", "-workers", "2", "-steps", "30",
 		"-audit", "-skew",
-		"-trace", traceCSV, "-comm", commCSV,
+		"-trace", traceCSV, "-comm", commCSV, "-record", recDir,
 	}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("cliMain failed: %v\nstderr:\n%s", err, stderr.String())
@@ -40,10 +41,64 @@ func TestCLISmokePageRank(t *testing.T) {
 		"skew profile: cyclops", // -skew report
 		"wrote trace to",
 		"wrote traffic matrix to",
+		"recorded run-001-cyclops", // -record flight record
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("stdout missing %q:\n%s", want, out)
 		}
+	}
+
+	// The flight record is complete: manifest with the CLI's metadata stamped
+	// in, plus both per-superstep CSVs.
+	run := filepath.Join(recDir, "run-001-cyclops")
+	manifest, err := os.ReadFile(filepath.Join(run, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"engine": "cyclops"`, `"algorithm": "PR"`, `"dataset": "wiki"`,
+		`"machines": 2`, `"workers_per_machine": 2`,
+	} {
+		if !strings.Contains(string(manifest), want) {
+			t.Errorf("manifest missing %s:\n%s", want, manifest)
+		}
+	}
+	for _, name := range []string{"series.csv", "timings.csv"} {
+		body, err := os.ReadFile(filepath.Join(run, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := strings.Count(string(body), "\n"); lines < 2 {
+			t.Errorf("%s has %d lines, want a header plus supersteps", name, lines)
+		}
+	}
+
+	// The convergence telemetry is live: the CLI wires Residual into the
+	// engine, so the recorded series carries non-empty residual quantiles.
+	series, err := os.ReadFile(filepath.Join(run, "series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(string(series)), "\n")
+	cols := strings.Split(rows[0], ",")
+	residN := -1
+	for i, c := range cols {
+		if c == "residual_n" {
+			residN = i
+		}
+	}
+	if residN < 0 {
+		t.Fatalf("series header lacks residual_n: %q", rows[0])
+	}
+	populated := false
+	for _, row := range rows[1:] {
+		if f := strings.Split(row, ","); len(f) > residN && f[residN] != "0" {
+			populated = true
+			break
+		}
+	}
+	if !populated {
+		t.Errorf("residual telemetry never populated:\n%s", series)
 	}
 
 	trace, err := os.ReadFile(traceCSV)

@@ -54,6 +54,11 @@ type Config[V, M any] struct {
 	// Equal detects unchanged values for redundant-message accounting
 	// (Figure 3(2)). Optional; without it every message counts as useful.
 	Equal func(a, b V) bool
+	// Residual maps a vertex's previous and new values to a scalar distance
+	// (|Δ| for scalar algorithms). When set, each superstep's StepStats
+	// carries the quantiles of this distribution over all SetValue calls —
+	// the convergence telemetry behind Figure 3. Optional.
+	Residual func(old, new V) float64
 	// SizeOfMsg estimates a message's wire size; nil means 16 bytes.
 	SizeOfMsg func(M) int64
 	// CostModel overrides the default model constants.
@@ -235,6 +240,7 @@ type Context[V, M any] struct {
 	changed bool
 	sent    int64
 	local   aggregate.Values
+	resid   []float64          // residual samples, when cfg.Residual is set
 	out     [][]envelope[M]    // per destination worker
 	combine []map[graph.ID]int // dst vertex → index in out[w], when combining
 }
@@ -255,6 +261,9 @@ func (c *Context[V, M]) Value() V { return c.e.values[c.vid] }
 func (c *Context[V, M]) SetValue(v V) {
 	if eq := c.e.cfg.Equal; eq == nil || !eq(c.e.values[c.vid], v) {
 		c.changed = true
+	}
+	if r := c.e.cfg.Residual; r != nil {
+		c.resid = append(c.resid, r(c.e.values[c.vid], v))
 	}
 	c.e.values[c.vid] = v
 }
@@ -403,6 +412,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		activeCounts := make([]int64, workers)
 		sendCounts := make([]int64, workers)
 		partials := make([]aggregate.Values, workers)
+		resids := make([][]float64, workers)
 		outs := make([][][]envelope[M], workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -442,6 +452,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				activeCounts[w] = computed
 				sendCounts[w] = sent
 				partials[w] = ctx.local
+				resids[w] = ctx.resid
 				outs[w] = ctx.out
 				active.Add(computed)
 				changed.Add(changedW)
@@ -499,6 +510,13 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		stats.Changed = changed.Load()
 		stats.Messages = sentTotal.Load()
 		stats.RedundantMessages = redundant.Load()
+		if e.cfg.Residual != nil {
+			var all []float64
+			for _, rs := range resids {
+				all = append(all, rs...)
+			}
+			stats.SetResiduals(all)
+		}
 		stats.ComputeUnitsMax = computeMax
 		stats.SendMax = sendMax
 		stats.RecvMax = nextRecvMax(outs, workers)

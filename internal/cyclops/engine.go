@@ -64,6 +64,12 @@ type Config[V, M any] struct {
 	// accounting. Optional. When set, publishing an unchanged value skips
 	// the sync message entirely (replicas already hold it).
 	Equal func(a, b M) bool
+	// Residual maps a master's previous and newly published values to a
+	// scalar distance (|Δ| for scalar algorithms). When set, each superstep's
+	// StepStats carries the quantiles of this distribution over all
+	// publishing masters — the convergence telemetry behind Figure 3.
+	// Optional; nil skips the accounting entirely.
+	Residual func(old, new M) float64
 	// SizeOfMsg estimates a published value's wire size (nil = 16 bytes).
 	SizeOfMsg func(M) int64
 	// Network selects in-process queues (default) or real gob-over-TCP

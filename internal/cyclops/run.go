@@ -136,6 +136,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// out-queues avoid any shared-lock contention.
 		start = time.Now()
 		sendCounts := make([]int64, workers)
+		residuals := make([][]float64, workers)
 		var redundant atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -152,6 +153,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					pend[w].flags[s] = 0
 					val := pend[w].val[s]
 					activate := f&flagActivate != 0
+					if e.cfg.Residual != nil {
+						residuals[w] = append(residuals[w], e.cfg.Residual(ws.view[s], val))
+					}
 					valueChanged := e.cfg.Equal == nil || !e.cfg.Equal(ws.view[s], val)
 					if !valueChanged && !activate {
 						// Republishing an identical value with no activation
@@ -292,6 +296,13 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		stats.Changed = changedTotal.Load()
 		stats.Messages = sentTotal
 		stats.RedundantMessages = redundant.Load()
+		if e.cfg.Residual != nil {
+			var all []float64
+			for _, rs := range residuals {
+				all = append(all, rs...)
+			}
+			stats.SetResiduals(all)
+		}
 		stats.ComputeUnitsMax = computeMax
 		stats.SendMax = sendMax
 		stats.RecvMax = recvMax

@@ -136,6 +136,11 @@ type Config[V, G any] struct {
 	// PowerGraph always pushes (its mirrors need the value for gather), so
 	// leaving it nil reproduces the paper's message counts.
 	Equal func(a, b V) bool
+	// Residual maps a master's previous and newly applied values to a scalar
+	// distance (|Δ| for scalar algorithms). When set, each superstep's
+	// StepStats carries the quantiles of this distribution over all Apply
+	// calls — the convergence telemetry behind Figure 3. Optional.
+	Residual func(old, new V) float64
 	// Network selects in-process queues (default) or gob-over-TCP loopback.
 	Network   transport.Network
 	CostModel *metrics.CostModel
@@ -502,6 +507,10 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		// mirrors.
 		inbound = e.drainAll(k, recvPerW, batchPerW)
 		activateNext := make([]map[int32]bool, k) // masterSlot → scatter? at each worker
+		var residPerW [][]float64
+		if e.cfg.Residual != nil {
+			residPerW = make([][]float64, k)
+		}
 		e.parallel(k, func(w int) {
 			ws := e.ws[w]
 			for _, batch := range inbound[w] {
@@ -526,6 +535,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			for s, partial := range acc[w] {
 				lv := &ws.verts[s]
 				newVal, activate := e.prog.Apply(lv.id, lv.cache, partial.Acc, partial.Has, e.step)
+				if residPerW != nil {
+					residPerW[w] = append(residPerW[w], e.cfg.Residual(lv.cache, newVal))
+				}
 				lv.cache = newVal
 				scatter[s] = activate
 				for _, m := range lv.mirrors {
@@ -651,6 +663,13 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		stats.Durations[metrics.Sync] = time.Since(synStart)
 
 		stats.Messages = msgs.Load()
+		if residPerW != nil {
+			var all []float64
+			for _, rs := range residPerW {
+				all = append(all, rs...)
+			}
+			stats.SetResiduals(all)
+		}
 		stats.ComputeUnitsMax = computeUnits.Load() / int64(k)
 		stats.SendMax = msgs.Load() / int64(k)
 		stats.RecvMax = msgs.Load() / int64(k)

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"cyclops/internal/partition"
+)
+
+// PagerankGate is the CI perf-regression workload: PageRank on gweb across
+// Hama, flat Cyclops and CyclopsMT. It is deliberately small and fully
+// deterministic — every number it prints (and every manifest a flight
+// recorder captures alongside it) depends only on (scale, seed, cluster), so
+// cyclops-report can diff a fresh recording against the committed
+// BENCH_baseline.json and fail CI on any drift in supersteps, messages,
+// replicas or model time.
+func PagerankGate(o Options, w io.Writer) error {
+	o = o.normalize()
+	hama, cyc, mt, err := runTriple(o, workloadSpec{"PR", "gweb"}, partition.Hash{})
+	if err != nil {
+		return err
+	}
+	t := newTable("engine", "steps", "messages", "model-ms", "replication")
+	for _, r := range []RunResult{hama, cyc, mt} {
+		t.addf("%s|%d|%d|%.1f|%.2f",
+			r.Engine, r.Supersteps, r.Messages, r.ModelMs, r.Replication)
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nspeedup over hama: cyclops %.2fx, cyclopsmt %.2fx\n",
+		speedup(hama.ModelMs, cyc.ModelMs), speedup(hama.ModelMs, mt.ModelMs))
+	return nil
+}

@@ -117,6 +117,7 @@ func Experiments() []Experiment {
 		{"table3", "Table 3: message-passing microbenchmark", Table3Micro},
 		{"table4", "Table 4: CyclopsMT vs PowerGraph (PR)", Table4PowerGraph},
 		{"comm", "Comm observatory: per-worker traffic matrix and skew (PR, gweb)", Comm},
+		{"pagerank", "CI perf gate: PageRank on gweb across engines (deterministic)", PagerankGate},
 		{"ablation.queue", "Ablation: locked global queue vs per-sender queues", AblationQueue},
 		{"ablation.combiner", "Ablation: Hama message combiner on/off", AblationCombiner},
 		{"ablation.activation", "Ablation: dynamic activation vs eager recompute", AblationActivation},

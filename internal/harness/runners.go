@@ -39,7 +39,8 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Halt:          haltForPR(g.NumVertices(), p.eps),
 				// "Same value" at the working epsilon: the redundant-message
 				// metric of Figure 3(2) counts re-sends of converged ranks.
-				Equal: func(a, b float64) bool { return abs64(a-b) < p.eps },
+				Equal:    func(a, b float64) bool { return abs64(a-b) < p.eps },
+				Residual: scalarResidual,
 				OnStep: func(step int, e *bsp.Engine[float64, float64]) {
 					mem.sample()
 					if p.onValues != nil {
@@ -63,9 +64,10 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: 0},
 			bsp.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
-				Hooks:  p.hooks,
-				Audit:  p.audit,
-				OnStep: func(int, *bsp.Engine[float64, float64]) { mem.sample() },
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				Residual: scalarResidual,
+				OnStep:   func(int, *bsp.Engine[float64, float64]) { mem.sample() },
 			})
 		if err != nil {
 			return r, err
@@ -83,10 +85,11 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
 			bsp.Config[int64, int64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters + 1,
-				Hooks:  p.hooks,
-				Audit:  p.audit,
-				Halt:   algorithms.CDHalt(),
-				OnStep: func(int, *bsp.Engine[int64, int64]) { mem.sample() },
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				Halt:     algorithms.CDHalt(),
+				Residual: labelResidual,
+				OnStep:   func(int, *bsp.Engine[int64, int64]) { mem.sample() },
 			})
 		if err != nil {
 			return r, err
@@ -141,9 +144,10 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: p.eps},
 			cyclops.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps,
-				Hooks: p.hooks,
-				Audit: p.audit,
-				Equal: func(a, b float64) bool { return abs64(a-b) < p.eps },
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				Equal:    func(a, b float64) bool { return abs64(a-b) < p.eps },
+				Residual: scalarResidual,
 				OnStep: func(step int, e *cyclops.Engine[float64, float64]) {
 					mem.sample()
 					if p.onValues != nil {
@@ -169,9 +173,10 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: 0},
 			cyclops.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
-				Hooks:  p.hooks,
-				Audit:  p.audit,
-				OnStep: func(int, *cyclops.Engine[float64, float64]) { mem.sample() },
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				Residual: scalarResidual,
+				OnStep:   func(int, *cyclops.Engine[float64, float64]) { mem.sample() },
 			})
 		if err != nil {
 			return r, err
@@ -191,9 +196,10 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
 			cyclops.Config[int64, int64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters,
-				Hooks:  p.hooks,
-				Audit:  p.audit,
-				OnStep: func(int, *cyclops.Engine[int64, int64]) { mem.sample() },
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				Residual: labelResidual,
+				OnStep:   func(int, *cyclops.Engine[int64, int64]) { mem.sample() },
 			})
 		if err != nil {
 			return r, err
@@ -257,6 +263,9 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps,
 				Hooks: p.hooks,
 				Audit: p.audit,
+				Residual: func(old, new algorithms.PRValue) float64 {
+					return abs64(old.Rank - new.Rank)
+				},
 			})
 		if err != nil {
 			return r, err
@@ -275,8 +284,9 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: 0},
 			gas.Config[float64, float64]{
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps * 10,
-				Hooks: p.hooks,
-				Audit: p.audit,
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				Residual: scalarResidual,
 			})
 		if err != nil {
 			return r, err
@@ -302,4 +312,18 @@ func abs64(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// scalarResidual is the |Δ| convergence distance for float64-valued
+// algorithms (PageRank ranks, SSSP distances).
+func scalarResidual(old, new float64) float64 { return abs64(old - new) }
+
+// labelResidual treats a community-detection relabel as distance 1 and a
+// republished label as 0, so the residual quantiles read as the changed
+// fraction (labels are ids, not a metric space).
+func labelResidual(old, new int64) float64 {
+	if old == new {
+		return 0
+	}
+	return 1
 }

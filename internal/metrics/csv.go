@@ -12,6 +12,7 @@ import (
 var CSVHeader = []string{
 	"engine", "workers", "step", "active", "changed", "messages",
 	"redundant_messages", "compute_units_max", "send_max", "recv_max",
+	"residual_n", "residual_p50", "residual_p90", "residual_max",
 	"prs_ns", "cmp_ns", "snd_ns", "syn_ns", "model_ns",
 }
 
@@ -54,6 +55,10 @@ func writeRows(cw *csv.Writer, t *Trace) error {
 			strconv.FormatInt(s.ComputeUnitsMax, 10),
 			strconv.FormatInt(s.SendMax, 10),
 			strconv.FormatInt(s.RecvMax, 10),
+			strconv.FormatInt(s.ResidualN, 10),
+			strconv.FormatFloat(s.ResidualP50, 'g', -1, 64),
+			strconv.FormatFloat(s.ResidualP90, 'g', -1, 64),
+			strconv.FormatFloat(s.ResidualMax, 'g', -1, 64),
 			strconv.FormatInt(s.Durations[Parse].Nanoseconds(), 10),
 			strconv.FormatInt(s.Durations[Compute].Nanoseconds(), 10),
 			strconv.FormatInt(s.Durations[Send].Nanoseconds(), 10),

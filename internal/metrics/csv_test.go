@@ -20,6 +20,10 @@ func sampleTrace(engine string, steps int) *Trace {
 			ComputeUnitsMax:   int64(777 + i),
 			SendMax:           int64(120 + i),
 			RecvMax:           int64(110 + i),
+			ResidualN:         int64(1000 - 10*i),
+			ResidualP50:       0.5 / float64(i+1),
+			ResidualP90:       0.9 / float64(i+1),
+			ResidualMax:       1.0 / float64(i+1),
 			ModelNanos:        1.5e6,
 		}
 		s.Durations[Parse] = 2 * time.Millisecond
@@ -79,6 +83,10 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 			"compute_units_max":  strconv.FormatInt(s.ComputeUnitsMax, 10),
 			"send_max":           strconv.FormatInt(s.SendMax, 10),
 			"recv_max":           strconv.FormatInt(s.RecvMax, 10),
+			"residual_n":         strconv.FormatInt(s.ResidualN, 10),
+			"residual_p50":       strconv.FormatFloat(s.ResidualP50, 'g', -1, 64),
+			"residual_p90":       strconv.FormatFloat(s.ResidualP90, 'g', -1, 64),
+			"residual_max":       strconv.FormatFloat(s.ResidualMax, 'g', -1, 64),
 			"prs_ns":             "2000000",
 			"cmp_ns":             "7000000",
 			"snd_ns":             "3000000",

@@ -8,6 +8,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -65,10 +67,63 @@ type StepStats struct {
 	// SendMax / RecvMax are the max over workers of messages sent/received.
 	SendMax int64
 	RecvMax int64
+	// ResidualN, ResidualP50, ResidualP90 and ResidualMax summarise the
+	// distribution of per-vertex residuals (|Δvalue| as defined by the
+	// engine's Residual hook) over the vertices that published this
+	// superstep — the convergence telemetry of Figure 3: the residual
+	// quantiles show *how far* the computation still is from its fixpoint,
+	// not just how many vertices moved. All zero when no Residual hook is
+	// configured.
+	ResidualN   int64
+	ResidualP50 float64
+	ResidualP90 float64
+	ResidualMax float64
 	// Durations records wall time per phase.
 	Durations [numPhases]time.Duration
 	// ModelNanos is the engine's cost-model estimate for this superstep.
 	ModelNanos float64
+}
+
+// RedundantRatio is the share of this superstep's messages sent by vertices
+// whose value did not change (Figure 3(2)); zero when nothing was sent.
+func (s StepStats) RedundantRatio() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.RedundantMessages) / float64(s.Messages)
+}
+
+// SetResiduals folds a sample set of per-vertex residuals into the stats.
+// It sorts samples in place; non-finite values (an SSSP vertex leaving its
+// +Inf initial distance, a NaN from a degenerate update) are ignored so the
+// quantiles stay meaningful and serialisable.
+func (s *StepStats) SetResiduals(samples []float64) {
+	s.ResidualN, s.ResidualP50, s.ResidualP90, s.ResidualMax = SummarizeResiduals(samples)
+}
+
+// SummarizeResiduals reports the count, median, 90th percentile
+// (nearest-rank) and maximum of the finite values in samples, sorting the
+// slice in place. Everything is zero for an empty (or all-non-finite) set.
+func SummarizeResiduals(samples []float64) (n int64, p50, p90, max float64) {
+	finite := samples[:0]
+	for _, x := range samples {
+		if !math.IsInf(x, 0) && !math.IsNaN(x) {
+			finite = append(finite, x)
+		}
+	}
+	if len(finite) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(finite)
+	rank := func(q float64) float64 {
+		// Nearest-rank quantile: ceil(q*n) clamped into [1, n].
+		r := int(math.Ceil(q * float64(len(finite))))
+		if r < 1 {
+			r = 1
+		}
+		return finite[r-1]
+	}
+	return int64(len(finite)), rank(0.50), rank(0.90), finite[len(finite)-1]
 }
 
 // Trace collects a full run.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -121,6 +122,34 @@ func TestStepCostClampsZeroParallelism(t *testing.T) {
 	m := DefaultCostModel()
 	if c := m.StepCost(100, 0, 100, 0, 0, 1, false, 0); c <= 0 {
 		t.Fatalf("cost with clamped parallelism = %g", c)
+	}
+}
+
+func TestSummarizeResiduals(t *testing.T) {
+	n, p50, p90, max := SummarizeResiduals(nil)
+	if n != 0 || p50 != 0 || p90 != 0 || max != 0 {
+		t.Fatalf("empty set = %d/%g/%g/%g, want zeros", n, p50, p90, max)
+	}
+
+	// Ten values 1..10: nearest-rank p50 = 5, p90 = 9, max = 10.
+	xs := []float64{10, 3, 7, 1, 9, 5, 2, 8, 4, 6}
+	n, p50, p90, max = SummarizeResiduals(xs)
+	if n != 10 || p50 != 5 || p90 != 9 || max != 10 {
+		t.Fatalf("1..10 = %d/%g/%g/%g, want 10/5/9/10", n, p50, p90, max)
+	}
+
+	// Non-finite samples (an SSSP vertex leaving +Inf, a NaN) are dropped.
+	xs = []float64{math.Inf(1), math.NaN(), 2, math.Inf(-1), 4}
+	n, p50, p90, max = SummarizeResiduals(xs)
+	if n != 2 || p50 != 2 || p90 != 4 || max != 4 {
+		t.Fatalf("with non-finite = %d/%g/%g/%g, want 2/2/4/4", n, p50, p90, max)
+	}
+
+	if s := (StepStats{Messages: 10, RedundantMessages: 4}); s.RedundantRatio() != 0.4 {
+		t.Fatalf("RedundantRatio = %g, want 0.4", s.RedundantRatio())
+	}
+	if s := (StepStats{}); s.RedundantRatio() != 0 {
+		t.Fatalf("RedundantRatio of empty step = %g, want 0", s.RedundantRatio())
 	}
 }
 

@@ -1,0 +1,250 @@
+package obs_test
+
+// Flight recorder tests: run directories carry a faithful manifest and a
+// deterministic series, same-seed runs of every engine produce byte-identical
+// series.csv files (the guarantee cyclops-report's exact diff relies on), and
+// the writable-path preflight helpers reject unusable paths at flag-parse
+// time instead of after a run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cyclops/internal/algorithms"
+	"cyclops/internal/bsp"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/gas"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+	"cyclops/internal/obs"
+)
+
+// recordOne runs one engine over g with a fresh Recorder in dir and returns
+// the run's manifest.
+func recordOne(t *testing.T, dir, engine string, g *graph.Graph) obs.Manifest {
+	t.Helper()
+	rec, err := obs.NewRecorder(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetMeta(obs.RunMeta{Experiment: "test", Algorithm: "PR", Dataset: "wiki",
+		Partitioner: "hash", Seed: 1, Scale: 0.02, Machines: 2, WorkersPerMachine: 2})
+	cc := cluster.Flat(2, 2)
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	resid := func(a, b float64) float64 { return abs(a - b) }
+	switch engine {
+	case "cyclops":
+		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: 1e-6},
+			cyclops.Config[float64, float64]{Cluster: cc, MaxSupersteps: 30, Hooks: rec,
+				Equal:    func(a, b float64) bool { return abs(a-b) < 1e-6 },
+				Residual: resid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	case "hama":
+		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: 1e-6},
+			bsp.Config[float64, float64]{Cluster: cc, MaxSupersteps: 30, Hooks: rec,
+				Equal:    func(a, b float64) bool { return abs(a-b) < 1e-6 },
+				Residual: resid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	case "powergraph":
+		e, err := gas.New[algorithms.PRValue, float64](g, algorithms.NewPageRankGAS(g, 30, 1e-6),
+			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: 30, Hooks: rec,
+				Residual: func(old, new algorithms.PRValue) float64 { return abs(old.Rank - new.Rank) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown engine %q", engine)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ms := rec.Manifests()
+	if len(ms) != 1 {
+		t.Fatalf("recorded %d manifests, want 1", len(ms))
+	}
+	return ms[0]
+}
+
+func TestRecorderArtifacts(t *testing.T) {
+	g, _, err := gen.Dataset("wiki", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m := recordOne(t, dir, "cyclops", g)
+
+	if m.Run != "run-001-cyclops" {
+		t.Errorf("run name = %q, want run-001-cyclops", m.Run)
+	}
+	if m.Engine != "cyclops" || m.Experiment != "test" || m.Algorithm != "PR" ||
+		m.Dataset != "wiki" || m.Partitioner != "hash" || m.Seed != 1 {
+		t.Errorf("manifest meta = %+v", m)
+	}
+	if m.Workers != 4 || m.Vertices != g.NumVertices() || m.Edges != g.NumEdges() {
+		t.Errorf("manifest shape = %+v", m)
+	}
+	if m.Supersteps <= 0 || m.Messages <= 0 || m.Bytes <= 0 || m.ModelNanos <= 0 ||
+		m.Replicas <= 0 || m.StopReason == "" {
+		t.Errorf("manifest totals = %+v", m)
+	}
+	if m.GoVersion == "" {
+		t.Error("manifest missing go version")
+	}
+
+	// The on-disk manifest round-trips and matches.
+	blob, err := os.ReadFile(filepath.Join(dir, m.Run, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk obs.Manifest
+	if err := json.Unmarshal(blob, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk != m {
+		t.Errorf("on-disk manifest %+v != returned %+v", onDisk, m)
+	}
+
+	series, err := os.ReadFile(filepath.Join(dir, m.Run, "series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(series)), "\n")
+	if len(lines) != 1+m.Supersteps {
+		t.Fatalf("series.csv has %d lines, want header + %d steps", len(lines), m.Supersteps)
+	}
+	if !strings.HasPrefix(lines[0], "step,active,changed,messages,") {
+		t.Errorf("series header = %q", lines[0])
+	}
+	for _, col := range []string{"residual_p50", "skew_compute", "redundant_ratio", "model_ns"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("series header missing %q", col)
+		}
+	}
+	// Convergence telemetry must actually be populated: PageRank residuals
+	// shrink, so step 1's residual_max is positive.
+	if !strings.Contains(lines[1], ",") || strings.Contains(lines[1], ",,") {
+		t.Errorf("series row malformed: %q", lines[1])
+	}
+
+	timings, err := os.ReadFile(filepath.Join(dir, m.Run, "timings.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(timings), "step,prs_ns,cmp_ns,snd_ns,syn_ns,wall_ns") {
+		t.Errorf("timings header = %q", strings.SplitN(string(timings), "\n", 2)[0])
+	}
+
+	// ReadManifests finds the run; a second recorder appends after it.
+	ms, err := obs.ReadManifests(dir)
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("ReadManifests = %d manifests, err %v", len(ms), err)
+	}
+	m2 := recordOne(t, dir, "hama", g)
+	if m2.Run != "run-002-hama" {
+		t.Errorf("second recorder continued at %q, want run-002-hama", m2.Run)
+	}
+}
+
+// TestRecorderDeterminism is the guarantee the perf gate stands on: two
+// same-seed runs of the same engine produce byte-identical series.csv files.
+// Wall-clock noise is confined to timings.csv and the manifest's wall_ns.
+func TestRecorderDeterminism(t *testing.T) {
+	for _, engine := range []string{"hama", "cyclops", "powergraph"} {
+		t.Run(engine, func(t *testing.T) {
+			g, _, err := gen.Dataset("wiki", 0.02, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dirA, dirB := t.TempDir(), t.TempDir()
+			ma := recordOne(t, dirA, engine, g)
+			mb := recordOne(t, dirB, engine, g)
+
+			a, err := os.ReadFile(filepath.Join(dirA, ma.Run, "series.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(dirB, mb.Run, "series.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("series.csv differs between same-seed runs:\nA:\n%s\nB:\n%s",
+					firstDiffLine(a, b), firstDiffLine(b, a))
+			}
+			ma.WallNanos, mb.WallNanos = 0, 0
+			if ma != mb {
+				t.Errorf("manifests differ beyond wall time:\nA: %+v\nB: %+v", ma, mb)
+			}
+		})
+	}
+}
+
+func firstDiffLine(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			return al[i]
+		}
+	}
+	return ""
+}
+
+func TestEnsureWritablePaths(t *testing.T) {
+	dir := t.TempDir()
+	if err := obs.EnsureWritableDir(filepath.Join(dir, "new", "nested")); err != nil {
+		t.Errorf("creatable nested dir rejected: %v", err)
+	}
+	if err := obs.EnsureWritableDir(""); err == nil {
+		t.Error("empty dir path accepted")
+	}
+	if err := obs.EnsureWritableFile(filepath.Join(dir, "out.csv")); err != nil {
+		t.Errorf("creatable file rejected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.csv")); !os.IsNotExist(err) {
+		t.Error("probe file left behind")
+	}
+	if err := obs.EnsureWritableFile(dir); err == nil {
+		t.Error("directory accepted as a file path")
+	}
+	existing := filepath.Join(dir, "existing.csv")
+	if err := os.WriteFile(existing, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.EnsureWritableFile(existing); err != nil {
+		t.Errorf("existing writable file rejected: %v", err)
+	}
+	if body, _ := os.ReadFile(existing); string(body) != "keep" {
+		t.Error("preflight truncated an existing file")
+	}
+	// A file standing where a directory is needed fails both helpers.
+	if err := obs.EnsureWritableDir(existing); err == nil {
+		t.Error("file path accepted as a directory")
+	}
+	if err := obs.EnsureWritableFile(filepath.Join(existing, "x.csv")); err == nil {
+		t.Error("path under a file accepted")
+	}
+}

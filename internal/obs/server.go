@@ -1,18 +1,22 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // Server is the live diagnostics endpoint: Prometheus-text /metrics, JSONL
-// /trace, the worker×worker traffic matrix on /comm, and net/http/pprof
-// under /debug/pprof/. It is opt-in (the -debug-addr flag on cmd/cyclops-run
-// and cmd/cyclops-bench) and serves while supersteps advance, so a stuck or
-// slow run can be inspected instead of silently spinning.
+// /trace, the worker×worker traffic matrix on /comm, recorded runs on /runs,
+// and net/http/pprof under /debug/pprof/. It is opt-in (the -debug-addr flag
+// on cmd/cyclops-run and cmd/cyclops-bench) and serves while supersteps
+// advance, so a stuck or slow run can be inspected instead of silently
+// spinning.
 type Server struct {
 	reg  *Registry
 	ring *Ring
@@ -20,16 +24,16 @@ type Server struct {
 	srv  *http.Server
 }
 
-// NewMux builds the diagnostics routes. reg, ring and comm may each be nil;
-// the corresponding endpoint then reports 404.
-func NewMux(reg *Registry, ring *Ring, comm *CommTracker) *http.ServeMux {
+// NewMux builds the diagnostics routes. reg, ring and comm may each be nil
+// and runsDir empty; the corresponding endpoint then reports 404.
+func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/debug/pprof/\n")
+		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/runs\n/debug/pprof/\n")
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -46,6 +50,35 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker) *http.ServeMux {
 	if comm != nil {
 		mux.Handle("/comm", comm)
 	}
+	if runsDir != "" {
+		// /runs lists the recorded runs' manifests as JSON; /runs/<run>/<file>
+		// serves the flight-record artifacts (manifest.json, series.csv,
+		// timings.csv) straight from the record directory.
+		mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+			ms, err := ReadManifests(runsDir)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if ms == nil {
+				ms = []Manifest{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(ms) //nolint:errcheck // best-effort HTTP response
+		})
+		files := http.StripPrefix("/runs/", http.FileServer(http.Dir(runsDir)))
+		mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+			// Only run directories are exposed, not arbitrary siblings.
+			rest := strings.TrimPrefix(r.URL.Path, "/runs/")
+			if !strings.HasPrefix(rest, "run-") {
+				http.NotFound(w, r)
+				return
+			}
+			files.ServeHTTP(w, r)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -56,8 +89,9 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker) *http.ServeMux {
 
 // Serve starts the diagnostics server on addr (e.g. "localhost:6060", or
 // ":0" for an ephemeral port) and returns immediately; requests are handled
-// on a background goroutine until Close.
-func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker) (*Server, error) {
+// on a background goroutine until Close or Shutdown. runsDir may be empty
+// (no /runs endpoint).
+func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -67,7 +101,7 @@ func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker) (*Server, 
 		ring: ring,
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           NewMux(reg, ring, comm),
+			Handler:           NewMux(reg, ring, comm, runsDir),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}
@@ -81,5 +115,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL reports the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the listener.
+// Close stops the listener immediately, dropping in-flight requests. Prefer
+// Shutdown on orderly exit paths so a /metrics scrape racing the process exit
+// still completes.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to finish, up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

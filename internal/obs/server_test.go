@@ -58,8 +58,13 @@ func TestServerLiveDuringRun(t *testing.T) {
 	collector := obs.NewCollector(reg)
 	comm := obs.NewCommTracker()
 	gt := &gate{at: 2, reached: make(chan struct{}), release: make(chan struct{})}
+	recDir := t.TempDir()
+	rec, err := obs.NewRecorder(recDir)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm)
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +74,7 @@ func TestServerLiveDuringRun(t *testing.T) {
 		cyclops.Config[float64, float64]{
 			Cluster:       cluster.Flat(2, 2),
 			MaxSupersteps: 20,
-			Hooks:         obs.Multi(tracer, collector, comm, gt),
+			Hooks:         obs.Multi(tracer, collector, comm, rec, gt),
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +202,31 @@ func TestServerLiveDuringRun(t *testing.T) {
 	if !strings.Contains(body, obs.MetricRunsDone) {
 		t.Errorf("post-run /metrics missing %s", obs.MetricRunsDone)
 	}
+
+	// The flight recorder wrote the run; /runs must list it and serve its
+	// artifacts.
+	t.Run("runs", func(t *testing.T) {
+		if err := rec.Err(); err != nil {
+			t.Fatal(err)
+		}
+		var ms []obs.Manifest
+		if err := json.Unmarshal([]byte(get(t, srv.URL()+"/runs", "application/json")), &ms); err != nil {
+			t.Fatalf("invalid /runs JSON: %v", err)
+		}
+		if len(ms) != 1 || ms[0].Engine != "cyclops" || ms[0].Supersteps < 3 {
+			t.Fatalf("/runs = %+v, want one cyclops run with ≥3 supersteps", ms)
+		}
+		series := get(t, srv.URL()+"/runs/"+ms[0].Run+"/series.csv", "")
+		if !strings.HasPrefix(series, "step,active,") {
+			t.Errorf("series.csv header = %q", strings.SplitN(series, "\n", 2)[0])
+		}
+		if resp, err := http.Get(srv.URL() + "/runs/../secrets"); err == nil {
+			if resp.StatusCode == http.StatusOK {
+				t.Error("/runs/ must not serve paths outside run directories")
+			}
+			resp.Body.Close()
+		}
+	})
 }
 
 func get(t *testing.T, url, wantCT string) string {
@@ -221,7 +251,7 @@ func get(t *testing.T, url, wantCT string) string {
 
 // TestServeEphemeralPort keeps ":0" usable for tests and CLIs.
 func TestServeEphemeralPort(t *testing.T) {
-	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker())
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,211 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cyclops/internal/obs"
+)
+
+func baseline() Baseline {
+	return Baseline{
+		Scale: 0.25,
+		Seed:  1,
+		Entries: []Entry{
+			{Experiment: "pagerank", Engine: "hama", Algorithm: "PR", Dataset: "gweb",
+				Supersteps: 42, Messages: 2519118, Bytes: 40305888, ModelMs: 110.18},
+			{Experiment: "pagerank", Engine: "cyclops", Algorithm: "PR", Dataset: "gweb",
+				Supersteps: 45, Messages: 1329773, Bytes: 21276368, Replicas: 39040, ModelMs: 56.31},
+			{Experiment: "pagerank", Engine: "cyclopsmt", Algorithm: "PR", Dataset: "gweb",
+				Supersteps: 45, Messages: 790967, Bytes: 12655472, Replicas: 23615, ModelMs: 14.44},
+		},
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	res := Diff(baseline(), baseline(), Options{})
+	if !res.OK() {
+		t.Fatalf("identical baselines not OK: %v", res.Err())
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("Err() = %v for identical baselines", err)
+	}
+	// 3 runs × 5 metrics, all clean.
+	if len(res.Deltas) != 15 {
+		t.Errorf("got %d deltas, want 15", len(res.Deltas))
+	}
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Errorf("regressions on identical input: %v", regs)
+	}
+}
+
+func TestDiffExactMetricRegresses(t *testing.T) {
+	cur := baseline()
+	cur.Entries[1].Messages += 5 // any drift in a deterministic count fails
+	res := Diff(baseline(), cur, Options{})
+	if res.OK() {
+		t.Fatal("message drift not flagged")
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "messages" || regs[0].Run != "pagerank/cyclops#0" {
+		t.Errorf("regression = %+v, want messages on pagerank/cyclops#0", regs[0])
+	}
+	err := res.Err()
+	if err == nil || !strings.Contains(err.Error(), "messages") {
+		t.Errorf("Err() = %v, want it to name the metric", err)
+	}
+}
+
+func TestDiffModelBand(t *testing.T) {
+	within := baseline()
+	within.Entries[0].ModelMs *= 1.04 // inside the default 5% band
+	if res := Diff(baseline(), within, Options{}); !res.OK() {
+		t.Errorf("4%% model drift flagged under 5%% tolerance: %v", res.Err())
+	}
+	outside := baseline()
+	outside.Entries[0].ModelMs *= 1.08
+	res := Diff(baseline(), outside, Options{})
+	if res.OK() {
+		t.Fatal("8% model drift passed under 5% tolerance")
+	}
+	if regs := res.Regressions(); len(regs) != 1 || regs[0].Metric != "model_ms" {
+		t.Errorf("regressions = %v, want one model_ms", regs)
+	}
+	// A wider band admits it; improvements (faster model time) beyond the band
+	// still flag, keeping the baseline honest in both directions.
+	if res := Diff(baseline(), outside, Options{ModelTol: 0.10}); !res.OK() {
+		t.Errorf("8%% drift flagged under 10%% tolerance: %v", res.Err())
+	}
+}
+
+func TestDiffUnmatchedRuns(t *testing.T) {
+	cur := baseline()
+	cur.Entries = cur.Entries[:2] // cyclopsmt run vanished
+	res := Diff(baseline(), cur, Options{})
+	if res.OK() {
+		t.Fatal("missing run not flagged")
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "pagerank/cyclopsmt#0" {
+		t.Errorf("MissingInNew = %v", res.MissingInNew)
+	}
+	if err := res.Err(); err == nil || !strings.Contains(err.Error(), "cyclopsmt") {
+		t.Errorf("Err() = %v, want it to name the missing run", err)
+	}
+
+	extra := baseline()
+	extra.Entries = append(extra.Entries, Entry{Experiment: "pagerank", Engine: "hama",
+		Supersteps: 42, Messages: 2519118, Bytes: 40305888, ModelMs: 110.18})
+	res = Diff(baseline(), extra, Options{})
+	if len(res.MissingInOld) != 1 || res.MissingInOld[0] != "pagerank/hama#1" {
+		t.Errorf("MissingInOld = %v (repeated runs get ordinals)", res.MissingInOld)
+	}
+}
+
+func TestDiffOrdinalsSeparateRepeatedRuns(t *testing.T) {
+	// Two hama runs in one experiment must diff positionally, not collapse.
+	two := Baseline{Entries: []Entry{
+		{Experiment: "sweep", Engine: "hama", Messages: 100},
+		{Experiment: "sweep", Engine: "hama", Messages: 200},
+	}}
+	cur := Baseline{Entries: []Entry{
+		{Experiment: "sweep", Engine: "hama", Messages: 100},
+		{Experiment: "sweep", Engine: "hama", Messages: 999},
+	}}
+	res := Diff(two, cur, Options{})
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Run != "sweep/hama#1" || regs[0].Metric != "messages" {
+		t.Errorf("regressions = %v, want messages on sweep/hama#1 only", regs)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_baseline.json")
+	want := baseline()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Diff(want, got, Options{}).OK() {
+		t.Errorf("round trip changed the baseline: %+v", got)
+	}
+	if got.Scale != want.Scale || got.Seed != want.Seed {
+		t.Errorf("round trip lost scale/seed: %+v", got)
+	}
+}
+
+func TestLoadFromRecordDir(t *testing.T) {
+	dir := t.TempDir()
+	// A record dir is run-* subdirectories with manifests.
+	m := obs.Manifest{Run: "run-001-cyclops", Experiment: "pagerank", Engine: "cyclops",
+		Supersteps: 45, Messages: 1329773, Bytes: 21276368, Replicas: 39040, ModelNanos: 56.31e6}
+	writeManifest(t, dir, m)
+	b, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 1 {
+		t.Fatalf("got %d entries", len(b.Entries))
+	}
+	e := b.Entries[0]
+	if e.Engine != "cyclops" || e.Messages != 1329773 || e.ModelMs != 56.31 {
+		t.Errorf("normalized entry = %+v", e)
+	}
+
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty record dir accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+func TestWriteMarkdownOrdersRegressionsFirst(t *testing.T) {
+	cur := baseline()
+	cur.Entries[2].Bytes += 1
+	cur.Entries = cur.Entries[:3]
+	res := Diff(baseline(), cur, Options{})
+	var sb strings.Builder
+	if err := res.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "bytes=") {
+		t.Errorf("markdown missing regression row:\n%s", out)
+	}
+	first := strings.Index(out, "| pagerank/cyclopsmt#0 | bytes=")
+	anyOK := strings.Index(out, "| ok |")
+	if first < 0 || (anyOK >= 0 && anyOK < first) {
+		t.Errorf("regression row not first:\n%s", out)
+	}
+
+	var clean strings.Builder
+	if err := Diff(baseline(), baseline(), Options{}).WriteMarkdown(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clean.String(), "No regressions") {
+		t.Errorf("clean diff lacks summary line:\n%s", clean.String())
+	}
+}
+
+func writeManifest(t *testing.T, root string, m obs.Manifest) {
+	t.Helper()
+	dir := filepath.Join(root, m.Run)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(`{"run":"` + m.Run + `","experiment":"` + m.Experiment +
+		`","engine":"` + m.Engine + `","supersteps":45,"messages":1329773,` +
+		`"bytes":21276368,"replicas":39040,"model_ns":56310000}`)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -49,7 +50,19 @@ type Local[M any] struct {
 
 type lockedQueue[M any] struct {
 	mu      sync.Mutex
-	batches [][]M
+	batches []taggedBatch[M]
+	seq     []int64 // per-sender send counter, indexed by from
+}
+
+// taggedBatch remembers who enqueued a batch and in what per-sender order, so
+// Drain can return a canonical ordering instead of goroutine arrival order.
+// Arrival order depends on scheduling; sorting by (from, seq) makes the fold
+// order of non-commutative-in-floating-point reductions reproducible, which
+// the flight recorder's byte-identical series guarantee relies on.
+type taggedBatch[M any] struct {
+	from  int
+	seq   int64
+	batch []M
 }
 
 type slot[M any] struct {
@@ -65,6 +78,9 @@ func NewLocal[M any](n int, mode QueueMode, sizeOf func(M) int64) *Local[M] {
 	switch mode {
 	case GlobalQueue:
 		t.global = make([]lockedQueue[M], n)
+		for i := range t.global {
+			t.global[i].seq = make([]int64, n)
+		}
 	case PerSenderQueue:
 		t.slots = make([][]slot[M], n)
 		for i := range t.slots {
@@ -114,7 +130,8 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 	case GlobalQueue:
 		q := &t.global[to]
 		q.mu.Lock()
-		q.batches = append(q.batches, batch)
+		q.seq[from]++
+		q.batches = append(q.batches, taggedBatch[M]{from: from, seq: q.seq[from], batch: batch})
 		q.mu.Unlock()
 		t.stats.count(int64(len(batch)), bytes, true)
 	case PerSenderQueue:
@@ -128,15 +145,31 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 
 // Drain returns and clears all batches queued for worker `to`. It must only
 // be called when no Send to `to` is in flight (i.e. after a barrier), which
-// is how the BSP superstep structure uses it.
+// is how the BSP superstep structure uses it. Batches come back in canonical
+// (sender, send-order) order regardless of goroutine scheduling, so engines
+// that fold message values in drain order produce bit-identical results on
+// every same-seed run.
 func (t *Local[M]) Drain(to int) [][]M {
 	switch t.mode {
 	case GlobalQueue:
 		q := &t.global[to]
 		q.mu.Lock()
-		out := q.batches
+		tagged := q.batches
 		q.batches = nil
 		q.mu.Unlock()
+		sort.Slice(tagged, func(i, j int) bool {
+			if tagged[i].from != tagged[j].from {
+				return tagged[i].from < tagged[j].from
+			}
+			return tagged[i].seq < tagged[j].seq
+		})
+		out := make([][]M, len(tagged))
+		for i := range tagged {
+			out[i] = tagged[i].batch
+		}
+		if len(out) == 0 {
+			return nil
+		}
 		return out
 	default:
 		var out [][]M
