@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"cyclops/internal/fault"
 	"cyclops/internal/harness"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
@@ -43,6 +44,8 @@ func main() {
 		audit     = flag.Bool("audit", false, "verify engine invariants each superstep; a violation fails the experiment")
 		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
 		verbose   = flag.Bool("verbose", false, "narrate each experiment's supersteps as JSONL events on stderr")
+		faultSeed = flag.Int64("fault-seed", 0, "derive the faults experiment's fault plan from this seed instead of -seed (0 = use -seed)")
+		faultPlan = flag.String("fault-plan", "", "load the faults experiment's fault plan from this JSON file (overrides -fault-seed; format: internal/fault)")
 	)
 	flag.Parse()
 
@@ -90,6 +93,16 @@ func main() {
 		WorkersPerMachine: *workers,
 		Eps:               *eps,
 		Audit:             *audit,
+	}
+	if *faultPlan != "" {
+		p, err := fault.Load(*faultPlan)
+		if err != nil {
+			fatal(fmt.Errorf("-fault-plan %s: %w", *faultPlan, err))
+		}
+		o.FaultPlan = &p
+	} else if *faultSeed != 0 {
+		p := fault.NewPlan(*faultSeed, (*mach)*(*workers), 2, 8, 3)
+		o.FaultPlan = &p
 	}
 
 	// Live observability: a tracer narrates supersteps (to stderr when

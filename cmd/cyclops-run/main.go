@@ -70,6 +70,9 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		audit     = fs.Bool("audit", false, "verify the engine's structural invariants each superstep (replica consistency, message conservation, mirror coherence); a violation fails the run")
 		debugAddr = fs.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
 		verbose   = fs.Bool("verbose", false, "narrate supersteps as JSONL events on stderr")
+		faultSeed = fs.Int64("fault-seed", 0, "inject a deterministic fault plan derived from this seed; the engine checkpoints and recovers (0 disables)")
+		faultPlan = fs.String("fault-plan", "", "inject the fault plan from this JSON file (overrides -fault-seed; format: internal/fault)")
+		ckptEvery = fs.Int("checkpoint-every", 2, "checkpoint cadence in supersteps while fault injection is on")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +114,11 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	fo, cleanup, err := newFaultOpts(*faultPlan, *faultSeed, *ckptEvery, cc.Workers(), stderr)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 
 	// Live observability (opt-in): -verbose narrates supersteps on stderr;
 	// -debug-addr additionally serves /metrics, /trace, /comm and
@@ -171,7 +179,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 	hooks := obs.Multi(hookList...)
 
 	values, summary, trace, err := run(*engine, *algo, g, cc, part, *eps, *steps,
-		graph.ID(*source), hooks, *audit)
+		graph.ID(*source), hooks, *audit, fo)
 	if err != nil {
 		return err
 	}
@@ -262,14 +270,17 @@ func pickPartitioner(name string, seed int64) (partition.Partitioner, error) {
 
 func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 	part partition.Partitioner, eps float64, steps int, source graph.ID,
-	hooks obs.Hooks, audit bool) ([]float64, string, *metrics.Trace, error) {
+	hooks obs.Hooks, audit bool, fo *faultOpts) ([]float64, string, *metrics.Trace, error) {
 
 	switch engine + "/" + algo {
 	case "cyclops/PR":
 		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: eps},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: scalarResid})
+			armCyclops(cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -279,9 +290,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "cyclops/SSSP":
 		e, err := cyclops.New[float64, float64](g, algorithms.SSSPCyclops{Source: source},
-			cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: scalarResid})
+			armCyclops(cyclops.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -291,9 +305,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CD":
 		e, err := cyclops.New[int64, int64](g, algorithms.CDCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: labelResid})
+			armCyclops(cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -303,12 +320,15 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return toFloats(e.Values()), tr.String(), tr, nil
 	case "hama/PR":
 		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: eps},
-			bsp.Config[float64, float64]{
+			armBSP(bsp.Config[float64, float64]{
 				Cluster: cc, Partitioner: part, MaxSupersteps: steps, Hooks: hooks, Audit: audit,
 				Residual: scalarResid,
 				Halt:     aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), eps),
-			})
+			}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -318,9 +338,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "hama/SSSP":
 		e, err := bsp.New[float64, float64](g, algorithms.SSSPBSP{Source: source},
-			bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: scalarResid})
+			armBSP(bsp.Config[float64, float64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -330,9 +353,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return e.Values(), tr.String(), tr, nil
 	case "cyclops/CC":
 		e, err := cyclops.New[int64, int64](g, algorithms.CCCyclops{},
-			cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: labelResid})
+			armCyclops(cyclops.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -344,9 +370,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
 	case "hama/CC":
 		e, err := bsp.New[int64, int64](g, algorithms.CCBSP{},
-			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: labelResid})
+			armBSP(bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -358,9 +387,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\ncomponents: %d", tr, algorithms.ComponentCount(labels)), tr, nil
 	case "hama/CD":
 		e, err := bsp.New[int64, int64](g, algorithms.CDBSP{},
-			bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: labelResid, Halt: algorithms.CDHalt()})
+			armBSP(bsp.Config[int64, int64]{Cluster: cc, Partitioner: part, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: labelResid, Halt: algorithms.CDHalt()}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -370,10 +402,13 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 		return toFloats(e.Values()), tr.String(), tr, nil
 	case "powergraph/PR":
 		e, err := gas.New[algorithms.PRValue, float64](g, algorithms.NewPageRankGAS(g, steps, eps),
-			gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps,
+			armGAS(gas.Config[algorithms.PRValue, float64]{Cluster: cc, MaxSupersteps: steps,
 				Hooks: hooks, Audit: audit,
-				Residual: func(old, new algorithms.PRValue) float64 { return scalarResid(old.Rank, new.Rank) }})
+				Residual: func(old, new algorithms.PRValue) float64 { return scalarResid(old.Rank, new.Rank) }}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()
@@ -384,9 +419,12 @@ func run(engine, algo string, g *graph.Graph, cc cluster.Config,
 			fmt.Sprintf("%v\nreplication factor: %.2f", tr, e.ReplicationFactor()), tr, nil
 	case "powergraph/SSSP":
 		e, err := gas.New[float64, float64](g, algorithms.SSSPGAS{Source: source},
-			gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps,
-				Hooks: hooks, Audit: audit, Residual: scalarResid})
+			armGAS(gas.Config[float64, float64]{Cluster: cc, MaxSupersteps: steps,
+				Hooks: hooks, Audit: audit, Residual: scalarResid}, fo))
 		if err != nil {
+			return nil, "", nil, err
+		}
+		if err := saveBaseline(fo, e.Snapshot); err != nil {
 			return nil, "", nil, err
 		}
 		tr, err := e.Run()

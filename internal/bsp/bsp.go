@@ -18,6 +18,7 @@ import (
 
 	"cyclops/internal/aggregate"
 	"cyclops/internal/cluster"
+	"cyclops/internal/fault"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
@@ -90,6 +91,18 @@ type Config[V, M any] struct {
 	// A violation fails the run with *obs.AuditError. Off by default; when
 	// off the loop pays one branch per phase.
 	Audit bool
+	// Recover loads the state to roll back to after a transient transport
+	// fault at a barrier (typically checkpoint.LoadLatest over the same
+	// directory Checkpoints writes into). When set, the engine restores
+	// values, halted flags and pending messages and replays; when nil, any
+	// transport fault fails the run. Requires InProcess.
+	Recover func() (State[V, M], error)
+	// MaxRecoveries bounds recovery attempts per run (default 3); a fault
+	// beyond the budget fails the run with the underlying transport error.
+	MaxRecoveries int
+	// FaultPlan injects a deterministic fault schedule at the transport
+	// boundary (testing/chaos only). Same plan ⇒ same faults.
+	FaultPlan *fault.Plan
 }
 
 // envelope routes one message to a destination vertex.
@@ -127,6 +140,7 @@ type Engine[V, M any] struct {
 	inbox  [][]M
 
 	tr    transport.Interface[envelope[M]]
+	inj   *fault.Injector[envelope[M]]
 	agg   *aggregate.Registry
 	trace *metrics.Trace
 	model metrics.CostModel
@@ -162,6 +176,9 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 	if cfg.Network != transport.InProcess && cfg.CheckpointEvery > 0 {
 		return nil, errors.New("bsp: checkpointing requires the in-process network")
 	}
+	if cfg.Network != transport.InProcess && cfg.Recover != nil {
+		return nil, errors.New("bsp: recovery requires the in-process network")
+	}
 	assign, err := cfg.Partitioner.Partition(g, workers)
 	if err != nil {
 		return nil, fmt.Errorf("bsp: partition: %w", err)
@@ -170,6 +187,11 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		queueMode(cfg.PerSenderQueues), wrapSize[M](cfg.SizeOfMsg))
 	if err != nil {
 		return nil, fmt.Errorf("bsp: transport: %w", err)
+	}
+	var inj *fault.Injector[envelope[M]]
+	if cfg.FaultPlan != nil {
+		inj = fault.Wrap(tr, *cfg.FaultPlan)
+		tr = inj
 	}
 	e := &Engine[V, M]{
 		g:      g,
@@ -181,6 +203,7 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		halted: make([]bool, g.NumVertices()),
 		inbox:  make([][]M, g.NumVertices()),
 		tr:     tr,
+		inj:    inj,
 		agg:    aggregate.NewRegistry(),
 		trace:  &metrics.Trace{Engine: "hama", Workers: workers},
 		model:  metrics.DefaultCostModel(),
@@ -347,7 +370,16 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 		e.primed = true
 	}
-	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
+	maxRecoveries := e.cfg.MaxRecoveries
+	if maxRecoveries <= 0 {
+		maxRecoveries = 3
+	}
+	recoveries := 0
+
+	for e.step < e.cfg.MaxSupersteps {
+		if e.inj != nil {
+			e.inj.BeginStep(e.step)
+		}
 		stats := metrics.StepStats{Step: e.step}
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
@@ -546,6 +578,40 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			}
 			hooks.OnSuperstepEnd(e.step, stats)
 		}
+		// Fault check at the barrier, before anything from this superstep is
+		// persisted: a transient transport fault rolls the run back to the
+		// latest checkpoint (§3.6) and replays; anything else fails the run.
+		if err := e.tr.Err(); err != nil {
+			if transport.IsTransient(err) && e.cfg.Recover != nil && recoveries < maxRecoveries {
+				st, lerr := e.cfg.Recover()
+				if lerr != nil {
+					return e.trace, fmt.Errorf("bsp: recovery: load checkpoint: %w", lerr)
+				}
+				faultStep := e.step
+				if e.inj != nil {
+					e.inj.Heal()
+				}
+				if rerr := e.Restore(st); rerr != nil {
+					return e.trace, fmt.Errorf("bsp: recovery: %w", rerr)
+				}
+				recoveries++
+				if hooks != nil {
+					hooks.OnRecovery(obs.RecoveryEvent{
+						Engine:    e.trace.Engine,
+						Step:      faultStep,
+						ResumedAt: e.step,
+						Attempt:   recoveries,
+						Cause:     err.Error(),
+					})
+				}
+				continue
+			}
+			if hooks != nil {
+				hooks.OnConverged(e.step, obs.ReasonFault)
+			}
+			return e.trace, fmt.Errorf("bsp: transport: %w", err)
+		}
+
 		if len(violations) > 0 {
 			if hooks != nil {
 				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
@@ -574,6 +640,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			stopReason = obs.ReasonHalt
 			break
 		}
+		e.step++
 	}
 	if hooks != nil {
 		hooks.OnConverged(e.step, stopReason)
@@ -621,6 +688,16 @@ func (e *Engine[V, M]) countActive() int64 {
 
 // TransportStats exposes the raw traffic counters.
 func (e *Engine[V, M]) TransportStats() transport.Snapshot { return e.tr.Stats().Snapshot() }
+
+// Snapshot captures the engine's state before Run as a step-0 baseline
+// checkpoint, so a fault earlier than the first periodic checkpoint is still
+// recoverable. (Mid-run checkpoints are taken by the engine itself through
+// Config.Checkpoints.)
+func (e *Engine[V, M]) Snapshot() State[V, M] {
+	s := e.snapshot()
+	s.Step = e.step
+	return s
+}
 
 // snapshot captures restartable state, including undelivered messages.
 func (e *Engine[V, M]) snapshot() State[V, M] {

@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"cyclops/internal/algorithms"
+	"cyclops/internal/bsp"
 	"cyclops/internal/cluster"
 	"cyclops/internal/cyclops"
+	"cyclops/internal/gas"
 	"cyclops/internal/gen"
 )
 
@@ -140,6 +142,165 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 		if wantVals[v] != gotVals[v] {
 			t.Fatalf("vertex %d: %g vs %g after recovery", v, wantVals[v], gotVals[v])
 		}
+	}
+}
+
+// TestBSPCrashRecoveryRoundTrip is the bsp.State analogue of the cyclops
+// end-to-end test: the snapshot goes through Save's gob encoding and back
+// (including the Pending message queues), then restores into a fresh engine
+// whose final values must match an uninterrupted run exactly.
+func TestBSPCrashRecoveryRoundTrip(t *testing.T) {
+	g := gen.PowerLaw(300, 4, 8)
+	dir := t.TempDir()
+	const iters = 12
+
+	mk := func(maxSteps, ckptEvery int) (*bsp.Engine[float64, float64], error) {
+		return bsp.New[float64, float64](g, algorithms.PageRankBSP{},
+			bsp.Config[float64, float64]{
+				Cluster:         cluster.Flat(2, 2),
+				MaxSupersteps:   maxSteps,
+				CheckpointEvery: ckptEvery,
+				Checkpoints: func(s bsp.State[float64, float64]) error {
+					if ckptEvery == 0 {
+						return nil
+					}
+					return Save(dir, s.Step, s)
+				},
+			})
+	}
+
+	full, err := mk(iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	crash, err := mk(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crash.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, at, err := LoadLatest[bsp.State[float64, float64]](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 4 {
+		t.Fatalf("latest checkpoint at %d, want 4", at)
+	}
+	rec, err := mk(iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantVals, gotVals := full.Values(), rec.Values()
+	for v := range wantVals {
+		if wantVals[v] != gotVals[v] {
+			t.Fatalf("vertex %d: %g vs %g after recovery", v, wantVals[v], gotVals[v])
+		}
+	}
+}
+
+// TestGASCrashRecoveryRoundTrip does the same for gas.State: the snapshot
+// holds master values only, and Restore must rebuild every mirror's cached
+// copy from it (§3.6) before the run resumes.
+func TestGASCrashRecoveryRoundTrip(t *testing.T) {
+	g := gen.PowerLaw(300, 4, 8)
+	dir := t.TempDir()
+	const iters = 12
+
+	mk := func(maxSteps, ckptEvery int) (*gas.Engine[algorithms.PRValue, float64], error) {
+		return gas.New[algorithms.PRValue, float64](g,
+			algorithms.NewPageRankGAS(g, iters, 1e-12),
+			gas.Config[algorithms.PRValue, float64]{
+				Cluster:         cluster.Flat(2, 2),
+				Partitioner:     gas.RandomVertexCut{},
+				MaxSupersteps:   maxSteps,
+				CheckpointEvery: ckptEvery,
+				Checkpoints: func(s gas.State[algorithms.PRValue]) error {
+					if ckptEvery == 0 {
+						return nil
+					}
+					return Save(dir, s.Step, s)
+				},
+			})
+	}
+
+	full, err := mk(iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	crash, err := mk(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crash.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, at, err := LoadLatest[gas.State[algorithms.PRValue]](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 4 {
+		t.Fatalf("latest checkpoint at %d, want 4", at)
+	}
+	rec, err := mk(iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantVals, gotVals := algorithms.Ranks(full.Values()), algorithms.Ranks(rec.Values())
+	for v := range wantVals {
+		if wantVals[v] != gotVals[v] {
+			t.Fatalf("vertex %d: %g vs %g after recovery", v, wantVals[v], gotVals[v])
+		}
+	}
+}
+
+// TestStrayTempFileIgnored simulates a crash in the middle of Save: the
+// abandoned ckpt-* temp file must be invisible to Steps and LoadLatest, which
+// only trust fully renamed step-NNNNNN.ckpt files.
+func TestStrayTempFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, 3, demoState{Step: 3, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Half-written temp from a crashed writer, exactly as CreateTemp names it.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-1234567890"), []byte("partial gob"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := Steps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0] != 3 {
+		t.Fatalf("steps = %v, want [3]", steps)
+	}
+	st, at, err := LoadLatest[demoState](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 3 || st.Step != 3 {
+		t.Fatalf("latest = %d (%+v), want step 3", at, st)
 	}
 }
 

@@ -18,6 +18,16 @@ type State[V, M any] struct {
 	Active []bool // activation flags, indexed by global vertex id
 }
 
+// Snapshot captures the engine's state before Run as a step-0 baseline
+// checkpoint, so a fault earlier than the first periodic checkpoint is still
+// recoverable. (Mid-run checkpoints are taken by the engine itself through
+// Config.Checkpoints.)
+func (e *Engine[V, M]) Snapshot() State[V, M] {
+	s := e.snapshot()
+	s.Step = e.step
+	return s
+}
+
 // snapshot captures the current state (called at barriers only).
 func (e *Engine[V, M]) snapshot() State[V, M] {
 	n := e.g.NumVertices()

@@ -24,6 +24,7 @@ import (
 
 	"cyclops/internal/aggregate"
 	"cyclops/internal/cluster"
+	"cyclops/internal/fault"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
@@ -96,6 +97,18 @@ type Config[V, M any] struct {
 	CheckpointEvery int
 	// Checkpoints receives snapshots.
 	Checkpoints func(State[V, M]) error
+	// Recover loads the state to roll back to after a transient transport
+	// fault at a barrier (typically checkpoint.LoadLatest over the same
+	// directory Checkpoints writes into). When set, the engine restores the
+	// state, rebuilds every replica from its master (§3.6), and replays;
+	// when nil, any transport fault fails the run. Requires InProcess.
+	Recover func() (State[V, M], error)
+	// MaxRecoveries bounds recovery attempts per run (default 3); a fault
+	// beyond the budget fails the run with the underlying transport error.
+	MaxRecoveries int
+	// FaultPlan injects a deterministic fault schedule at the transport
+	// boundary (testing/chaos only). Same plan ⇒ same faults.
+	FaultPlan *fault.Plan
 }
 
 // replicaRef locates one replica of a master.
@@ -152,6 +165,7 @@ type Engine[V, M any] struct {
 	assign  *partition.Assignment
 	ws      []*workerState[V, M]
 	tr      transport.Interface[syncMsg[M]]
+	inj     *fault.Injector[syncMsg[M]]
 	agg     *aggregate.Registry
 	trace   *metrics.Trace
 	model   metrics.CostModel
@@ -177,6 +191,9 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 	if cfg.Network != transport.InProcess && cfg.CheckpointEvery > 0 {
 		return nil, errors.New("cyclops: checkpointing requires the in-process network")
 	}
+	if cfg.Network != transport.InProcess && cfg.Recover != nil {
+		return nil, errors.New("cyclops: recovery requires the in-process network")
+	}
 	assign, err := cfg.Partitioner.Partition(g, workers)
 	if err != nil {
 		return nil, fmt.Errorf("cyclops: partition: %w", err)
@@ -185,6 +202,11 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		transport.PerSenderQueue, wrapSize[M](cfg.SizeOfMsg))
 	if err != nil {
 		return nil, fmt.Errorf("cyclops: transport: %w", err)
+	}
+	var inj *fault.Injector[syncMsg[M]]
+	if cfg.FaultPlan != nil {
+		inj = fault.Wrap(tr, *cfg.FaultPlan)
+		tr = inj
 	}
 
 	name := "cyclops"
@@ -198,6 +220,7 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		assign: assign,
 		ws:     make([]*workerState[V, M], workers),
 		tr:     tr,
+		inj:    inj,
 		agg:    aggregate.NewRegistry(),
 		trace:  &metrics.Trace{Engine: name, Workers: workers},
 		model:  metrics.DefaultCostModel(),

@@ -133,7 +133,8 @@ func (c *countingHooks) OnCommMatrix(_ int, delta transport.MatrixSnapshot) {
 	c.commSteps.Add(1)
 	c.commMessages.Add(delta.TotalMessages())
 }
-func (c *countingHooks) OnViolation(obs.Violation) { c.violations.Add(1) }
+func (c *countingHooks) OnViolation(obs.Violation)    { c.violations.Add(1) }
+func (c *countingHooks) OnRecovery(obs.RecoveryEvent) {}
 func (c *countingHooks) OnSuperstepEnd(_ int, s metrics.StepStats) {
 	c.stepEnds.Add(1)
 	c.lastStats = s

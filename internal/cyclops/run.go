@@ -60,7 +60,16 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 	}
 
-	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
+	maxRecoveries := e.cfg.MaxRecoveries
+	if maxRecoveries <= 0 {
+		maxRecoveries = 3
+	}
+	recoveries := 0
+
+	for e.step < e.cfg.MaxSupersteps {
+		if e.inj != nil {
+			e.inj.BeginStep(e.step)
+		}
 		stats := metrics.StepStats{Step: e.step}
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
@@ -336,6 +345,40 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			}
 			hooks.OnSuperstepEnd(e.step, stats)
 		}
+		// Fault check at the barrier, before anything from this superstep is
+		// persisted: a transient transport fault rolls the run back to the
+		// latest checkpoint (§3.6) and replays; anything else fails the run.
+		if err := e.tr.Err(); err != nil {
+			if transport.IsTransient(err) && e.cfg.Recover != nil && recoveries < maxRecoveries {
+				st, lerr := e.cfg.Recover()
+				if lerr != nil {
+					return e.trace, fmt.Errorf("cyclops: recovery: load checkpoint: %w", lerr)
+				}
+				faultStep := e.step
+				if e.inj != nil {
+					e.inj.Heal()
+				}
+				if rerr := e.Restore(st); rerr != nil {
+					return e.trace, fmt.Errorf("cyclops: recovery: %w", rerr)
+				}
+				recoveries++
+				if hooks != nil {
+					hooks.OnRecovery(obs.RecoveryEvent{
+						Engine:    e.trace.Engine,
+						Step:      faultStep,
+						ResumedAt: e.step,
+						Attempt:   recoveries,
+						Cause:     err.Error(),
+					})
+				}
+				continue
+			}
+			if hooks != nil {
+				hooks.OnConverged(e.step, obs.ReasonFault)
+			}
+			return e.trace, fmt.Errorf("cyclops: transport: %w", err)
+		}
+
 		if len(violations) > 0 {
 			if hooks != nil {
 				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
@@ -363,6 +406,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			stopReason = obs.ReasonHalt
 			break
 		}
+		e.step++
 	}
 	if hooks != nil {
 		hooks.OnConverged(e.step, stopReason)

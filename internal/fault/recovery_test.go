@@ -1,0 +1,257 @@
+package fault_test
+
+// End-to-end recovery tests: kill a worker at superstep k, recover from the
+// latest barrier checkpoint, and require the recovered run's final vertex
+// values to equal the fault-free run bit-for-bit on every engine (§3.6).
+//
+// CHAOS_SEED varies the seeded chaos plan: CI's chaos matrix sets it per job,
+// and replaying a red seed locally is `CHAOS_SEED=n go test ./internal/fault/`.
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"cyclops/internal/aggregate"
+	"cyclops/internal/algorithms"
+	"cyclops/internal/bsp"
+	"cyclops/internal/checkpoint"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/fault"
+	"cyclops/internal/gas"
+	"cyclops/internal/gen"
+	"cyclops/internal/graph"
+	"cyclops/internal/obs"
+)
+
+const (
+	recoveryEps   = 1e-8
+	recoverySteps = 100
+)
+
+// chaosSeed reads the CI chaos matrix's seed; unset means 1.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+	}
+	return n
+}
+
+func chaosGraph() *graph.Graph {
+	return gen.PowerLaw(400, 5, 3)
+}
+
+// killPlan crashes worker 0 at superstep k and nothing else.
+func killPlan(k int) fault.Plan {
+	return fault.Plan{Seed: int64(k), Faults: []fault.Fault{
+		{Kind: fault.Crash, Step: k, Worker: 0, Peer: -1},
+	}}
+}
+
+// recoveryCounter counts OnRecovery events so tests can assert the fault
+// actually fired and was recovered from, not silently skipped.
+type recoveryCounter struct {
+	obs.Nop
+	recoveries int
+}
+
+func (r *recoveryCounter) OnRecovery(obs.RecoveryEvent) { r.recoveries++ }
+
+func requireEqualValues(t *testing.T, base, got []float64) {
+	t.Helper()
+	if len(base) != len(got) {
+		t.Fatalf("value lengths differ: %d vs %d", len(base), len(got))
+	}
+	for v := range base {
+		if base[v] != got[v] {
+			t.Fatalf("vertex %d diverged after recovery: %g vs %g", v, base[v], got[v])
+		}
+	}
+}
+
+// Each runXxx runs PageRank on the engine; with a nil plan it is the
+// fault-free baseline, otherwise the plan is injected with checkpoints every
+// 2 supersteps (plus a step-0 baseline) and recovery from the latest one.
+
+func runCyclops(t *testing.T, g *graph.Graph, plan *fault.Plan, rec *recoveryCounter) []float64 {
+	t.Helper()
+	cfg := cyclops.Config[float64, float64]{
+		Cluster: cluster.Flat(2, 2), MaxSupersteps: recoverySteps,
+		Equal: func(a, b float64) bool { return math.Abs(a-b) < recoveryEps },
+	}
+	if plan != nil {
+		dir := t.TempDir()
+		cfg.FaultPlan = plan
+		cfg.CheckpointEvery = 2
+		cfg.Checkpoints = func(s cyclops.State[float64, float64]) error {
+			return checkpoint.Save(dir, s.Step, s)
+		}
+		cfg.Recover = func() (cyclops.State[float64, float64], error) {
+			s, _, err := checkpoint.LoadLatest[cyclops.State[float64, float64]](dir)
+			return s, err
+		}
+		cfg.Hooks = rec
+		e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: recoveryEps}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkpoint.Save(dir, 0, e.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Values()
+	}
+	e, err := cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: recoveryEps}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Values()
+}
+
+func runBSP(t *testing.T, g *graph.Graph, plan *fault.Plan, rec *recoveryCounter) []float64 {
+	t.Helper()
+	cfg := bsp.Config[float64, float64]{
+		Cluster: cluster.Flat(2, 2), MaxSupersteps: recoverySteps,
+		Halt:  aggregate.GlobalErrorHalt(algorithms.ErrorAggregator, g.NumVertices(), recoveryEps),
+		Equal: func(a, b float64) bool { return math.Abs(a-b) < recoveryEps },
+	}
+	if plan != nil {
+		dir := t.TempDir()
+		cfg.FaultPlan = plan
+		cfg.CheckpointEvery = 2
+		cfg.Checkpoints = func(s bsp.State[float64, float64]) error {
+			return checkpoint.Save(dir, s.Step, s)
+		}
+		cfg.Recover = func() (bsp.State[float64, float64], error) {
+			s, _, err := checkpoint.LoadLatest[bsp.State[float64, float64]](dir)
+			return s, err
+		}
+		cfg.Hooks = rec
+		e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: recoveryEps}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkpoint.Save(dir, 0, e.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Values()
+	}
+	e, err := bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: recoveryEps}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Values()
+}
+
+func runGAS(t *testing.T, g *graph.Graph, plan *fault.Plan, rec *recoveryCounter) []float64 {
+	t.Helper()
+	cfg := gas.Config[algorithms.PRValue, float64]{
+		Cluster: cluster.Flat(2, 2), Partitioner: gas.RandomVertexCut{},
+		MaxSupersteps: recoverySteps,
+	}
+	if plan != nil {
+		dir := t.TempDir()
+		cfg.FaultPlan = plan
+		cfg.CheckpointEvery = 2
+		cfg.Checkpoints = func(s gas.State[algorithms.PRValue]) error {
+			return checkpoint.Save(dir, s.Step, s)
+		}
+		cfg.Recover = func() (gas.State[algorithms.PRValue], error) {
+			s, _, err := checkpoint.LoadLatest[gas.State[algorithms.PRValue]](dir)
+			return s, err
+		}
+		cfg.Hooks = rec
+		e, err := gas.New[algorithms.PRValue, float64](g,
+			algorithms.NewPageRankGAS(g, recoverySteps, recoveryEps), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkpoint.Save(dir, 0, e.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return algorithms.Ranks(e.Values())
+	}
+	e, err := gas.New[algorithms.PRValue, float64](g,
+		algorithms.NewPageRankGAS(g, recoverySteps, recoveryEps), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return algorithms.Ranks(e.Values())
+}
+
+var engines = []struct {
+	name string
+	run  func(*testing.T, *graph.Graph, *fault.Plan, *recoveryCounter) []float64
+}{
+	{"cyclops", runCyclops},
+	{"bsp", runBSP},
+	{"gas", runGAS},
+}
+
+func TestKillAtStepKRecoversExactly(t *testing.T) {
+	g := chaosGraph()
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			base := eng.run(t, g, nil, nil)
+			for _, k := range []int{1, 2, 3} {
+				k := k
+				t.Run("k="+strconv.Itoa(k), func(t *testing.T) {
+					plan := killPlan(k)
+					rec := &recoveryCounter{}
+					got := eng.run(t, g, &plan, rec)
+					if rec.recoveries == 0 {
+						t.Fatal("crash never fired: recovery path untested")
+					}
+					requireEqualValues(t, base, got)
+				})
+			}
+		})
+	}
+}
+
+// TestChaosSeededRecovery runs the full seed-derived plan (the same shape the
+// CLIs arm via -fault-seed) against every engine. Not every scheduled fault
+// necessarily fires — a drop on an idle connection costs nothing — but the
+// final values must always equal the fault-free run.
+func TestChaosSeededRecovery(t *testing.T) {
+	g := chaosGraph()
+	seed := chaosSeed(t)
+	plan := fault.NewPlan(seed, cluster.Flat(2, 2).Workers(), 1, 6, 3)
+	t.Logf("chaos plan (seed %d):\n%s", seed, plan.Encode())
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			base := eng.run(t, g, nil, nil)
+			rec := &recoveryCounter{}
+			got := eng.run(t, g, &plan, rec)
+			t.Logf("%s: %d recoveries", eng.name, rec.recoveries)
+			requireEqualValues(t, base, got)
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package gas
+
+import (
+	"errors"
+
+	"cyclops/internal/transport"
+)
+
+// State is the checkpointable engine state. Like Cyclops (§3.6), the
+// vertex-cut engine checkpoints only master values and activation flags:
+// mirrors are caches and are rebuilt from their masters on recovery, and at a
+// superstep barrier no messages are in flight.
+type State[V any] struct {
+	Step   int
+	Values []V    // master values, indexed by global vertex id
+	Active []bool // master activation flags, indexed by global vertex id
+}
+
+// Snapshot captures the engine's state before Run as a step-0 baseline
+// checkpoint, so a fault earlier than the first periodic checkpoint is still
+// recoverable. (Mid-run checkpoints are taken by the engine itself through
+// Config.Checkpoints.)
+func (e *Engine[V, G]) Snapshot() State[V] {
+	s := e.snapshot()
+	s.Step = e.step
+	return s
+}
+
+// snapshot captures the current state (called at barriers only).
+func (e *Engine[V, G]) snapshot() State[V] {
+	n := e.g.NumVertices()
+	s := State[V]{
+		Step:   e.step + 1,
+		Values: make([]V, n),
+		Active: make([]bool, n),
+	}
+	for _, ws := range e.ws {
+		for i := range ws.verts {
+			lv := &ws.verts[i]
+			if lv.master {
+				s.Values[lv.id] = lv.cache
+				s.Active[lv.id] = lv.active
+			}
+		}
+	}
+	return s
+}
+
+// Restore rewinds the engine to a checkpointed state and refreshes every
+// copy's cached value from the checkpointed master value — the mirror rebuild
+// that replaces message replay (the vertex-cut analogue of §3.6's replica
+// re-synchronisation).
+func (e *Engine[V, G]) Restore(s State[V]) error {
+	if e.cfg.Network != transport.InProcess {
+		return errors.New("gas: restore requires the in-process network")
+	}
+	n := e.g.NumVertices()
+	if len(s.Values) != n || len(s.Active) != n {
+		return errors.New("gas: checkpoint shape does not match engine")
+	}
+	for _, ws := range e.ws {
+		for i := range ws.verts {
+			lv := &ws.verts[i]
+			// Every copy, master and mirror alike, resets to the master's
+			// checkpointed value.
+			lv.cache = s.Values[lv.id]
+			if lv.master {
+				lv.active = s.Active[lv.id]
+			}
+		}
+	}
+	// Discard any undelivered messages from the aborted superstep.
+	for w := 0; w < e.cfg.Cluster.Workers(); w++ {
+		e.tr.Drain(w)
+	}
+	e.step = s.Step
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cyclops/internal/cluster"
+	"cyclops/internal/fault"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
@@ -154,6 +155,24 @@ type Config[V, G any] struct {
 	// channel, so a divergent mirror means a lost or corrupted push). A
 	// violation fails the run with *obs.AuditError. Off by default.
 	Audit bool
+	// CheckpointEvery saves state every k supersteps to Checkpoints (k>0).
+	// Mirrors and messages are excluded: mirrors are rebuilt from masters on
+	// recovery, the vertex-cut analogue of §3.6.
+	CheckpointEvery int
+	// Checkpoints receives snapshots.
+	Checkpoints func(State[V]) error
+	// Recover loads the state to roll back to after a transient transport
+	// fault at a barrier (typically checkpoint.LoadLatest over the same
+	// directory Checkpoints writes into). When set, the engine restores the
+	// state, rebuilds every mirror from its master, and replays; when nil,
+	// any transport fault fails the run. Requires InProcess.
+	Recover func() (State[V], error)
+	// MaxRecoveries bounds recovery attempts per run (default 3); a fault
+	// beyond the budget fails the run with the underlying transport error.
+	MaxRecoveries int
+	// FaultPlan injects a deterministic fault schedule at the transport
+	// boundary (testing/chaos only). Same plan ⇒ same faults.
+	FaultPlan *fault.Plan
 }
 
 // message kinds: the five per-mirror messages of §2.3.
@@ -212,6 +231,7 @@ type Engine[V, G any] struct {
 	cfg   Config[V, G]
 	ws    []*workerState[V]
 	tr    transport.Interface[gasMsg[V, G]]
+	inj   *fault.Injector[gasMsg[V, G]]
 	trace *metrics.Trace
 	model metrics.CostModel
 
@@ -234,9 +254,20 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 		cfg.MaxSupersteps = 100
 	}
 	k := cfg.Cluster.Workers()
+	if cfg.Network != transport.InProcess && cfg.CheckpointEvery > 0 {
+		return nil, errors.New("gas: checkpointing requires the in-process network")
+	}
+	if cfg.Network != transport.InProcess && cfg.Recover != nil {
+		return nil, errors.New("gas: recovery requires the in-process network")
+	}
 	tr, err := transport.New[gasMsg[V, G]](cfg.Network, k, transport.GlobalQueue, nil)
 	if err != nil {
 		return nil, fmt.Errorf("gas: transport: %w", err)
+	}
+	var inj *fault.Injector[gasMsg[V, G]]
+	if cfg.FaultPlan != nil {
+		inj = fault.Wrap(tr, *cfg.FaultPlan)
+		tr = inj
 	}
 	e := &Engine[V, G]{
 		g:           g,
@@ -244,6 +275,7 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 		cfg:         cfg,
 		ws:          make([]*workerState[V], k),
 		tr:          tr,
+		inj:         inj,
 		trace:       &metrics.Trace{Engine: "powergraph", Workers: k},
 		model:       metrics.DefaultCostModel(),
 		mirrorsPerW: make([]int64, k),
@@ -395,7 +427,16 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		prevComm = e.tr.Matrix().Snapshot()
 	}
 
-	for ; e.step < e.cfg.MaxSupersteps; e.step++ {
+	maxRecoveries := e.cfg.MaxRecoveries
+	if maxRecoveries <= 0 {
+		maxRecoveries = 3
+	}
+	recoveries := 0
+
+	for e.step < e.cfg.MaxSupersteps {
+		if e.inj != nil {
+			e.inj.BeginStep(e.step)
+		}
 		stats := metrics.StepStats{Step: e.step}
 		var msgs, computeUnits atomic.Int64
 		var active int64
@@ -698,15 +739,56 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			}
 			hooks.OnSuperstepEnd(e.step, stats)
 		}
+		// Fault check at the barrier, before anything from this superstep is
+		// persisted: a transient transport fault rolls the run back to the
+		// latest checkpoint and replays (mirrors rebuilt from masters, the
+		// vertex-cut analogue of §3.6); anything else fails the run.
+		if err := e.tr.Err(); err != nil {
+			if transport.IsTransient(err) && e.cfg.Recover != nil && recoveries < maxRecoveries {
+				st, lerr := e.cfg.Recover()
+				if lerr != nil {
+					return e.trace, fmt.Errorf("gas: recovery: load checkpoint: %w", lerr)
+				}
+				faultStep := e.step
+				if e.inj != nil {
+					e.inj.Heal()
+				}
+				if rerr := e.Restore(st); rerr != nil {
+					return e.trace, fmt.Errorf("gas: recovery: %w", rerr)
+				}
+				recoveries++
+				if hooks != nil {
+					hooks.OnRecovery(obs.RecoveryEvent{
+						Engine:    e.trace.Engine,
+						Step:      faultStep,
+						ResumedAt: e.step,
+						Attempt:   recoveries,
+						Cause:     err.Error(),
+					})
+				}
+				continue
+			}
+			if hooks != nil {
+				hooks.OnConverged(e.step, obs.ReasonFault)
+			}
+			return e.trace, fmt.Errorf("gas: transport: %w", err)
+		}
 		if len(violations) > 0 {
 			if hooks != nil {
 				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
 			}
 			return e.trace, fmt.Errorf("gas: %w", &obs.AuditError{Violations: violations})
 		}
+		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
+			(e.step+1)%e.cfg.CheckpointEvery == 0 {
+			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
+				return e.trace, fmt.Errorf("gas: checkpoint at step %d: %w", e.step, err)
+			}
+		}
 		if e.cfg.OnStep != nil {
 			e.cfg.OnStep(e.step, e)
 		}
+		e.step++
 	}
 	if hooks != nil {
 		hooks.OnConverged(e.step, stopReason)

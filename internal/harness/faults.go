@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cyclops/internal/algorithms"
+	"cyclops/internal/bsp"
+	"cyclops/internal/checkpoint"
+	"cyclops/internal/cluster"
+	"cyclops/internal/cyclops"
+	"cyclops/internal/fault"
+	"cyclops/internal/gas"
+	"cyclops/internal/graph"
+	"cyclops/internal/obs"
+	"cyclops/internal/partition"
+)
+
+// Faults is the §3.6 fault-tolerance experiment: each engine runs PageRank on
+// amazon twice — a fault-free baseline and the same run under a deterministic
+// fault plan with periodic checkpoints and recovery — and the final vertex
+// values must match the baseline exactly. The table reports the recovery
+// cost: replayed supersteps and the extra messages the replays sent, which is
+// the price §3.6 argues is small because Cyclops checkpoints exclude replicas
+// and messages.
+//
+// The plan comes from Options.FaultPlan when set (e.g. replaying a CI chaos
+// failure from its uploaded plan) and is otherwise derived from Options.Seed;
+// the same seed always yields the same schedule.
+func Faults(o Options, w io.Writer) error {
+	o = o.normalize()
+	g, meta, err := dataset(o, "amazon")
+	if err != nil {
+		return err
+	}
+	cc := o.flat()
+
+	plan := o.FaultPlan
+	if plan == nil {
+		p := fault.NewPlan(o.Seed, cc.Workers(), 2, 8, 3)
+		plan = &p
+	}
+	fmt.Fprintf(w, "dataset %s: %d vertices, %d edges; %d workers\n",
+		meta.Name, g.NumVertices(), g.NumEdges(), cc.Workers())
+	fmt.Fprintf(w, "fault plan (seed %d):\n", plan.Seed)
+	for _, f := range plan.Faults {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
+
+	tb := newTable("engine", "steps", "steps+replay", "recoveries", "replayed",
+		"msgs", "msgs faulted", "extra msgs", "values")
+	for _, engine := range []string{"hama", "cyclops", "powergraph"} {
+		out, err := runFaulted(engine, g, cc, o.Eps, *plan)
+		if err != nil {
+			return fmt.Errorf("faults: %s: %w", engine, err)
+		}
+		equal := "EQUAL"
+		if !out.equal {
+			equal = "DIVERGED"
+		}
+		tb.addf("%s|%d|%d|%d|%d|%d|%d|%d|%s",
+			engine, out.baseSteps, out.faultSteps, out.recoveries, out.replayed,
+			out.baseMsgs, out.faultMsgs, out.faultMsgs-out.baseMsgs, equal)
+		if !out.equal {
+			return fmt.Errorf("faults: %s: recovered values diverged from the fault-free run", engine)
+		}
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "\nextra msgs = replayed supersteps' traffic; checkpoints hold only master")
+	fmt.Fprintln(w, "state (replicas/mirrors are rebuilt from masters on recovery, §3.6)")
+	return nil
+}
+
+// faultOutcome compares a faulted run against its fault-free baseline.
+type faultOutcome struct {
+	baseSteps, faultSteps int
+	baseMsgs, faultMsgs   int64
+	recoveries, replayed  int
+	equal                 bool
+}
+
+// recoveryStats counts OnRecovery events.
+type recoveryStats struct {
+	obs.Nop
+	recoveries, replayed int
+}
+
+func (r *recoveryStats) OnRecovery(e obs.RecoveryEvent) {
+	r.recoveries++
+	r.replayed += e.Replayed()
+}
+
+// runFaulted runs one engine's PageRank baseline and faulted runs and
+// compares their final values exactly: recovery restores a barrier
+// checkpoint and replays deterministic supersteps, so even floating-point
+// results must match to the last bit.
+func runFaulted(engine string, g *graph.Graph, cc cluster.Config, eps float64,
+	plan fault.Plan) (faultOutcome, error) {
+
+	dir, err := os.MkdirTemp("", "cyclops-faults-*")
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	defer os.RemoveAll(dir)
+	switch engine {
+	case "hama":
+		return faultsHama(g, cc, eps, plan, dir)
+	case "cyclops":
+		return faultsCyclops(g, cc, eps, plan, dir)
+	case "powergraph":
+		return faultsGAS(g, cc, eps, plan, dir)
+	}
+	return faultOutcome{}, fmt.Errorf("unknown engine %q", engine)
+}
+
+func faultsHama(g *graph.Graph, cc cluster.Config, eps float64, plan fault.Plan,
+	dir string) (faultOutcome, error) {
+
+	build := func(pl *fault.Plan, every int, rec *recoveryStats) (*bsp.Engine[float64, float64], error) {
+		cfg := bsp.Config[float64, float64]{
+			Cluster: cc, Partitioner: partition.Hash{}, MaxSupersteps: 200,
+			Halt:  haltForPR(g.NumVertices(), eps),
+			Equal: func(a, b float64) bool { return abs64(a-b) < eps },
+		}
+		if pl != nil {
+			cfg.FaultPlan = pl
+			cfg.CheckpointEvery = every
+			cfg.Checkpoints = func(s bsp.State[float64, float64]) error {
+				return checkpoint.Save(dir, s.Step, s)
+			}
+			cfg.Recover = func() (bsp.State[float64, float64], error) {
+				s, _, err := checkpoint.LoadLatest[bsp.State[float64, float64]](dir)
+				return s, err
+			}
+			cfg.Hooks = rec
+		}
+		return bsp.New[float64, float64](g, algorithms.PageRankBSP{Eps: eps}, cfg)
+	}
+
+	base, err := build(nil, 0, nil)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	baseTrace, err := base.Run()
+	if err != nil {
+		return faultOutcome{}, err
+	}
+
+	rec := &recoveryStats{}
+	faulted, err := build(&plan, 2, rec)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	if err := checkpoint.Save(dir, 0, faulted.Snapshot()); err != nil {
+		return faultOutcome{}, err
+	}
+	faultTrace, err := faulted.Run()
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	return faultOutcome{
+		baseSteps: len(baseTrace.Steps), faultSteps: len(faultTrace.Steps),
+		baseMsgs: baseTrace.TotalMessages(), faultMsgs: faultTrace.TotalMessages(),
+		recoveries: rec.recoveries, replayed: rec.replayed,
+		equal: floatsEqual(base.Values(), faulted.Values()),
+	}, nil
+}
+
+func faultsCyclops(g *graph.Graph, cc cluster.Config, eps float64, plan fault.Plan,
+	dir string) (faultOutcome, error) {
+
+	build := func(pl *fault.Plan, every int, rec *recoveryStats) (*cyclops.Engine[float64, float64], error) {
+		cfg := cyclops.Config[float64, float64]{
+			Cluster: cc, Partitioner: partition.Hash{}, MaxSupersteps: 200,
+			Equal: func(a, b float64) bool { return abs64(a-b) < eps },
+		}
+		if pl != nil {
+			cfg.FaultPlan = pl
+			cfg.CheckpointEvery = every
+			cfg.Checkpoints = func(s cyclops.State[float64, float64]) error {
+				return checkpoint.Save(dir, s.Step, s)
+			}
+			cfg.Recover = func() (cyclops.State[float64, float64], error) {
+				s, _, err := checkpoint.LoadLatest[cyclops.State[float64, float64]](dir)
+				return s, err
+			}
+			cfg.Hooks = rec
+		}
+		return cyclops.New[float64, float64](g, algorithms.PageRankCyclops{Eps: eps}, cfg)
+	}
+
+	base, err := build(nil, 0, nil)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	baseTrace, err := base.Run()
+	if err != nil {
+		return faultOutcome{}, err
+	}
+
+	rec := &recoveryStats{}
+	faulted, err := build(&plan, 2, rec)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	if err := checkpoint.Save(dir, 0, faulted.Snapshot()); err != nil {
+		return faultOutcome{}, err
+	}
+	faultTrace, err := faulted.Run()
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	return faultOutcome{
+		baseSteps: len(baseTrace.Steps), faultSteps: len(faultTrace.Steps),
+		baseMsgs: baseTrace.TotalMessages(), faultMsgs: faultTrace.TotalMessages(),
+		recoveries: rec.recoveries, replayed: rec.replayed,
+		equal: floatsEqual(base.Values(), faulted.Values()),
+	}, nil
+}
+
+func faultsGAS(g *graph.Graph, cc cluster.Config, eps float64, plan fault.Plan,
+	dir string) (faultOutcome, error) {
+
+	maxSteps := 200
+	build := func(pl *fault.Plan, every int, rec *recoveryStats) (*gas.Engine[algorithms.PRValue, float64], error) {
+		cfg := gas.Config[algorithms.PRValue, float64]{
+			Cluster: cc, Partitioner: gas.RandomVertexCut{}, MaxSupersteps: maxSteps,
+		}
+		if pl != nil {
+			cfg.FaultPlan = pl
+			cfg.CheckpointEvery = every
+			cfg.Checkpoints = func(s gas.State[algorithms.PRValue]) error {
+				return checkpoint.Save(dir, s.Step, s)
+			}
+			cfg.Recover = func() (gas.State[algorithms.PRValue], error) {
+				s, _, err := checkpoint.LoadLatest[gas.State[algorithms.PRValue]](dir)
+				return s, err
+			}
+			cfg.Hooks = rec
+		}
+		return gas.New[algorithms.PRValue, float64](g,
+			algorithms.NewPageRankGAS(g, maxSteps, eps), cfg)
+	}
+
+	base, err := build(nil, 0, nil)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	baseTrace, err := base.Run()
+	if err != nil {
+		return faultOutcome{}, err
+	}
+
+	rec := &recoveryStats{}
+	faulted, err := build(&plan, 2, rec)
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	if err := checkpoint.Save(dir, 0, faulted.Snapshot()); err != nil {
+		return faultOutcome{}, err
+	}
+	faultTrace, err := faulted.Run()
+	if err != nil {
+		return faultOutcome{}, err
+	}
+	return faultOutcome{
+		baseSteps: len(baseTrace.Steps), faultSteps: len(faultTrace.Steps),
+		baseMsgs: baseTrace.TotalMessages(), faultMsgs: faultTrace.TotalMessages(),
+		recoveries: rec.recoveries, replayed: rec.replayed,
+		equal: floatsEqual(algorithms.Ranks(base.Values()), algorithms.Ranks(faulted.Values())),
+	}, nil
+}
+
+// floatsEqual is exact (bitwise) equality: recovery replays deterministic
+// supersteps from an exact barrier snapshot, so approximate agreement would
+// hide a broken restore path.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -18,6 +18,7 @@ import (
 	"cyclops/internal/algorithms"
 	"cyclops/internal/cluster"
 	"cyclops/internal/cyclops"
+	"cyclops/internal/fault"
 	"cyclops/internal/gen"
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
@@ -52,6 +53,9 @@ type Options struct {
 	// Cyclops, message conservation on Hama, mirror coherence on PowerGraph).
 	// A violation fails the experiment with *obs.AuditError.
 	Audit bool
+	// FaultPlan overrides the deterministic fault schedule of the faults
+	// experiment (nil derives one from Seed).
+	FaultPlan *fault.Plan
 }
 
 // DefaultOptions mirrors the paper's testbed shape at laptop scale.
@@ -117,6 +121,7 @@ func Experiments() []Experiment {
 		{"table3", "Table 3: message-passing microbenchmark", Table3Micro},
 		{"table4", "Table 4: CyclopsMT vs PowerGraph (PR)", Table4PowerGraph},
 		{"comm", "Comm observatory: per-worker traffic matrix and skew (PR, gweb)", Comm},
+		{"faults", "Fault tolerance: checkpoint recovery under an injected fault plan (§3.6)", Faults},
 		{"pagerank", "CI perf gate: PageRank on gweb across engines (deterministic)", PagerankGate},
 		{"ablation.queue", "Ablation: locked global queue vs per-sender queues", AblationQueue},
 		{"ablation.combiner", "Ablation: Hama message combiner on/off", AblationCombiner},

@@ -25,10 +25,16 @@ const (
 	MetricRuns        = "cyclops_runs_total"
 	MetricRunsDone    = "cyclops_runs_completed_total"
 
-	MetricTransportMessages = "cyclops_transport_messages_total"
-	MetricTransportBatches  = "cyclops_transport_batches_total"
-	MetricTransportBytes    = "cyclops_transport_bytes_total"
-	MetricTransportLocked   = "cyclops_transport_locked_enqueues_total"
+	MetricTransportMessages   = "cyclops_transport_messages_total"
+	MetricTransportBatches    = "cyclops_transport_batches_total"
+	MetricTransportBytes      = "cyclops_transport_bytes_total"
+	MetricTransportLocked     = "cyclops_transport_locked_enqueues_total"
+	MetricTransportRetries    = "cyclops_transport_retries_total"
+	MetricTransportReconnects = "cyclops_transport_reconnects_total"
+
+	// Fault-tolerance series (§3.6 recovery).
+	MetricRecoveries         = "cyclops_recoveries_total"
+	MetricReplayedSupersteps = "cyclops_replayed_supersteps_total"
 
 	// Communication observatory series.
 	MetricCommMessages    = "cyclops_comm_messages_total"
@@ -54,6 +60,8 @@ type Collector struct {
 	phase       *Histogram
 	workers     *Gauge
 	replication *Gauge
+	recoveries  *Counter
+	replayed    *Counter
 
 	egressMu sync.Mutex
 	egress   []int64 // cumulative per-worker sent messages, latest run
@@ -85,6 +93,10 @@ func NewCollector(reg *Registry) *Collector {
 			"Workers (= graph partitions) of the latest run."),
 		replication: reg.Gauge(MetricReplication,
 			"Replicas per vertex of the latest run (Figure 11)."),
+		recoveries: reg.Counter(MetricRecoveries,
+			"Checkpoint recoveries performed after transient faults (§3.6)."),
+		replayed: reg.Counter(MetricReplayedSupersteps,
+			"Supersteps re-executed by checkpoint recoveries."),
 	}
 }
 
@@ -107,6 +119,12 @@ func (c *Collector) WatchTransport(fn func() transport.Snapshot) {
 	c.reg.CounterFunc(MetricTransportLocked,
 		"Enqueues that serialised on a shared lock (zero for per-sender queues).",
 		func() float64 { return float64(fn().LockedEnqueues) })
+	c.reg.CounterFunc(MetricTransportRetries,
+		"Send attempts repeated after a transient transport failure.",
+		func() float64 { return float64(fn().Retries) })
+	c.reg.CounterFunc(MetricTransportReconnects,
+		"Connections re-established after a transport failure.",
+		func() float64 { return float64(fn().Reconnects) })
 }
 
 // OnRunStart implements Hooks.
@@ -172,6 +190,12 @@ func (c *Collector) OnSuperstepEnd(step int, s metrics.StepStats) {
 	c.changed.Set(float64(s.Changed))
 	c.messages.Add(float64(s.Messages))
 	c.redundant.Add(float64(s.RedundantMessages))
+}
+
+// OnRecovery implements Hooks.
+func (c *Collector) OnRecovery(e RecoveryEvent) {
+	c.recoveries.Inc()
+	c.replayed.Add(float64(e.Replayed()))
 }
 
 // OnConverged implements Hooks.

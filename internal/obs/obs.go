@@ -61,7 +61,29 @@ const (
 	ReasonHalt          = "halt"           // the Halt function fired
 	ReasonMaxSupersteps = "max-supersteps" // the superstep budget ran out
 	ReasonAuditFailed   = "audit-failed"   // the replica-invariant auditor found a breach
+	ReasonFault         = "fault"          // an unrecoverable transport/worker fault
 )
+
+// RecoveryEvent describes one checkpoint recovery (§3.6): a transient
+// transport/worker fault observed at superstep Step's barrier, rolled back to
+// the checkpointed superstep ResumedAt.
+type RecoveryEvent struct {
+	// Engine is the engine's trace name.
+	Engine string
+	// Step is the superstep whose barrier observed the fault.
+	Step int
+	// ResumedAt is the superstep execution rewound to (the checkpoint's
+	// next-step field).
+	ResumedAt int
+	// Attempt numbers the recoveries of this run, starting at 1.
+	Attempt int
+	// Cause is the transient error that triggered the recovery.
+	Cause string
+}
+
+// Replayed is the number of supersteps the recovery re-executes: the faulty
+// superstep plus everything since the checkpoint.
+func (e RecoveryEvent) Replayed() int { return e.Step - e.ResumedAt + 1 }
 
 // Hooks observes an engine run. Implementations must be safe for calls from
 // the engine's coordinator goroutine; OnWorkerStats may be called once per
@@ -89,6 +111,9 @@ type Hooks interface {
 	OnViolation(v Violation)
 	// OnSuperstepEnd fires with the superstep's aggregate statistics.
 	OnSuperstepEnd(step int, stats metrics.StepStats)
+	// OnRecovery fires after the engine has restored a checkpoint in
+	// response to a transient fault, before the replay resumes.
+	OnRecovery(e RecoveryEvent)
 	// OnConverged fires once when the run terminates.
 	OnConverged(step int, reason string)
 }
@@ -117,6 +142,9 @@ func (Nop) OnViolation(Violation) {}
 
 // OnSuperstepEnd implements Hooks.
 func (Nop) OnSuperstepEnd(int, metrics.StepStats) {}
+
+// OnRecovery implements Hooks.
+func (Nop) OnRecovery(RecoveryEvent) {}
 
 // OnConverged implements Hooks.
 func (Nop) OnConverged(int, string) {}
@@ -182,6 +210,12 @@ func (m multi) OnViolation(v Violation) {
 func (m multi) OnSuperstepEnd(step int, stats metrics.StepStats) {
 	for _, h := range m {
 		h.OnSuperstepEnd(step, stats)
+	}
+}
+
+func (m multi) OnRecovery(e RecoveryEvent) {
+	for _, h := range m {
+		h.OnRecovery(e)
 	}
 }
 

@@ -44,6 +44,12 @@ type Manifest struct {
 	Replicas   int64  `json:"replicas"`
 	Supersteps int    `json:"supersteps"`
 	StopReason string `json:"stop_reason"`
+	// Recoveries counts checkpoint recoveries during the run; Replayed is
+	// the supersteps they re-executed. Both zero on fault-free runs (the
+	// fields are omitted, keeping fault-free manifests byte-stable across
+	// this addition).
+	Recoveries int `json:"recoveries,omitempty"`
+	Replayed   int `json:"replayed_supersteps,omitempty"`
 	// Messages and Bytes are the run's logical message totals (sum of the
 	// per-superstep comm-matrix deltas).
 	Messages int64 `json:"messages"`
@@ -277,6 +283,20 @@ func (r *Recorder) OnSuperstepEnd(step int, stats metrics.StepStats) {
 		Received: imbalance(recv),
 		Active:   imbalance(active),
 	})
+}
+
+// OnRecovery implements Hooks: counts the rollback in the manifest. The
+// replayed supersteps appear again in series.csv — the flight record shows
+// the replay, which is what makes a recovered run diffable against its
+// fault-free twin.
+func (r *Recorder) OnRecovery(e RecoveryEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return
+	}
+	r.cur.manifest.Recoveries++
+	r.cur.manifest.Replayed += e.Replayed()
 }
 
 // OnConverged implements Hooks: stamps totals and writes the run directory.

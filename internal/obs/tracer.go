@@ -220,6 +220,15 @@ func (t *Tracer) OnSuperstepEnd(step int, s metrics.StepStats) {
 		"syn_ns", s.Durations[metrics.Sync].Nanoseconds())
 }
 
+// OnRecovery implements Hooks: a fault was absorbed by checkpoint rollback —
+// the run survives, but degraded, so it logs at Warn.
+func (t *Tracer) OnRecovery(e RecoveryEvent) {
+	t.log.Warn("recovery", "span", "run",
+		"run", t.run(), "engine", e.Engine, "step", e.Step,
+		"resumed_at", e.ResumedAt, "replayed", e.Replayed(),
+		"attempt", e.Attempt, "cause", e.Cause)
+}
+
 // OnConverged implements Hooks: closes the run span.
 func (t *Tracer) OnConverged(step int, reason string) {
 	t.mu.Lock()

@@ -3,9 +3,66 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// RPCOptions tunes the failure handling of the RPC transport. The zero value
+// selects conservative defaults suitable for loopback tests; a field left
+// zero gets its default.
+type RPCOptions struct {
+	// WriteTimeout bounds each frame write. Default 10s.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds the idle time between received frames. Zero (the
+	// default) disables it: a long compute phase between supersteps is
+	// indistinguishable from a stalled peer at the socket level, so read
+	// deadlines are opt-in for deployments that know their step budget.
+	ReadTimeout time.Duration
+	// DialTimeout bounds the initial and reconnect dials. Default 5s.
+	DialTimeout time.Duration
+	// MaxRetries bounds how many times a failed send is retried over a fresh
+	// connection before the error is surfaced through Err. Default 3.
+	MaxRetries int
+	// BackoffBase is the first reconnect backoff; it doubles per attempt up
+	// to BackoffMax, with jitter. Defaults 10ms / 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the backoff jitter, keeping retry schedules reproducible
+	// under the fault-injection harness.
+	Seed int64
+}
+
+func (o RPCOptions) withDefaults() RPCOptions {
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	return o
+}
+
+// maxRoundLag bounds how many unconsumed round markers one sender may have
+// pending at one receiver. Senders legitimately run ahead of receivers
+// (nothing in the round protocol forces lockstep), but every engine drains
+// its own inbox each superstep, so real lag stays tiny; a sender whose
+// markers pile up past this bound has necessarily finished a round more than
+// once. Crossing it records a fatal ErrRoundViolation — the typed-error
+// replacement for the barrier skew and eventual hang a duplicate marker used
+// to cause.
+const maxRoundLag = 64
 
 // RPC is a real networked transport: n endpoints fully connected by TCP
 // loopback sockets carrying gob-encoded frames, mirroring Hama's use of
@@ -14,10 +71,21 @@ import (
 // through real sockets — while the large experiments use Local for speed.
 //
 // The round protocol matches BSP supersteps: each endpoint Sends any number
-// of batches, then calls FinishRound exactly once; Drain blocks until every
-// endpoint's round marker has arrived, then returns all batches.
+// of batches, then calls FinishRound exactly once per round; Drain blocks
+// until one round marker from every endpoint has arrived, then returns all
+// batches. Markers are tagged with their sender, so a duplicate marker from
+// a fast endpoint can never stand in for a missing one from another — the
+// skew that made a FinishRound contract breach corrupt every later barrier.
+// Breaches are surfaced as a fatal ErrRoundViolation through Err, and a
+// fatal error unblocks every Drain rather than leaving the engines hung.
+//
+// Failure handling: writes carry deadlines, a failed send is retried over a
+// freshly dialled connection with exponential backoff + jitter (bounded by
+// MaxRetries), and errors surfaced through Err are typed *Error values whose
+// Transient flag tells the engines whether checkpoint recovery may apply.
 type RPC[M any] struct {
 	n      int
+	opts   RPCOptions
 	stats  Stats
 	matrix *Matrix
 
@@ -27,9 +95,11 @@ type RPC[M any] struct {
 	conns    [][]net.Conn
 	encoders [][]*gob.Encoder
 	encMu    []sync.Mutex // one per sender: engines may send from several goroutines
+	rngs     []*rand.Rand // per-sender jitter source, guarded by encMu
 
 	inboxes []rpcInbox[M]
 
+	closed    atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
@@ -41,28 +111,43 @@ type rpcInbox[M any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	batches [][]M
-	ends    int
-	closed  bool
+	// endsFrom[i] counts unconsumed round markers from sender i. Drain
+	// consumes exactly one from every sender per round.
+	endsFrom []int
+	closed   bool
 }
 
 type frame[M any] struct {
+	From  int
 	End   bool
 	Batch []M
 }
 
-// NewRPC creates a fully connected loopback transport between n endpoints.
+// NewRPC creates a fully connected loopback transport between n endpoints
+// with default failure-handling options.
 func NewRPC[M any](n int) (*RPC[M], error) {
+	return NewRPCOpts[M](n, RPCOptions{})
+}
+
+// NewRPCOpts creates a fully connected loopback transport with explicit
+// deadline/retry options.
+func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
+	opts = opts.withDefaults()
 	t := &RPC[M]{
 		n:         n,
+		opts:      opts,
 		matrix:    NewMatrix(n),
 		listeners: make([]net.Listener, n),
 		conns:     make([][]net.Conn, n),
 		encoders:  make([][]*gob.Encoder, n),
 		encMu:     make([]sync.Mutex, n),
+		rngs:      make([]*rand.Rand, n),
 		inboxes:   make([]rpcInbox[M], n),
 	}
 	for i := range t.inboxes {
 		t.inboxes[i].cond = sync.NewCond(&t.inboxes[i].mu)
+		t.inboxes[i].endsFrom = make([]int, n)
+		t.rngs[i] = rand.New(rand.NewSource(opts.Seed*1099511628211 + int64(i)))
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -72,15 +157,16 @@ func NewRPC[M any](n int) (*RPC[M], error) {
 		}
 		t.listeners[i] = ln
 	}
-	// Accept loops: every endpoint accepts n-1 inbound connections. The
-	// first gob value on each connection identifies the sender (unused
-	// beyond handshake ordering, but it keeps accept deterministic).
+	// Accept loops: every endpoint accepts inbound connections until its
+	// listener closes. Accepting forever (not just the initial n-1) is what
+	// lets a sender replace a failed connection mid-run: the reconnect dial
+	// lands here and a fresh receive loop takes over the stream.
 	for to := 0; to < n; to++ {
 		to := to
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			for i := 0; i < n-1; i++ {
+			for {
 				conn, err := t.listeners[to].Accept()
 				if err != nil {
 					return
@@ -100,7 +186,7 @@ func NewRPC[M any](n int) (*RPC[M], error) {
 			if to == from {
 				continue
 			}
-			conn, err := net.Dial("tcp", t.listeners[to].Addr().String())
+			conn, err := net.DialTimeout("tcp", t.listeners[to].Addr().String(), opts.DialTimeout)
 			if err != nil {
 				t.Close()
 				return nil, fmt.Errorf("transport: dial %d→%d: %w", from, to, err)
@@ -113,21 +199,48 @@ func NewRPC[M any](n int) (*RPC[M], error) {
 }
 
 func (t *RPC[M]) receiveLoop(to int, conn net.Conn) {
+	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	for {
+		if t.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.opts.ReadTimeout)) //nolint:errcheck
+		}
 		var f frame[M]
 		if err := dec.Decode(&f); err != nil {
+			// EOF is the normal end of a replaced or closed connection; a
+			// deadline expiry means the peer stalled past ReadTimeout.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !t.closed.Load() {
+				t.recordErr(&Error{Op: "recv", Peer: to, Retryable: true, Err: err})
+			}
 			return
+		}
+		if f.End {
+			t.depositEnd(to, f.From)
+			continue
 		}
 		in := &t.inboxes[to]
 		in.mu.Lock()
-		if f.End {
-			in.ends++
-		} else {
-			in.batches = append(in.batches, f.Batch)
-		}
+		in.batches = append(in.batches, f.Batch)
 		in.cond.Broadcast()
 		in.mu.Unlock()
+	}
+}
+
+// depositEnd credits a round marker from `from` at `to`'s inbox, enforcing
+// the FinishRound contract via the marker-lag bound.
+func (t *RPC[M]) depositEnd(to, from int) {
+	if from < 0 || from >= t.n {
+		t.recordErr(&Error{Op: "recv", Peer: to, Err: fmt.Errorf("round marker from unknown endpoint %d", from)})
+		return
+	}
+	in := &t.inboxes[to]
+	in.mu.Lock()
+	in.endsFrom[from]++
+	lagged := in.endsFrom[from] > maxRoundLag
+	in.cond.Broadcast()
+	in.mu.Unlock()
+	if lagged {
+		t.recordErr(&Error{Op: "finish-round", Peer: from, Err: ErrRoundViolation})
 	}
 }
 
@@ -142,30 +255,114 @@ func (t *RPC[M]) Stats() *Stats { return &t.stats }
 // estimate as Stats).
 func (t *RPC[M]) Matrix() *Matrix { return t.matrix }
 
-// recordErr keeps the first asynchronous failure for Err.
+// recordErr keeps the first asynchronous failure for Err. A fatal error also
+// breaks every blocked Drain: once the round protocol is dead, waiting for
+// markers that will never arrive is a hang, and the engines check Err at the
+// barrier anyway.
 func (t *RPC[M]) recordErr(err error) {
 	if err == nil {
 		return
 	}
 	t.errMu.Lock()
-	if t.err == nil {
+	first := t.err == nil
+	if first {
 		t.err = err
 	}
 	t.errMu.Unlock()
+	if first && !IsTransient(err) {
+		t.breakRounds()
+	}
 }
 
-// Err implements Interface: the first send/encode failure, if any.
+// breakRounds wakes and permanently unblocks all Drains.
+func (t *RPC[M]) breakRounds() {
+	for i := range t.inboxes {
+		in := &t.inboxes[i]
+		in.mu.Lock()
+		in.closed = true
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	}
+}
+
+// Err implements Interface: the first asynchronous failure, if any. The
+// value is always a typed *Error; IsTransient reports whether checkpoint
+// recovery may apply to it.
 func (t *RPC[M]) Err() error {
 	t.errMu.Lock()
 	defer t.errMu.Unlock()
 	return t.err
 }
 
+// ClearErr drops a recorded transient error after the engines have recovered
+// from it. Fatal errors stick: recovery must not mask a closed transport or
+// a protocol violation.
+func (t *RPC[M]) ClearErr() {
+	t.errMu.Lock()
+	if t.err != nil && IsTransient(t.err) {
+		t.err = nil
+	}
+	t.errMu.Unlock()
+}
+
+// backoff returns the jittered delay before retry attempt `attempt` (0-based)
+// by sender `from`. Caller holds encMu[from].
+func (t *RPC[M]) backoff(from, attempt int) time.Duration {
+	d := t.opts.BackoffBase << attempt
+	if d > t.opts.BackoffMax || d <= 0 {
+		d = t.opts.BackoffMax
+	}
+	// Half fixed, half jitter: spreads reconnect storms without ever
+	// returning a zero sleep.
+	return d/2 + time.Duration(t.rngs[from].Int63n(int64(d/2)+1))
+}
+
+// sendFrame encodes one frame from→to, re-dialling with backoff on failure.
+// Caller holds encMu[from]. Returns the final error after retries.
+func (t *RPC[M]) sendFrame(from, to int, f frame[M]) error {
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
+		if t.closed.Load() {
+			return &Error{Op: "send", Peer: to, Err: ErrClosed}
+		}
+		if attempt > 0 {
+			time.Sleep(t.backoff(from, attempt-1))
+			conn, err := net.DialTimeout("tcp", t.listeners[to].Addr().String(), t.opts.DialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if old := t.conns[from][to]; old != nil {
+				old.Close()
+			}
+			t.conns[from][to] = conn
+			t.encoders[from][to] = gob.NewEncoder(conn)
+			t.stats.reconnects.Add(1)
+		}
+		conn := t.conns[from][to]
+		if t.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)) //nolint:errcheck
+		}
+		if err := t.encoders[from][to].Encode(f); err != nil {
+			lastErr = err
+			t.stats.retries.Add(1)
+			continue
+		}
+		return nil
+	}
+	return &Error{Op: "send", Peer: to, Retryable: true, Err: lastErr}
+}
+
 // Send delivers a batch from `from` to `to`. Self-sends bypass the network.
 // Failures are reported through Err (the Interface contract keeps the send
-// path non-blocking for engines; a dead socket fails the whole run anyway).
+// path non-blocking for engines); transient ones are first retried over a
+// fresh connection.
 func (t *RPC[M]) Send(from, to int, batch []M) {
 	if len(batch) == 0 {
+		return
+	}
+	if t.closed.Load() {
+		t.recordErr(&Error{Op: "send", Peer: to, Err: ErrClosed})
 		return
 	}
 	t.stats.count(int64(len(batch)), int64(len(batch))*16, true)
@@ -180,66 +377,89 @@ func (t *RPC[M]) Send(from, to int, batch []M) {
 	}
 	t.encMu[from].Lock()
 	defer t.encMu[from].Unlock()
-	t.recordErr(t.encoders[from][to].Encode(frame[M]{Batch: batch}))
+	t.recordErr(t.sendFrame(from, to, frame[M]{From: from, Batch: batch}))
 }
 
-// FinishRound marks the end of `from`'s sends for the current round.
+// FinishRound marks the end of `from`'s sends for the current round. It must
+// be called exactly once per round per endpoint. If a marker cannot be
+// written even after reconnect retries, it is credited to the receiver's
+// inbox directly (all endpoints share this process): the barrier still
+// completes and the engines observe the failure through Err at the barrier
+// instead of hanging in Drain.
 func (t *RPC[M]) FinishRound(from int) {
+	if t.closed.Load() {
+		t.recordErr(&Error{Op: "finish-round", Peer: -1, Err: ErrClosed})
+		return
+	}
 	t.encMu[from].Lock()
 	defer t.encMu[from].Unlock()
 	for to := 0; to < t.n; to++ {
 		if to == from {
-			in := &t.inboxes[to]
-			in.mu.Lock()
-			in.ends++
-			in.cond.Broadcast()
-			in.mu.Unlock()
+			t.depositEnd(to, from)
 			continue
 		}
-		t.recordErr(t.encoders[from][to].Encode(frame[M]{End: true}))
+		if err := t.sendFrame(from, to, frame[M]{From: from, End: true}); err != nil {
+			t.recordErr(err)
+			t.depositEnd(to, from)
+		}
 	}
 }
 
-// Drain blocks until every endpoint has finished the round, then returns all
-// batches received by `to` and resets the round.
+// Drain blocks until one round marker from every endpoint has arrived, then
+// returns all batches received by `to` and consumes the markers. A closed
+// transport or a fatal protocol error unblocks it immediately.
 func (t *RPC[M]) Drain(to int) [][]M {
 	in := &t.inboxes[to]
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for in.ends < t.n && !in.closed {
+	for !in.closed {
+		ready := true
+		for _, e := range in.endsFrom {
+			if e == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
 		in.cond.Wait()
 	}
 	out := in.batches
 	in.batches = nil
-	in.ends -= t.n
-	if in.ends < 0 {
-		in.ends = 0
+	if !in.closed {
+		for i := range in.endsFrom {
+			in.endsFrom[i]--
+		}
 	}
 	return out
 }
 
-// Close shuts down all sockets. Safe to call multiple times.
+// Close shuts down all sockets. It is idempotent and safe to call
+// concurrently with in-flight sends and other Close calls: later Sends and
+// FinishRounds fail fast with a typed ErrClosed error instead of writing to
+// dead sockets, and blocked Drains return.
 func (t *RPC[M]) Close() error {
 	t.closeOnce.Do(func() {
+		t.closed.Store(true)
 		for _, ln := range t.listeners {
 			if ln != nil {
 				ln.Close()
 			}
 		}
-		for _, row := range t.conns {
+		// Taking each sender's lock orders this Close after any in-flight
+		// send on that connection, so the encoder never writes to a conn
+		// being torn down concurrently.
+		for from, row := range t.conns {
+			t.encMu[from].Lock()
 			for _, c := range row {
 				if c != nil {
 					c.Close()
 				}
 			}
+			t.encMu[from].Unlock()
 		}
-		for i := range t.inboxes {
-			in := &t.inboxes[i]
-			in.mu.Lock()
-			in.closed = true
-			in.cond.Broadcast()
-			in.mu.Unlock()
-		}
+		t.breakRounds()
 	})
 	return nil
 }

@@ -17,10 +17,12 @@ import (
 // Stats accumulates traffic counters. All fields are updated atomically and
 // may be read concurrently with traffic.
 type Stats struct {
-	messages atomic.Int64
-	batches  atomic.Int64
-	bytes    atomic.Int64
-	enqueues atomic.Int64 // enqueue operations that took the shared lock
+	messages   atomic.Int64
+	batches    atomic.Int64
+	bytes      atomic.Int64
+	enqueues   atomic.Int64 // enqueue operations that took the shared lock
+	retries    atomic.Int64 // send attempts repeated after a transient failure
+	reconnects atomic.Int64 // connections re-established after a failure
 }
 
 // Count records a delivered batch of n messages totalling b bytes.
@@ -46,6 +48,14 @@ func (s *Stats) Bytes() int64 { return s.bytes.Load() }
 // zero for the per-sender discipline, equal to Batches for the global queue.
 func (s *Stats) LockedEnqueues() int64 { return s.enqueues.Load() }
 
+// Retries reports how many send attempts were repeated after a transient
+// failure. Always zero for the in-process transports.
+func (s *Stats) Retries() int64 { return s.retries.Load() }
+
+// Reconnects reports how many connections were re-established after a
+// failure. Always zero for the in-process transports.
+func (s *Stats) Reconnects() int64 { return s.reconnects.Load() }
+
 // Reset zeroes all counters (used between supersteps when per-step counts
 // are wanted).
 func (s *Stats) Reset() {
@@ -53,11 +63,14 @@ func (s *Stats) Reset() {
 	s.batches.Store(0)
 	s.bytes.Store(0)
 	s.enqueues.Store(0)
+	s.retries.Store(0)
+	s.reconnects.Store(0)
 }
 
 // Snapshot is a plain-struct copy of the counters for reporting.
 type Snapshot struct {
 	Messages, Batches, Bytes, LockedEnqueues int64
+	Retries, Reconnects                      int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -67,6 +80,8 @@ func (s *Stats) Snapshot() Snapshot {
 		Batches:        s.Batches(),
 		Bytes:          s.Bytes(),
 		LockedEnqueues: s.LockedEnqueues(),
+		Retries:        s.Retries(),
+		Reconnects:     s.Reconnects(),
 	}
 }
 
