@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+)
+
+// vetConfig mirrors the JSON the go command writes for a -vettool
+// invocation (cmd/go's internal vetConfig): one package's files, its import
+// resolution map, and where compiled export data for each dependency lives.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes the single package described by a vet.cfg file, in
+// the unitchecker style: plain-text diagnostics, exit 2 when something
+// fired, and an (empty — this suite exports no facts) .vetx output so the
+// go command's caching contract holds.
+func runVetTool(cfgPath string, stdout, stderr *os.File) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cyclops-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "cyclops-lint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o644); err != nil {
+			fmt.Fprintf(stderr, "cyclops-lint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Resolve each import path through ImportMap (vendoring/test-variant
+	// canonicalization), then to its export data file.
+	exportFiles := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exportFiles[path] = file
+	}
+	for from, to := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[to]; ok {
+			exportFiles[from] = f
+		}
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "cyclops-lint: %v\n", err)
+		return 1
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: newExportImporter(fset, exportFiles)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "cyclops-lint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	findings, _, _, err := analyzePackage(fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(stderr, "cyclops-lint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

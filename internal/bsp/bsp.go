@@ -585,6 +585,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			if transport.IsTransient(err) && e.cfg.Recover != nil && recoveries < maxRecoveries {
 				st, lerr := e.cfg.Recover()
 				if lerr != nil {
+					if hooks != nil {
+						hooks.OnConverged(e.step, obs.ReasonFault)
+					}
 					return e.trace, fmt.Errorf("bsp: recovery: load checkpoint: %w", lerr)
 				}
 				faultStep := e.step
@@ -592,6 +595,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					e.inj.Heal()
 				}
 				if rerr := e.Restore(st); rerr != nil {
+					if hooks != nil {
+						hooks.OnConverged(e.step, obs.ReasonFault)
+					}
 					return e.trace, fmt.Errorf("bsp: recovery: %w", rerr)
 				}
 				recoveries++
@@ -622,6 +628,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
+				if hooks != nil {
+					hooks.OnConverged(e.step, obs.ReasonFault)
+				}
 				return e.trace, fmt.Errorf("bsp: checkpoint at step %d: %w", e.step, err)
 			}
 		}

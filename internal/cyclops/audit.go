@@ -2,6 +2,7 @@ package cyclops
 
 import (
 	"fmt"
+	"sort"
 
 	"cyclops/internal/obs"
 )
@@ -48,8 +49,16 @@ func (e *Engine[V, M]) auditDeliveries(w int, batches [][]syncMsg[M]) []obs.Viol
 			seen[m.Slot]++
 		}
 	}
-	for slot, n := range seen {
-		if n > 1 && len(out) < auditMaxViolations {
+	// Emit double-delivery violations in slot order: the violation list feeds
+	// OnViolation events and the audit error, which replay comparison expects
+	// to be stable run to run.
+	dup := make([]int32, 0, len(seen))
+	for slot := range seen {
+		dup = append(dup, slot)
+	}
+	sort.Slice(dup, func(i, j int) bool { return dup[i] < dup[j] })
+	for _, slot := range dup {
+		if n := seen[slot]; n > 1 && len(out) < auditMaxViolations {
 			out = append(out, obs.Violation{
 				Engine: e.trace.Engine,
 				Step:   e.step,

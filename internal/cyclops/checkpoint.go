@@ -67,7 +67,7 @@ func (e *Engine[V, M]) Restore(s State[V, M]) error {
 			} else {
 				ws.active[i] = 0
 			}
-			ws.next[i] = 0
+			ws.next[i] = 0 //lint:allow atomicmix Restore runs single-threaded between supersteps; no worker goroutine is live
 			// Replica refresh: one unidirectional update per replica,
 			// exactly like a superstep's sync but without activation.
 			for _, ref := range ws.replicas[i] {

@@ -267,7 +267,7 @@ func (e *Engine[V, M]) buildView() {
 		ws.outDeg = make([]int32, m)
 		ws.inUnits = make([]int32, m)
 		ws.active = make([]uint32, m)
-		ws.next = make([]uint32, m)
+		ws.next = make([]uint32, m) //lint:allow atomicmix construction happens before any worker goroutine starts
 		for i, id := range ws.masters {
 			ws.outDeg[i] = int32(e.g.OutDegree(id))
 			ws.inUnits[i] = int32(e.g.InDegree(id))

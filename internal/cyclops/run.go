@@ -279,11 +279,15 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		var nextActive int64
 		for w := 0; w < workers; w++ {
 			ws := e.ws[w]
-			copy(ws.active, ws.next)
-			for s := range ws.next {
-				if ws.next[s] != 0 {
+			// The WaitGroup join above is the happens-before edge: every
+			// atomic store to ws.next happened in a worker goroutine that
+			// has since exited, so the barrier phase may read and reset the
+			// flags plainly.
+			copy(ws.active, ws.next) //lint:allow atomicmix post-barrier, workers joined via WaitGroup
+			for s := range ws.next { //lint:allow atomicmix post-barrier, workers joined via WaitGroup
+				if ws.next[s] != 0 { //lint:allow atomicmix post-barrier, workers joined via WaitGroup
 					nextActive++
-					ws.next[s] = 0
+					ws.next[s] = 0 //lint:allow atomicmix post-barrier, workers joined via WaitGroup
 				}
 			}
 		}
@@ -352,6 +356,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			if transport.IsTransient(err) && e.cfg.Recover != nil && recoveries < maxRecoveries {
 				st, lerr := e.cfg.Recover()
 				if lerr != nil {
+					if hooks != nil {
+						hooks.OnConverged(e.step, obs.ReasonFault)
+					}
 					return e.trace, fmt.Errorf("cyclops: recovery: load checkpoint: %w", lerr)
 				}
 				faultStep := e.step
@@ -359,6 +366,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					e.inj.Heal()
 				}
 				if rerr := e.Restore(st); rerr != nil {
+					if hooks != nil {
+						hooks.OnConverged(e.step, obs.ReasonFault)
+					}
 					return e.trace, fmt.Errorf("cyclops: recovery: %w", rerr)
 				}
 				recoveries++
@@ -389,6 +399,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
+				if hooks != nil {
+					hooks.OnConverged(e.step, obs.ReasonFault)
+				}
 				return e.trace, fmt.Errorf("cyclops: checkpoint at step %d: %w", e.step, err)
 			}
 		}

@@ -12,6 +12,7 @@ package gas
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -573,7 +574,8 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			}
 			out := make([][]gasMsg[V, G], k)
 			scatter := make(map[int32]bool)
-			for s, partial := range acc[w] {
+			for _, s := range sortedSlots(acc[w]) {
+				partial := acc[w][s]
 				lv := &ws.verts[s]
 				newVal, activate := e.prog.Apply(lv.id, lv.cache, partial.Acc, partial.Has, e.step)
 				if residPerW != nil {
@@ -605,8 +607,8 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 			}
 			out := make([][]gasMsg[V, G], k)
-			for s, activate := range activateNext[w] {
-				if !activate {
+			for _, s := range sortedSlots(activateNext[w]) {
+				if !activateNext[w][s] {
 					continue
 				}
 				for _, m := range ws.verts[s].mirrors {
@@ -655,8 +657,8 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					activateLocalOuts(m.Slot)
 				}
 			}
-			for s, activate := range activateNext[w] {
-				if activate {
+			for _, s := range sortedSlots(activateNext[w]) {
+				if activateNext[w][s] {
 					activateLocalOuts(s)
 				}
 			}
@@ -747,6 +749,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			if transport.IsTransient(err) && e.cfg.Recover != nil && recoveries < maxRecoveries {
 				st, lerr := e.cfg.Recover()
 				if lerr != nil {
+					if hooks != nil {
+						hooks.OnConverged(e.step, obs.ReasonFault)
+					}
 					return e.trace, fmt.Errorf("gas: recovery: load checkpoint: %w", lerr)
 				}
 				faultStep := e.step
@@ -754,6 +759,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					e.inj.Heal()
 				}
 				if rerr := e.Restore(st); rerr != nil {
+					if hooks != nil {
+						hooks.OnConverged(e.step, obs.ReasonFault)
+					}
 					return e.trace, fmt.Errorf("gas: recovery: %w", rerr)
 				}
 				recoveries++
@@ -782,6 +790,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoints != nil &&
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
+				if hooks != nil {
+					hooks.OnConverged(e.step, obs.ReasonFault)
+				}
 				return e.trace, fmt.Errorf("gas: checkpoint at step %d: %w", e.step, err)
 			}
 		}
@@ -845,6 +856,19 @@ func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64)
 	msgs.Add(sent)
 	e.tr.FinishRound(from)
 	return sent
+}
+
+// sortedSlots returns m's keys in ascending slot order. The apply/scatter
+// rounds iterate these maps to emit messages, so the iteration order must
+// not depend on Go's randomized map order (§3.6 replay determinism; the
+// flight-recorder exact-match gate compares per-step series byte-for-byte).
+func sortedSlots[T any](m map[int32]T) []int32 {
+	slots := make([]int32, 0, len(m))
+	for s := range m {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	return slots
 }
 
 // Close releases transport resources (sockets in TCPLoopback mode).

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow is one parsed //lint:allow directive: an intentional, documented
+// exception to an analyzer. The suite requires a reason — a bare
+// "//lint:allow determinism" is itself a finding.
+type Allow struct {
+	// Analyzer is the analyzer name the directive suppresses.
+	Analyzer string
+	// Reason is the free-text justification after the analyzer name.
+	Reason string
+	// File and Line locate the directive.
+	File string
+	Line int
+}
+
+const allowPrefix = "//lint:allow"
+
+// ParseAllows extracts every //lint:allow directive from files. Directives
+// with no reason are returned with an empty Reason; the driver reports those
+// as malformed rather than honouring them.
+func ParseAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Allow{
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+					File:     pos.Filename,
+					Line:     pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Suppressor answers whether a diagnostic is covered by an //lint:allow
+// directive on the same line or the line directly above, and records which
+// directives were actually used.
+type Suppressor struct {
+	allows map[allowKey]*allowState
+}
+
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type allowState struct {
+	allow Allow
+	used  bool
+}
+
+// NewSuppressor indexes directives for lookup.
+func NewSuppressor(allows []Allow) *Suppressor {
+	s := &Suppressor{allows: make(map[allowKey]*allowState)}
+	for _, a := range allows {
+		if a.Reason == "" {
+			continue // malformed: no reason, never suppresses
+		}
+		st := &allowState{allow: a}
+		s.allows[allowKey{a.Analyzer, a.File, a.Line}] = st
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from analyzer at file:line is
+// covered by a directive (same line, or the line above for directives placed
+// on their own line).
+func (s *Suppressor) Suppressed(analyzer, file string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if st, ok := s.allows[allowKey{analyzer, file, l}]; ok {
+			st.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Used returns directives that suppressed at least one diagnostic.
+func (s *Suppressor) Used() []Allow {
+	var out []Allow
+	for _, st := range s.allows {
+		if st.used {
+			out = append(out, st.allow)
+		}
+	}
+	return out
+}
+
+// Unused returns directives that never suppressed anything — stale allows
+// that should be deleted so exceptions stay honest.
+func (s *Suppressor) Unused() []Allow {
+	var out []Allow
+	for _, st := range s.allows {
+		if !st.used {
+			out = append(out, st.allow)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis API surface the cyclops-lint suite needs.
+//
+// The repo builds hermetically offline (go.mod is stdlib-only by policy, see
+// internal/lint/README.md), so the real x/tools module cannot be vendored.
+// The types here mirror the upstream shapes — Analyzer, Pass, Diagnostic —
+// closely enough that the analyzers in internal/lint would port to the real
+// framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and in
+// //lint:allow directives), documentation, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer. It must be a valid Go identifier; it is
+	// what a //lint:allow directive names to suppress a finding.
+	Name string
+	// Doc is the analyzer's documentation. The first line is a one-sentence
+	// summary; the rest explains the contract the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to a package. It reports findings through
+	// pass.Report and returns an optional result (unused by this suite's
+	// driver, kept for x/tools API parity).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos values to file positions.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver wraps it with the
+	// //lint:allow suppression filter, so analyzers never see directives.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

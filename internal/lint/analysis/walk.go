@@ -1,0 +1,20 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every node under root in depth-first order, calling fn with
+// the node and the stack of its ancestors (stack[0] is root, stack[len-1] is
+// n itself). The walk always descends into children; fn's return value is
+// ignored and exists only for call-site symmetry with x/tools' inspector.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}

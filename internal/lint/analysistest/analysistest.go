@@ -1,0 +1,279 @@
+// Package analysistest runs cyclops-lint analyzers over golden packages
+// under testdata/src, mirroring golang.org/x/tools/go/analysis/analysistest:
+// expected findings are annotated in the source with
+//
+//	// want `regexp`
+//
+// comments (double-quoted strings also accepted, several per line), and the
+// test fails on any unmatched expectation or unexpected diagnostic.
+//
+// Layout is GOPATH-style: testdata/src/<import/path>/*.go. Stub packages may
+// shadow real repo import paths (cyclops/internal/transport, ...), so the
+// analyzers' package-identity checks behave exactly as they do over the real
+// tree. Imports with no testdata directory fall back to compiling the
+// standard library from source, which works offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cyclops/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	d, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Run loads each package path from testdata/src, applies the analyzer, and
+// compares the (//lint:allow-filtered) diagnostics against the // want
+// expectations in that package's files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Errorf("%s: load %s: %v", a.Name, path, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     lp.files,
+			Pkg:       lp.pkg,
+			TypesInfo: lp.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: run on %s: %v", a.Name, path, err)
+			continue
+		}
+		sup := analysis.NewSuppressor(analysis.ParseAllows(l.fset, lp.files))
+		var kept []analysis.Diagnostic
+		for _, d := range diags {
+			p := l.fset.Position(d.Pos)
+			if !sup.Suppressed(a.Name, p.Filename, p.Line) {
+				kept = append(kept, d)
+			}
+		}
+		check(t, a, l.fset, lp.files, kept)
+	}
+}
+
+// check matches diagnostics against // want comments, reporting both
+// unexpected findings and unsatisfied expectations.
+func check(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := lineKey{p.Filename, p.Line}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", p.Filename, p.Line, pat, err)
+						continue
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := lineKey{p.Filename, p.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, p.Filename, p.Line, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k, res := range wants {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the expectation patterns from a `// want ...` comment:
+// a sequence of backquoted or double-quoted regexps.
+func parseWant(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false
+	}
+	rest = strings.TrimSpace(rest)
+	rest, ok = strings.CutPrefix(rest, "want ")
+	if !ok {
+		return nil, false
+	}
+	var pats []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = rest[2+end:]
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, false
+			}
+			unq, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, false
+			}
+			pats = append(pats, unq)
+			rest = rest[len(q):]
+		default:
+			return nil, false
+		}
+	}
+	return pats, len(pats) > 0
+}
+
+// loader type-checks testdata packages, resolving imports first against
+// testdata/src and then against the standard library (compiled from GOROOT
+// source — no network, no pre-built export data needed).
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	pkgs     map[string]*loadedPkg
+	fallback types.Importer
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(srcRoot string) *loader {
+	l := &loader{
+		fset:    token.NewFileSet(),
+		srcRoot: srcRoot,
+		pkgs:    map[string]*loadedPkg{},
+	}
+	l.fallback = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer for the type-checker's dependency
+// resolution.
+func (l *loader) Import(path string) (*types.Package, error) {
+	lp, err := l.load(path)
+	if err == nil {
+		return lp.pkg, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.fallback.Import(path)
+}
+
+// load parses and type-checks the testdata package at srcRoot/path. It
+// returns os.ErrNotExist-wrapped errors when no such directory exists, so
+// Import can fall back to the standard library.
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	fi, err := os.Stat(dir)
+	if err != nil || !fi.IsDir() {
+		return nil, &os.PathError{Op: "load", Path: dir, Err: os.ErrNotExist}
+	}
+	l.pkgs[path] = nil // cycle marker
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}

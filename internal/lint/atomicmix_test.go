@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cyclops/internal/lint"
+	"cyclops/internal/lint/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.AtomicMix, "atomicmix")
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cyclops/internal/lint"
+	"cyclops/internal/lint/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Determinism,
+		"cyclops/internal/bsp", // in-scope engine package: findings expected
+		"outofscope",           // tooling package: analyzer must stay silent
+	)
+}

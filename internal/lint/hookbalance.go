@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"cyclops/internal/lint/analysis"
+)
+
+// HookBalance enforces the observability layer's pairing contract: a
+// function that fires an obs.Hooks begin callback must fire the matching end
+// callback on every return path. A run that exits through an error return
+// without OnConverged, or a superstep that ends without OnSuperstepEnd,
+// silently truncates traces, recorder series and the /metrics registry — the
+// flight recorder then diffs clean against a baseline that never saw the
+// failure.
+//
+// Pairs: OnRunStart→OnConverged, OnSuperstepStart→OnSuperstepEnd.
+//
+// Coverage is judged structurally, per return statement: a return after a
+// begin call is covered when an end call appears in a preceding sibling
+// statement at some enclosing block level, where the end call is
+// unconditional within that sibling apart from the standard nil-hooks guard
+// (`if hooks != nil { hooks.OnX(...) }`). An end call reached only inside an
+// unrelated branch does not cover returns outside that branch. A deferred
+// end call covers everything.
+var HookBalance = &analysis.Analyzer{
+	Name: "hookbalance",
+	Doc: "flag return paths that fire an obs.Hooks begin callback (OnRunStart, OnSuperstepStart) " +
+		"without the matching end callback (OnConverged, OnSuperstepEnd), which silently truncates traces",
+	Run: runHookBalance,
+}
+
+// hookPairs maps each begin callback to its required end callback.
+var hookPairs = map[string]string{
+	"OnRunStart":       "OnConverged",
+	"OnSuperstepStart": "OnSuperstepEnd",
+}
+
+type hookCall struct {
+	call     *ast.CallExpr
+	name     string
+	recvText string
+	deferred bool
+}
+
+func runHookBalance(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == obsPkgPath {
+		return nil, nil // the obs package itself holds the forwarders and no-ops
+	}
+	for _, f := range pass.Files {
+		// Group hook calls and returns by innermost enclosing function: a
+		// goroutine body is its own balance scope.
+		calls := map[ast.Node][]hookCall{}
+		returns := map[ast.Node][]*ast.ReturnStmt{}
+		parents := map[ast.Node]ast.Node{}
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			if len(stack) >= 2 {
+				parents[n] = stack[len(stack)-2]
+			}
+			fn := enclosingFunc(stack[:max(len(stack)-1, 0)])
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				hc, ok := obsHookCall(pass, n)
+				if !ok || fn == nil {
+					return true
+				}
+				if d, ok := stack[len(stack)-2].(*ast.DeferStmt); ok && d.Call == n {
+					hc.deferred = true
+				}
+				calls[fn] = append(calls[fn], hc)
+			case *ast.ReturnStmt:
+				if fn != nil {
+					returns[fn] = append(returns[fn], n)
+				}
+			}
+			return true
+		})
+		for fn, fnCalls := range calls {
+			if isHookMethod(fn) {
+				continue // Hooks implementations and forwarders are the callee side
+			}
+			checkHookFunction(pass, fn, fnCalls, returns[fn], parents)
+		}
+	}
+	return nil, nil
+}
+
+// obsHookCall recognizes a call to an obs.Hooks begin or end method.
+func obsHookCall(pass *analysis.Pass, call *ast.CallExpr) (hookCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return hookCall{}, false
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || funcPkgPath(fn) != obsPkgPath {
+		return hookCall{}, false
+	}
+	name := fn.Name()
+	isBegin := hookPairs[name] != ""
+	isEnd := false
+	for _, end := range hookPairs {
+		if name == end {
+			isEnd = true
+		}
+	}
+	if !isBegin && !isEnd {
+		return hookCall{}, false
+	}
+	return hookCall{call: call, name: name, recvText: exprText(sel.X)}, true
+}
+
+// isHookMethod reports whether fn is itself an On* method — an obs.Hooks
+// implementation (tracer, recorder, fan-out) rather than an engine caller.
+func isHookMethod(fn ast.Node) bool {
+	d, ok := fn.(*ast.FuncDecl)
+	return ok && d.Recv != nil && strings.HasPrefix(d.Name.Name, "On")
+}
+
+func checkHookFunction(pass *analysis.Pass, fn ast.Node, calls []hookCall, rets []*ast.ReturnStmt, parents map[ast.Node]ast.Node) {
+	for begin, end := range hookPairs {
+		var beginCalls, endCalls []hookCall
+		deferredEnd := false
+		for _, c := range calls {
+			switch c.name {
+			case begin:
+				beginCalls = append(beginCalls, c)
+			case end:
+				endCalls = append(endCalls, c)
+				if c.deferred {
+					deferredEnd = true
+				}
+			}
+		}
+		if len(beginCalls) == 0 || deferredEnd {
+			continue
+		}
+		if len(endCalls) == 0 {
+			pass.Reportf(beginCalls[0].call.Pos(),
+				"%s is called but %s never is in this function: every begin hook needs its end hook "+
+					"or traces silently lose the phase", begin, end)
+			continue
+		}
+		for _, ret := range rets {
+			reached := false
+			for _, b := range beginCalls {
+				if b.call.Pos() < ret.Pos() && beginReaches(b, ret, parents, fn) {
+					reached = true
+					break
+				}
+			}
+			if !reached {
+				continue
+			}
+			if !returnCovered(pass, ret, end, parents, fn) {
+				pass.Reportf(ret.Pos(),
+					"return path after %s without %s: the run/superstep vanishes from traces and the "+
+						"flight record diffs clean against a baseline that never saw this exit", begin, end)
+			}
+		}
+	}
+}
+
+// beginReaches reports whether the begin call is guaranteed to have executed
+// when control stands at ret: walking up from the call, every enclosing
+// construct until a shared ancestor with ret must be either structural or
+// the nil-hooks guard. A begin inside a loop or unrelated branch imposes no
+// obligation on returns outside it (the loop may have run zero times).
+func beginReaches(b hookCall, ret *ast.ReturnStmt, parents map[ast.Node]ast.Node, fn ast.Node) bool {
+	ancestors := map[ast.Node]bool{}
+	for n := parents[ast.Node(ret)]; n != nil; n = parents[n] {
+		ancestors[n] = true
+		if n == fn {
+			break
+		}
+	}
+	for n := parents[ast.Node(b.call)]; n != nil && n != fn; n = parents[n] {
+		if ancestors[n] {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if !isNilGuardFor(n, b.recvText) {
+				return false
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+			*ast.SelectStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false
+		}
+	}
+	return false
+}
+
+// returnCovered walks from ret up through its enclosing statement lists; a
+// preceding sibling statement that unconditionally (modulo the nil-hooks
+// guard) performs the end call covers the return.
+func returnCovered(pass *analysis.Pass, ret *ast.ReturnStmt, end string, parents map[ast.Node]ast.Node, fn ast.Node) bool {
+	var child ast.Node = ret
+	for node := parents[ret]; node != nil && node != fn; child, node = node, parents[node] {
+		list := stmtList(node)
+		if list == nil {
+			continue
+		}
+		for _, s := range list {
+			if s == child {
+				break
+			}
+			if stmtProvidesEnd(pass, s, end) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtList returns the statement list a node contributes sibling ordering
+// to, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// stmtProvidesEnd reports whether stmt performs the end call on every path
+// through it that falls through to the next statement. Conservatively, the
+// end call may sit inside nested `if X != nil`/`if nil != X` guards whose
+// condition tests the call's own receiver chain (the canonical
+// `if hooks != nil { hooks.OnConverged(...) }`), but inside no other
+// conditional or loop, and not in an else branch.
+func stmtProvidesEnd(pass *analysis.Pass, stmt ast.Stmt, end string) bool {
+	found := false
+	analysis.WithStack(stmt, func(n ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		hc, ok := obsHookCall(pass, call)
+		if !ok || hc.name != end {
+			return true
+		}
+		if endGuardChainOK(hc, stack) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// endGuardChainOK verifies every conditional between the end call and the
+// statement root is a nil-guard on the call's receiver, with the call on the
+// then-side.
+func endGuardChainOK(hc hookCall, stack []ast.Node) bool {
+	// stack[0] is the statement root, stack[len-1] the call.
+	for i := 0; i < len(stack)-1; i++ {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if !isNilGuardFor(n, hc.recvText) {
+				return false
+			}
+			// The call must be under the then-branch, not the else.
+			if i+1 < len(stack) && stack[i+1] == n.Else {
+				return false
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+			*ast.SelectStmt, *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+	}
+	return true
+}
+
+// isNilGuardFor reports whether ifStmt's condition is `recv != nil` (either
+// operand order) for the receiver expression text, with no init statement
+// that could shadow it.
+func isNilGuardFor(ifStmt *ast.IfStmt, recvText string) bool {
+	b, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return false
+	}
+	x, y := exprText(b.X), exprText(b.Y)
+	if x == "nil" {
+		x, y = y, x
+	}
+	if y != "nil" {
+		return false
+	}
+	// The guard must test the receiver or a prefix of its chain
+	// (`e.cfg.Hooks != nil { e.cfg.Hooks.OnConverged(...) }`).
+	return x == recvText || strings.HasPrefix(recvText, x+".")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cyclops/internal/lint"
+	"cyclops/internal/lint/analysistest"
+)
+
+func TestHookBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.HookBalance, "hookbalance")
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+
+	"cyclops/internal/lint/analysis"
+)
+
+// SendLocked forbids calling transport.Send or transport.FinishRound while
+// holding a sync.Mutex/RWMutex. Send on the TCP transport can block on a
+// slow peer's socket and FinishRound participates in the round barrier; a
+// lock held across either is the distributed-deadlock class the RPC
+// hardening work (PR 4) could only bound with timeouts at runtime — worker A
+// blocks in Send holding the lock worker B needs before B can Drain.
+//
+// The check is lexical within one function body: a Lock() on some receiver
+// with no intervening Unlock() before the Send marks the send as
+// lock-holding. `defer mu.Unlock()` keeps the lock held to the end of the
+// function, so every later Send in that function is flagged.
+var SendLocked = &analysis.Analyzer{
+	Name: "sendlocked",
+	Doc: "flag transport.Send/FinishRound calls made while holding a sync mutex " +
+		"(a blocking send under a lock is the barrier-deadlock class PR 4 bounded with timeouts)",
+	Run: runSendLocked,
+}
+
+type lockEvent struct {
+	pos      int // file offset order within the function
+	node     ast.Node
+	kind     lockKind
+	key      string // printed receiver expression, e.g. "t.encMu[from]"
+	deferred bool
+}
+
+type lockKind int
+
+const (
+	evLock lockKind = iota
+	evUnlock
+	evSend
+)
+
+func runSendLocked(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		events := map[ast.Node][]lockEvent{}
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := enclosingFunc(stack[:len(stack)-1])
+			if fn == nil {
+				return true
+			}
+			ev, ok := classifyLockEvent(pass, call, stack)
+			if !ok {
+				return true
+			}
+			ev.pos = int(call.Pos())
+			events[fn] = append(events[fn], ev)
+			return true
+		})
+		for _, evs := range events {
+			reportLockedSends(pass, evs)
+		}
+	}
+	return nil, nil
+}
+
+func classifyLockEvent(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) (lockEvent, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return lockEvent{}, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	switch funcPkgPath(fn) {
+	case "sync":
+		if !isSel {
+			return lockEvent{}, false
+		}
+		deferred := false
+		if len(stack) >= 2 {
+			if d, ok := stack[len(stack)-2].(*ast.DeferStmt); ok && d.Call == call {
+				deferred = true
+			}
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			return lockEvent{node: call, kind: evLock, key: exprText(sel.X), deferred: deferred}, true
+		case "Unlock", "RUnlock":
+			return lockEvent{node: call, kind: evUnlock, key: exprText(sel.X), deferred: deferred}, true
+		}
+	case transportPkgPath:
+		switch fn.Name() {
+		case "Send", "FinishRound":
+			return lockEvent{node: call, kind: evSend, key: fn.Name()}, true
+		}
+	}
+	return lockEvent{}, false
+}
+
+// reportLockedSends replays the function's lock/unlock/send events in source
+// order, tracking which mutexes are held. A deferred Unlock never releases
+// (the lock is held until the function returns), matching the
+// lock-then-defer idiom.
+func reportLockedSends(pass *analysis.Pass, evs []lockEvent) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	held := map[string]bool{}
+	for _, ev := range evs {
+		switch ev.kind {
+		case evLock:
+			if !ev.deferred { // `defer mu.Lock()` is nonsense; ignore
+				held[ev.key] = true
+			}
+		case evUnlock:
+			if !ev.deferred {
+				delete(held, ev.key)
+			}
+		case evSend:
+			if len(held) > 0 {
+				keys := make([]string, 0, len(held))
+				for k := range held {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				pass.Reportf(ev.node.Pos(),
+					"transport.%s called while holding %v: a blocking send under a lock can deadlock "+
+						"the round barrier (release before sending)", ev.key, keys)
+			}
+		}
+	}
+}

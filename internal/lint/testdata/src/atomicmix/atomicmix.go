@@ -1,0 +1,61 @@
+// Package atomicmix exercises the atomicmix analyzer: variables touched by
+// sync/atomic must be atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint32 // atomic
+	misses uint32 // atomic
+	name   string // plain, never atomic
+}
+
+func bump(c *counters) {
+	atomic.AddUint32(&c.hits, 1)
+	atomic.AddUint32(&c.misses, 1)
+}
+
+func mixed(c *counters) uint32 {
+	if c.hits > 0 { // want `non-atomic access of hits`
+		c.hits = 0 // want `non-atomic access of hits`
+	}
+	return atomic.LoadUint32(&c.misses) // consistent atomic read: legal
+}
+
+func plainFieldIsFine(c *counters) string {
+	return c.name // never accessed atomically anywhere: legal
+}
+
+func construction() *counters {
+	return &counters{hits: 1, misses: 2} // composite-literal init happens-before sharing: legal
+}
+
+type workerState struct {
+	next []uint32 // atomic element stores during the parallel phase
+}
+
+func activate(ws *workerState, ls int) {
+	atomic.StoreUint32(&ws.next[ls], 1)
+}
+
+func barrier(ws *workerState) int {
+	var n int
+	for s := range ws.next { // want `non-atomic access of next`
+		if ws.next[s] != 0 { // want `non-atomic access of next`
+			n++
+			ws.next[s] = 0 // want `non-atomic access of next`
+		}
+	}
+	//lint:allow atomicmix single-threaded after the superstep barrier (golden-test allow)
+	ws.next[0] = 0
+	return n
+}
+
+// sameNameOtherType proves object identity, not field names, drives the
+// check: this `hits` is a different struct's field.
+type otherCounters struct{ hits uint32 }
+
+func otherIsFine(o *otherCounters) uint32 {
+	o.hits++
+	return o.hits
+}

@@ -1,0 +1,25 @@
+// Package obs is a golden-test stub shadowing the real
+// cyclops/internal/obs import path: just the Hooks interface the
+// hookbalance analyzer pairs up.
+package obs
+
+type RunInfo struct {
+	Engine  string
+	Workers int
+}
+
+type Violation struct{ Kind string }
+
+type WorkerStats struct{ Worker int }
+
+type RecoveryEvent struct{ Step int }
+
+type Hooks interface {
+	OnRunStart(info RunInfo)
+	OnSuperstepStart(step int)
+	OnWorkerStats(ws WorkerStats)
+	OnViolation(v Violation)
+	OnSuperstepEnd(step int, messages int64)
+	OnRecovery(e RecoveryEvent)
+	OnConverged(step int, reason string)
+}

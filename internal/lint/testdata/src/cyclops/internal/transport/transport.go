@@ -1,0 +1,40 @@
+// Package transport is a golden-test stub that shadows the real
+// cyclops/internal/transport import path, so the analyzers'
+// package-identity checks behave in tests exactly as over the real tree.
+// Only the shapes the analyzers inspect are reproduced.
+package transport
+
+import "errors"
+
+var (
+	ErrClosed         = errors.New("transport closed")
+	ErrRoundViolation = errors.New("round finished more than once")
+)
+
+type Error struct {
+	Op        string
+	Peer      int
+	Retryable bool
+	Err       error
+}
+
+func (e *Error) Error() string { return "transport: " + e.Op }
+func (e *Error) Unwrap() error { return e.Err }
+
+type Stats struct{}
+
+type Matrix struct{}
+
+type Interface[M any] interface {
+	NumEndpoints() int
+	Send(from, to int, batch []M)
+	FinishRound(from int)
+	Drain(to int) [][]M
+	Stats() *Stats
+	Matrix() *Matrix
+	Err() error
+	Close() error
+}
+
+// New mirrors the real constructor's (Interface, error) shape.
+func New[M any](n int) (Interface[M], error) { return nil, nil }

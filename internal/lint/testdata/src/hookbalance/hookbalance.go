@@ -1,0 +1,117 @@
+// Package hookbalance exercises the hookbalance analyzer: begin hooks need
+// their end hooks on every return path.
+package hookbalance
+
+import (
+	"errors"
+
+	"cyclops/internal/obs"
+)
+
+func cond() bool  { return false }
+func cond2() bool { return false }
+
+// earlyReturnLosesEnd is the engine bug class: an error return between
+// OnRunStart and OnConverged truncates the trace.
+func earlyReturnLosesEnd(h obs.Hooks) error {
+	h.OnRunStart(obs.RunInfo{})
+	if cond() {
+		return errors.New("checkpoint failed") // want `return path after OnRunStart without OnConverged`
+	}
+	h.OnConverged(0, "done")
+	return nil
+}
+
+// guardedPairing is the engines' canonical shape: every exit fires the end
+// hook under the standard nil guard first.
+func guardedPairing(h obs.Hooks) error {
+	if h != nil {
+		h.OnRunStart(obs.RunInfo{})
+	}
+	if cond() {
+		if h != nil {
+			h.OnConverged(0, "fault")
+		}
+		return errors.New("fault")
+	}
+	if h != nil {
+		h.OnConverged(0, "done")
+	}
+	return nil
+}
+
+// branchOnlyEndDoesNotCover: an end call inside one branch does not excuse a
+// return in a different branch.
+func branchOnlyEndDoesNotCover(h obs.Hooks) error {
+	h.OnRunStart(obs.RunInfo{})
+	if cond() {
+		h.OnConverged(0, "early")
+		return nil
+	}
+	if cond2() {
+		return errors.New("fault") // want `return path after OnRunStart without OnConverged`
+	}
+	h.OnConverged(0, "done")
+	return nil
+}
+
+// neverEnds never fires the end hook at all.
+func neverEnds(h obs.Hooks) {
+	h.OnSuperstepStart(1) // want `OnSuperstepStart is called but OnSuperstepEnd never`
+}
+
+// deferredEndCoversAll: a deferred end hook covers every return path.
+func deferredEndCoversAll(h obs.Hooks) error {
+	h.OnRunStart(obs.RunInfo{})
+	defer h.OnConverged(0, "done")
+	if cond() {
+		return errors.New("fault")
+	}
+	return nil
+}
+
+// supersteps pairs OnSuperstepStart/OnSuperstepEnd per iteration; the final
+// return is covered by the end call that precedes it inside the loop... but
+// an in-loop error return is not.
+func supersteps(h obs.Hooks) error {
+	for step := 0; step < 3; step++ {
+		h.OnSuperstepStart(step)
+		if cond() {
+			return errors.New("fault") // want `return path after OnSuperstepStart without OnSuperstepEnd`
+		}
+		h.OnSuperstepEnd(step, 0)
+	}
+	return nil
+}
+
+// unpairedHooksAreFree: OnWorkerStats, OnViolation etc. have no pairing
+// contract.
+func unpairedHooksAreFree(h obs.Hooks) error {
+	h.OnWorkerStats(obs.WorkerStats{Worker: 1})
+	if cond() {
+		return errors.New("fine")
+	}
+	h.OnViolation(obs.Violation{})
+	return nil
+}
+
+// annotated exercises the allow directive.
+func annotated(h obs.Hooks) error {
+	h.OnRunStart(obs.RunInfo{})
+	if cond() {
+		//lint:allow hookbalance golden-test exercise of the allow directive
+		return errors.New("fault")
+	}
+	h.OnConverged(0, "done")
+	return nil
+}
+
+// implementations of the Hooks interface (On* methods) are the callee side
+// and exempt: a fan-out forwarder legitimately calls only its own hook.
+type forwarder struct{ inner []obs.Hooks }
+
+func (f *forwarder) OnRunStart(info obs.RunInfo) {
+	for _, h := range f.inner {
+		h.OnRunStart(info)
+	}
+}

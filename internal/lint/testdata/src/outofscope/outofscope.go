@@ -1,0 +1,22 @@
+// Package outofscope proves the determinism analyzer keeps out of packages
+// that are not engine or transport code: wall-clock and map iteration are
+// fine in tooling.
+package outofscope
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Iterate(m map[string]int, f func(string, int)) {
+	for k, v := range m {
+		f(k, v)
+	}
+}

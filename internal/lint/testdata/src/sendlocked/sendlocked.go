@@ -1,0 +1,64 @@
+// Package sendlocked exercises the sendlocked analyzer: no transport sends
+// while holding a mutex.
+package sendlocked
+
+import (
+	"sync"
+
+	"cyclops/internal/transport"
+)
+
+type worker struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	tr transport.Interface[int]
+}
+
+func (w *worker) sendUnderLock(batch []int) {
+	w.mu.Lock()
+	w.tr.Send(0, 1, batch) // want `transport.Send called while holding \[w.mu\]`
+	w.mu.Unlock()
+}
+
+func (w *worker) finishUnderDeferredUnlock() {
+	w.mu.Lock()
+	defer w.mu.Unlock() // the lock is held until return...
+	w.tr.FinishRound(0) // want `transport.FinishRound called while holding \[w.mu\]`
+}
+
+func (w *worker) readLockCounts(batch []int) {
+	w.rw.RLock()
+	w.tr.Send(0, 1, batch) // want `transport.Send called while holding \[w.rw\]`
+	w.rw.RUnlock()
+}
+
+func (w *worker) releaseBeforeSend(batch []int) {
+	w.mu.Lock()
+	staged := append([]int(nil), batch...)
+	w.mu.Unlock()
+	w.tr.Send(0, 1, staged) // lock released first: legal
+	w.tr.FinishRound(0)
+}
+
+func (w *worker) lockAfterSend(batch []int) {
+	w.tr.Send(0, 1, batch) // send precedes the lock: legal
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+// goroutineScopesAreSeparate: the closure runs on its own stack; the
+// enclosing function's lock state does not apply to it lexically.
+func (w *worker) goroutineScopesAreSeparate(batch []int) {
+	w.mu.Lock()
+	go func() {
+		w.tr.Send(0, 1, batch) // own function scope, no lock taken here: legal
+	}()
+	w.mu.Unlock()
+}
+
+func (w *worker) annotated(batch []int) {
+	w.mu.Lock()
+	//lint:allow sendlocked golden-test exercise of the allow directive
+	w.tr.Send(0, 1, batch)
+	w.mu.Unlock()
+}

@@ -1,0 +1,63 @@
+// Package transporterr exercises the transporterr analyzer: dropped
+// transport errors and string-matching on error text.
+package transporterr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cyclops/internal/transport"
+)
+
+func dropped(tr transport.Interface[int]) {
+	tr.Close()       // want `error from transport.Close dropped`
+	defer tr.Close() // want `defer error from transport.Close dropped`
+	go tr.Close()    // want `go error from transport.Close dropped`
+	tr.Err()         // want `error from transport.Err dropped`
+}
+
+func handled(tr transport.Interface[int]) error {
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	_ = tr.Close() // explicit discard records intent: legal
+	return tr.Err()
+}
+
+func voidMethodsAreFine(tr transport.Interface[int], batch []int) {
+	tr.Send(0, 1, batch) // no error result: nothing to drop
+	tr.FinishRound(0)
+}
+
+func otherPackagesAreFine(f interface{ Close() error }) {
+	f.Close() // not a transport method; other analyzers' (errcheck's) turf
+}
+
+func annotated(tr transport.Interface[int]) {
+	//lint:allow transporterr golden-test exercise of the allow directive
+	tr.Close()
+}
+
+func stringMatching(err error) bool {
+	if err.Error() == "transport closed" { // want `comparing err.Error\(\) text`
+		return true
+	}
+	if strings.Contains(err.Error(), "round finished") { // want `strings.Contains on err.Error\(\) text`
+		return true
+	}
+	return strings.HasPrefix(err.Error(), "transport:") // want `strings.HasPrefix on err.Error\(\) text`
+}
+
+func taxonomy(err error) bool {
+	if errors.Is(err, transport.ErrClosed) { // the typed taxonomy: legal
+		return true
+	}
+	var terr *transport.Error
+	if errors.As(err, &terr) {
+		return terr.Retryable
+	}
+	// Reading the text for humans (logs) is fine; only matching on it is not.
+	fmt.Println(err.Error())
+	return strings.Contains("transport closed", "closed") // no error text involved: legal
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cyclops/internal/lint"
+	"cyclops/internal/lint/analysistest"
+)
+
+func TestTransportErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.TransportErr, "transporterr")
+}

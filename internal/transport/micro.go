@@ -123,7 +123,7 @@ func MicroHama(total, senders int) MicroResult {
 		}()
 	}
 	wg.Wait()
-	send := time.Since(start)
+	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	parseStart := time.Now()
 	for _, raw := range queue {
@@ -135,7 +135,7 @@ func MicroHama(total, senders int) MicroResult {
 			arr[m.Idx] = m.Val
 		}
 	}
-	parse := time.Since(parseStart)
+	parse := time.Since(parseStart) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	return MicroResult{
 		Impl: "hama", Messages: total,
@@ -182,7 +182,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 		}()
 	}
 	wg.Wait()
-	send := time.Since(start)
+	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	parseStart := time.Now()
 	for _, raw := range queue {
@@ -192,7 +192,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 			arr[idx] = val
 		}
 	}
-	parse := time.Since(parseStart)
+	parse := time.Since(parseStart) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	return MicroResult{
 		Impl: "powergraph", Messages: total,
@@ -221,7 +221,7 @@ func MicroCyclops(total, senders int) MicroResult {
 		}()
 	}
 	wg.Wait()
-	send := time.Since(start)
+	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	return MicroResult{
 		Impl: "cyclops", Messages: total,

@@ -152,7 +152,7 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.Close()
+			_ = t.Close() // best-effort teardown; the listen error is what matters
 			return nil, fmt.Errorf("transport: listen: %w", err)
 		}
 		t.listeners[i] = ln
@@ -188,7 +188,7 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 			}
 			conn, err := net.DialTimeout("tcp", t.listeners[to].Addr().String(), opts.DialTimeout)
 			if err != nil {
-				t.Close()
+				_ = t.Close() // best-effort teardown; the dial error is what matters
 				return nil, fmt.Errorf("transport: dial %d→%d: %w", from, to, err)
 			}
 			t.conns[from][to] = conn
