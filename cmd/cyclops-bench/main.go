@@ -42,7 +42,9 @@ func main() {
 		record    = flag.String("record", "", "record every engine run as a flight-record directory under this path, plus a normalized BENCH_baseline.json")
 		skew      = flag.Bool("skew", false, "print each run's load-imbalance profile after the experiments")
 		audit     = flag.Bool("audit", false, "verify engine invariants each superstep; a violation fails the experiment")
-		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
+		debugAddr = flag.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /spans, /profiles, /debug/pprof) on this address")
+		slowPhase = flag.Float64("slow-phase", 3, "warn when a phase runs slower than this factor times its trailing mean (<=1 disables the detector)")
+		profDir   = flag.String("profile-dir", "", "continuously harvest pprof CPU/heap captures into this directory, tagged with the superstep in flight")
 		verbose   = flag.Bool("verbose", false, "narrate each experiment's supersteps as JSONL events on stderr")
 		faultSeed = flag.Int64("fault-seed", 0, "derive the faults experiment's fault plan from this seed instead of -seed (0 = use -seed)")
 		faultPlan = flag.String("fault-plan", "", "load the faults experiment's fault plan from this JSON file (overrides -fault-seed; format: internal/fault)")
@@ -112,10 +114,11 @@ func main() {
 	// stays nil and engines keep their fast path.
 	var hookList []obs.Hooks
 	var tracer *obs.Tracer
+	topts := obs.TracerOptions{SlowFactor: *slowPhase}
 	if *verbose {
-		tracer = obs.NewTracer(os.Stderr, obs.TracerOptions{})
+		tracer = obs.NewTracer(os.Stderr, topts)
 	} else if *debugAddr != "" {
-		tracer = obs.NewTracer(nil, obs.TracerOptions{})
+		tracer = obs.NewTracer(nil, topts)
 	}
 	if tracer != nil {
 		hookList = append(hookList, tracer)
@@ -136,11 +139,29 @@ func main() {
 		skewProf = obs.NewSkewProfiler(reg) // reg may be nil: report-only mode
 		hookList = append(hookList, skewProf)
 	}
+	var spans *obs.SpanTracker
+	if *debugAddr != "" {
+		spans = obs.NewSpanTracker()
+		hookList = append(hookList, spans)
+	}
+	var harvester *obs.Harvester
+	if *profDir != "" {
+		var err error
+		if harvester, err = obs.NewHarvester(*profDir, obs.HarvesterOptions{}); err != nil {
+			fatal(fmt.Errorf("-profile-dir %s: %w", *profDir, err))
+		}
+		hookList = append(hookList, harvester)
+		harvester.Start()
+		defer harvester.Stop()
+	}
 	if rec != nil {
+		if harvester != nil {
+			rec.SetProfileSource(harvester.Dir(), harvester.Files)
+		}
 		hookList = append(hookList, rec)
 	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir)
 		if err != nil {
 			fatal(err)
 		}

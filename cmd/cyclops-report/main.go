@@ -2,7 +2,7 @@
 // cyclops-run/cyclops-bench -record.
 //
 //	cyclops-report list <record-dir>
-//	cyclops-report show <record-dir> <run-name>
+//	cyclops-report show [-critpath] <record-dir> <run-name>
 //	cyclops-report diff [-model-tol 0.05] <baseline> <current>
 //
 // diff's sides are each either a record directory (its run-* manifests are
@@ -19,8 +19,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/report"
 )
 
@@ -45,10 +48,19 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		}
 		return list(args[1], stdout)
 	case "show":
-		if len(args) != 3 {
+		fs := flag.NewFlagSet("cyclops-report show", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		critpath := fs.Bool("critpath", false, "print the per-superstep critical-path breakdown instead of the raw record")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 2 {
 			return usageError()
 		}
-		return show(args[1], args[2], stdout)
+		if *critpath {
+			return showCritPath(fs.Arg(0), fs.Arg(1), stdout)
+		}
+		return show(fs.Arg(0), fs.Arg(1), stdout)
 	case "diff":
 		fs := flag.NewFlagSet("cyclops-report diff", flag.ContinueOnError)
 		fs.SetOutput(stderr)
@@ -66,7 +78,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: cyclops-report list <dir> | show <dir> <run> | diff [-model-tol F] <baseline> <current>")
+	return fmt.Errorf("usage: cyclops-report list <dir> | show [-critpath] <dir> <run> | diff [-model-tol F] <baseline> <current>")
 }
 
 func list(dir string, w io.Writer) error {
@@ -110,6 +122,101 @@ func show(dir, run string, w io.Writer) error {
 		fmt.Fprintf(w, "\n%s:\n%s", name, body)
 	}
 	return nil
+}
+
+// showCritPath renders a run's critical-path attribution: one row per
+// superstep naming the worker that gated the barrier and splitting its wall
+// into compute / serialize / send / barrier-wait. The row sum equals the
+// superstep's phase-wall total, so the footer reconciles the table against
+// timings.csv (prs+cmp+snd+syn summed over the run) and errors on mismatch —
+// the span stream and the phase timers must account for the same time.
+func showCritPath(dir, run string, w io.Writer) error {
+	blob, err := os.ReadFile(filepath.Join(dir, run, "critpath.csv"))
+	if err != nil {
+		return fmt.Errorf("no critical-path data (was the run recorded with span tracing?): %w", err)
+	}
+	paths, err := span.ParseCritPathCSV(blob)
+	if err != nil {
+		return err
+	}
+	phaseWalls, err := readPhaseWalls(filepath.Join(dir, run, "timings.csv"))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%4s %6s %10s %12s %12s %12s %12s %12s\n",
+		"step", "gating", "weight", "compute-ms", "serialize-ms", "send-ms", "barrier-ms", "wall-ms")
+	var tot span.StepPath
+	for _, p := range paths {
+		fmt.Fprintf(w, "%4d %6s %10d %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+			p.Step, fmt.Sprintf("w%d", p.Gating), p.Weight,
+			float64(p.ComputeNs)/1e6, float64(p.SerializeNs)/1e6,
+			float64(p.SendNs)/1e6, float64(p.BarrierNs)/1e6, float64(p.Wall())/1e6)
+		tot.Weight += p.Weight
+		tot.ComputeNs += p.ComputeNs
+		tot.SerializeNs += p.SerializeNs
+		tot.SendNs += p.SendNs
+		tot.BarrierNs += p.BarrierNs
+	}
+	fmt.Fprintf(w, "%4s %6s %10d %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+		"sum", "", tot.Weight,
+		float64(tot.ComputeNs)/1e6, float64(tot.SerializeNs)/1e6,
+		float64(tot.SendNs)/1e6, float64(tot.BarrierNs)/1e6, float64(tot.Wall())/1e6)
+
+	var timingsTotal int64
+	for _, v := range phaseWalls {
+		timingsTotal += v
+	}
+	fmt.Fprintf(w, "timings.csv phase total: %.3f ms over %d superstep(s)\n",
+		float64(timingsTotal)/1e6, len(phaseWalls))
+	if len(paths) != len(phaseWalls) {
+		return fmt.Errorf("critpath.csv has %d rows but timings.csv has %d", len(paths), len(phaseWalls))
+	}
+	if tot.Wall() != timingsTotal {
+		return fmt.Errorf("critical-path wall %dns does not reconcile with timings.csv phase total %dns",
+			tot.Wall(), timingsTotal)
+	}
+	fmt.Fprintln(w, "reconciliation: OK (critical-path columns sum to the timings.csv phase totals)")
+	return nil
+}
+
+// readPhaseWalls parses timings.csv into per-row phase-wall totals
+// (prs+cmp+snd+syn — the superstep wall the span stream accounts for; the
+// wall_ns column is the recorder's own clock and is ignored here).
+func readPhaseWalls(path string) ([]int64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "step,") {
+		return nil, fmt.Errorf("%s: unrecognised header", path)
+	}
+	cols := strings.Split(lines[0], ",")
+	want := map[string]bool{"prs_ns": true, "cmp_ns": true, "snd_ns": true, "syn_ns": true}
+	var out []int64
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		f := strings.Split(ln, ",")
+		if len(f) != len(cols) {
+			return nil, fmt.Errorf("%s: %d columns, want %d", path, len(f), len(cols))
+		}
+		var sum int64
+		for i, name := range cols {
+			if !want[name] {
+				continue
+			}
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s %q", path, name, f[i])
+			}
+			sum += v
+		}
+		out = append(out, sum)
+	}
+	return out, nil
 }
 
 func diff(oldPath, newPath string, modelTol float64, w io.Writer) error {

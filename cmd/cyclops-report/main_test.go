@@ -161,6 +161,57 @@ func TestListAndShow(t *testing.T) {
 	}
 }
 
+func TestShowCritPath(t *testing.T) {
+	dir := t.TempDir()
+	run := filepath.Join(dir, "run-001-cyclops")
+	if err := os.MkdirAll(run, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Two supersteps whose path rows sum to exactly the timings.csv phase
+	// totals (prs+cmp+snd+syn): 100+200+300+400=1000 and 10+20+30+40=100.
+	critpath := "step,gating_worker,weight,compute_ns,serialize_ns,send_ns,barrier_wait_ns\n" +
+		"0,1,9,600,100,200,100\n" +
+		"1,0,7,50,10,20,20\n"
+	timings := "step,prs_ns,cmp_ns,snd_ns,syn_ns,wall_ns\n" +
+		"0,100,500,300,100,1234\n" +
+		"1,10,40,30,20,567\n"
+	if err := os.WriteFile(filepath.Join(run, "critpath.csv"), []byte(critpath), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(run, "timings.csv"), []byte(timings), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := cliMain([]string{"show", "-critpath", dir, "run-001-cyclops"}, &out, &out); err != nil {
+		t.Fatalf("show -critpath failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"gating", "barrier-ms", "w1", "w0", "reconciliation: OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("critpath output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Break the reconciliation: the command must fail, loudly.
+	bad := strings.Replace(critpath, "600", "601", 1)
+	if err := os.WriteFile(filepath.Join(run, "critpath.csv"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := cliMain([]string{"show", "-critpath", dir, "run-001-cyclops"}, &out, &out); err == nil ||
+		!strings.Contains(err.Error(), "reconcile") {
+		t.Errorf("unreconciled critpath accepted: %v\n%s", err, out.String())
+	}
+
+	// No span data at all: a helpful error, not a zero-row table.
+	if err := os.Remove(filepath.Join(run, "critpath.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliMain([]string{"show", "-critpath", dir, "run-001-cyclops"}, &out, &out); err == nil {
+		t.Error("missing critpath.csv accepted")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out strings.Builder
 	for _, args := range [][]string{nil, {"bogus"}, {"list"}, {"show", "x"}, {"diff", "one"}} {

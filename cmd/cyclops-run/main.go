@@ -68,7 +68,9 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		record    = fs.String("record", "", "record the run as a flight-record directory (manifest.json, series.csv, timings.csv) under this path")
 		skewFlag  = fs.Bool("skew", false, "print the per-superstep load-imbalance profile after the run")
 		audit     = fs.Bool("audit", false, "verify the engine's structural invariants each superstep (replica consistency, message conservation, mirror coherence); a violation fails the run")
-		debugAddr = fs.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /debug/pprof) on this address")
+		debugAddr = fs.String("debug-addr", "", "serve live diagnostics (/metrics, /trace, /comm, /spans, /profiles, /debug/pprof) on this address")
+		slowPhase = fs.Float64("slow-phase", 3, "warn when a phase runs slower than this factor times its trailing mean (<=1 disables the detector)")
+		profDir   = fs.String("profile-dir", "", "continuously harvest pprof CPU/heap captures into this directory, tagged with the superstep in flight")
 		verbose   = fs.Bool("verbose", false, "narrate supersteps as JSONL events on stderr")
 		faultSeed = fs.Int64("fault-seed", 0, "inject a deterministic fault plan derived from this seed; the engine checkpoints and recovers (0 disables)")
 		faultPlan = fs.String("fault-plan", "", "inject the fault plan from this JSON file (overrides -fault-seed; format: internal/fault)")
@@ -126,10 +128,11 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 	// traffic matrix and the imbalance profile without a server.
 	var hookList []obs.Hooks
 	var tracer *obs.Tracer
+	topts := obs.TracerOptions{SlowFactor: *slowPhase}
 	if *verbose {
-		tracer = obs.NewTracer(stderr, obs.TracerOptions{})
+		tracer = obs.NewTracer(stderr, topts)
 	} else if *debugAddr != "" {
-		tracer = obs.NewTracer(nil, obs.TracerOptions{})
+		tracer = obs.NewTracer(nil, topts)
 	}
 	if tracer != nil {
 		hookList = append(hookList, tracer)
@@ -144,6 +147,21 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 	if *commCSV != "" || *debugAddr != "" {
 		comm = obs.NewCommTracker()
 		hookList = append(hookList, comm)
+	}
+	var spans *obs.SpanTracker
+	if *debugAddr != "" {
+		spans = obs.NewSpanTracker()
+		hookList = append(hookList, spans)
+	}
+	var harvester *obs.Harvester
+	if *profDir != "" {
+		var err error
+		if harvester, err = obs.NewHarvester(*profDir, obs.HarvesterOptions{}); err != nil {
+			return fmt.Errorf("-profile-dir %s: %w", *profDir, err)
+		}
+		hookList = append(hookList, harvester)
+		harvester.Start()
+		defer harvester.Stop()
 	}
 	var skew *obs.SkewProfiler
 	if *skewFlag {
@@ -160,10 +178,13 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 			Machines:          *machines,
 			WorkersPerMachine: *workers,
 		})
+		if harvester != nil {
+			rec.SetProfileSource(harvester.Dir(), harvester.Files)
+		}
 		hookList = append(hookList, rec)
 	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir)
 		if err != nil {
 			return err
 		}

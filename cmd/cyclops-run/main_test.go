@@ -121,6 +121,33 @@ func TestCLISmokePageRank(t *testing.T) {
 	}
 }
 
+func TestSlowPhaseFlagParsing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// A malformed factor must fail in flag parsing, before any run starts.
+	if err := cliMain([]string{"-slow-phase", "fast", "-dataset", "wiki", "-scale", "0.01"},
+		&stdout, &stderr); err == nil {
+		t.Fatal("non-numeric -slow-phase accepted")
+	}
+	if !strings.Contains(stderr.String(), "slow-phase") {
+		t.Errorf("parse error does not name the flag:\n%s", stderr.String())
+	}
+
+	// A valid factor parses and reaches the tracer; <=1 disables the slow-phase
+	// detector, so a tiny run completes without slow-phase warnings even under
+	// a noisy test machine.
+	stdout.Reset()
+	stderr.Reset()
+	err := cliMain([]string{"-dataset", "wiki", "-scale", "0.01", "-algo", "PR",
+		"-engine", "cyclops", "-steps", "5", "-slow-phase", "1", "-verbose"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run with -slow-phase 1 failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "slow-phase") {
+		t.Errorf("-slow-phase 1 should disable the detector:\n%s", stderr.String())
+	}
+}
+
 func TestCLIErrorsReturnNotExit(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := cliMain([]string{"-engine", "nope", "-dataset", "wiki", "-scale", "0.01"},

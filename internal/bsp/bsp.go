@@ -22,6 +22,7 @@ import (
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/partition"
 	"cyclops/internal/transport"
 )
@@ -147,6 +148,10 @@ type Engine[V, M any] struct {
 
 	step   int
 	primed bool
+
+	// runSeq numbers Run calls on this engine (1-based); it becomes the
+	// span stream's Run id, so restored engines keep distinct run spans.
+	runSeq int64
 
 	// auditPrevSent is the wire-level envelope count of the previous SND
 	// phase, compared against the next PRS delivery count when Audit is on.
@@ -345,13 +350,20 @@ func (c *Context[V, M]) AggregateValue(name string) (float64, bool) {
 func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	workers := e.cfg.Cluster.Workers()
 	hooks := e.cfg.Hooks
+	// runStart anchors span offsets; runWall accumulates the accounted run
+	// duration (sum of superstep walls), so the closing run span reconciles
+	// with timings.csv totals by construction.
+	runStart := time.Now()
+	var runWall time.Duration
 	if hooks != nil {
+		e.runSeq++
 		hooks.OnRunStart(obs.RunInfo{
 			Engine:   e.trace.Engine,
 			Workers:  workers,
 			Vertices: e.g.NumVertices(),
 			Edges:    e.g.NumEdges(),
 		})
+		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}
 	stopReason := obs.ReasonMaxSupersteps
 
@@ -381,12 +393,36 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			e.inj.BeginStep(e.step)
 		}
 		stats := metrics.StepStats{Step: e.step}
+		// Span bookkeeping (nil when hooks are off, so the hot path only
+		// pays the existing nil checks): per-worker phase durations, the
+		// drained batch provenance, and the wire-serialisation deltas.
+		sd := obs.StepSpanData{Run: e.runSeq, Step: e.step}
+		var parseDur, computeDur, sendDur []time.Duration
+		var serNs0, serNs []int64
+		var delivs [][]span.Delivery
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
+			sd.StepStart = time.Since(runStart)
+			hooks.OnSpanStart(obs.StepSpan(e.runSeq, e.step, sd.StepStart))
+			parseDur = make([]time.Duration, workers)
+			computeDur = make([]time.Duration, workers)
+			sendDur = make([]time.Duration, workers)
+			serNs0 = make([]int64, workers)
+			serNs = make([]int64, workers)
+			delivs = make([][]span.Delivery, workers)
+			// Tag this superstep's sends with its causal context; receivers
+			// drain them next superstep and link Deliver spans back to the
+			// sender's Send span.
+			for w := 0; w < workers; w++ {
+				e.tr.Tag(w, span.Context{Run: e.runSeq, Step: int32(e.step), Worker: int32(w)})
+			}
 		}
 
 		// PRS: drain the locked global in-queue, group messages per vertex,
 		// reactivate recipients. One thread per worker, as in Hama.
+		if hooks != nil {
+			sd.ParseStart = time.Since(runStart)
+		}
 		start := time.Now()
 		recvCounts := make([]int64, workers)
 		recvBatches := make([]int64, workers)
@@ -395,6 +431,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				pt := time.Now()
 				batches := e.tr.Drain(w)
 				recvBatches[w] = int64(len(batches))
 				var recv int64
@@ -406,6 +443,10 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					}
 				}
 				recvCounts[w] = recv
+				if parseDur != nil {
+					parseDur[w] = time.Since(pt)
+					delivs[w] = e.tr.LastDeliveries(w)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -437,6 +478,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 
 		// CMP: run Compute on active vertices, one thread per worker.
+		if hooks != nil {
+			sd.ComputeStart = time.Since(runStart)
+		}
 		start = time.Now()
 		var active, changed, sentTotal, redundant atomic.Int64
 		var computeMax, sendMax int64
@@ -450,6 +494,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				ct := time.Now()
 				ctx := &Context[V, M]{
 					e:      e,
 					worker: w,
@@ -490,6 +535,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				changed.Add(changedW)
 				sentTotal.Add(sent)
 				redundant.Add(redundantW)
+				if computeDur != nil {
+					computeDur[w] = time.Since(ct)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -508,12 +556,19 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 
 		// SND: flush per-worker bundles through the transport. Senders from
 		// all workers contend on each receiver's global queue lock.
+		if hooks != nil {
+			sd.SendStart = time.Since(runStart)
+			for w := 0; w < workers; w++ {
+				serNs0[w] = e.tr.SerializeNanos(w)
+			}
+		}
 		start = time.Now()
 		wireCounts := make([]int64, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				st := time.Now()
 				var wire int64
 				for to, batch := range outs[w] {
 					wire += int64(len(batch))
@@ -521,9 +576,17 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				}
 				e.tr.FinishRound(w)
 				wireCounts[w] = wire
+				if sendDur != nil {
+					sendDur[w] = time.Since(st)
+				}
 			}(w)
 		}
 		wg.Wait()
+		if hooks != nil {
+			for w := 0; w < workers; w++ {
+				serNs[w] = e.tr.SerializeNanos(w) - serNs0[w]
+			}
+		}
 		if e.cfg.Audit {
 			e.auditPrevSent = 0
 			for _, n := range wireCounts {
@@ -577,6 +640,21 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				hooks.OnViolation(v)
 			}
 			hooks.OnSuperstepEnd(e.step, stats)
+			// Wall is the sum of the four phase durations — exactly what
+			// timings.csv records for the step — so critpath.csv columns
+			// reconcile with it by construction.
+			sd.Wall = stats.Durations[metrics.Parse] + stats.Durations[metrics.Compute] +
+				stats.Durations[metrics.Send] + stats.Durations[metrics.Sync]
+			runWall += sd.Wall
+			sd.Parse = parseDur
+			sd.Compute = computeDur
+			sd.Send = sendDur
+			sd.SerializeNs = serNs
+			sd.Units = computeUnits
+			sd.Sent = wireCounts
+			sd.Recv = recvCounts
+			sd.Deliveries = delivs
+			obs.EmitStepSpans(hooks, sd)
 		}
 		// Fault check at the barrier, before anything from this superstep is
 		// persisted: a transient transport fault rolls the run back to the
@@ -586,6 +664,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				st, lerr := e.cfg.Recover()
 				if lerr != nil {
 					if hooks != nil {
+						hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 						hooks.OnConverged(e.step, obs.ReasonFault)
 					}
 					return e.trace, fmt.Errorf("bsp: recovery: load checkpoint: %w", lerr)
@@ -596,6 +675,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				}
 				if rerr := e.Restore(st); rerr != nil {
 					if hooks != nil {
+						hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 						hooks.OnConverged(e.step, obs.ReasonFault)
 					}
 					return e.trace, fmt.Errorf("bsp: recovery: %w", rerr)
@@ -613,6 +693,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				continue
 			}
 			if hooks != nil {
+				hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 				hooks.OnConverged(e.step, obs.ReasonFault)
 			}
 			return e.trace, fmt.Errorf("bsp: transport: %w", err)
@@ -620,6 +701,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 
 		if len(violations) > 0 {
 			if hooks != nil {
+				hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
 			}
 			return e.trace, fmt.Errorf("bsp: %w", &obs.AuditError{Violations: violations})
@@ -629,6 +711,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
 				if hooks != nil {
+					hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 					hooks.OnConverged(e.step, obs.ReasonFault)
 				}
 				return e.trace, fmt.Errorf("bsp: checkpoint at step %d: %w", e.step, err)
@@ -652,6 +735,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		e.step++
 	}
 	if hooks != nil {
+		hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 		hooks.OnConverged(e.step, stopReason)
 	}
 	if err := e.tr.Err(); err != nil {

@@ -171,6 +171,10 @@ type Engine[V, M any] struct {
 	model   metrics.CostModel
 	ingress IngressStats
 	step    int
+
+	// runSeq numbers Run calls on this engine (1-based); it becomes the
+	// span stream's Run id, so restored engines keep distinct run spans.
+	runSeq int64
 }
 
 // New partitions the graph, creates the replicas that form the distributed

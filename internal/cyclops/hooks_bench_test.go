@@ -14,6 +14,7 @@ package cyclops_test
 // stats/end, one OnConverged.
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/partition"
 	"cyclops/internal/transport"
 )
@@ -115,12 +117,17 @@ func BenchmarkAuditOn(b *testing.B) {
 	}
 }
 
-// countingHooks records how often each hook fires.
+// countingHooks records how often each hook fires, and tracks span pairing:
+// every span announced open must be closed by the time the run returns.
 type countingHooks struct {
 	runStarts, stepStarts, phases, workerStats, stepEnds, converged atomic.Int64
 	commSteps, commMessages, violations                             atomic.Int64
+	spanStarts, spanEnds                                            atomic.Int64
 	lastReason                                                      string
 	lastStats                                                       metrics.StepStats
+
+	spanMu    sync.Mutex
+	openSpans map[int64]bool
 }
 
 func (c *countingHooks) OnRunStart(obs.RunInfo) { c.runStarts.Add(1) }
@@ -135,6 +142,21 @@ func (c *countingHooks) OnCommMatrix(_ int, delta transport.MatrixSnapshot) {
 }
 func (c *countingHooks) OnViolation(obs.Violation)    { c.violations.Add(1) }
 func (c *countingHooks) OnRecovery(obs.RecoveryEvent) {}
+func (c *countingHooks) OnSpanStart(s span.Span) {
+	c.spanStarts.Add(1)
+	c.spanMu.Lock()
+	if c.openSpans == nil {
+		c.openSpans = make(map[int64]bool)
+	}
+	c.openSpans[s.ID] = true
+	c.spanMu.Unlock()
+}
+func (c *countingHooks) OnSpanEnd(s span.Span) {
+	c.spanEnds.Add(1)
+	c.spanMu.Lock()
+	delete(c.openSpans, s.ID)
+	c.spanMu.Unlock()
+}
 func (c *countingHooks) OnSuperstepEnd(_ int, s metrics.StepStats) {
 	c.stepEnds.Add(1)
 	c.lastStats = s
@@ -181,5 +203,72 @@ func TestHookSequenceOnRealRun(t *testing.T) {
 	}
 	if c.lastStats.Active < 0 {
 		t.Fatalf("bogus final step stats: %+v", c.lastStats)
+	}
+	// Span stream: one run span plus one per superstep announced open, and
+	// every open span closed by run end (the hookbalance contract).
+	if c.spanStarts.Load() != steps+1 {
+		t.Fatalf("span starts: %d, want %d (run + one per superstep)", c.spanStarts.Load(), steps+1)
+	}
+	// Per step and worker: Parse, Compute, Serialize, Send, BarrierWait (5),
+	// plus the superstep span; Deliver spans and the run span come on top.
+	if min := steps*(4*5+1) + 1; c.spanEnds.Load() < min {
+		t.Fatalf("span ends: %d, want at least %d", c.spanEnds.Load(), min)
+	}
+	c.spanMu.Lock()
+	open := len(c.openSpans)
+	c.spanMu.Unlock()
+	if open != 0 {
+		t.Fatalf("%d spans still open after the run returned", open)
+	}
+}
+
+// BenchmarkSpanOverhead prices the causal span stream on the gate experiment
+// shape. The "nil" case is the default path (hook sites reduce to nil checks
+// and must stay allocation-free on the span account — there is no span code
+// on that path at all); "tracker" takes the full emission through a
+// SpanTracker, which the CI perf gate bounds at <2% over nil.
+func BenchmarkSpanOverhead(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("nil", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runPR(b, g, nil)
+		}
+	})
+	b.Run("tracker", func(b *testing.B) {
+		b.ReportAllocs()
+		tracker := obs.NewSpanTracker()
+		for i := 0; i < b.N; i++ {
+			runPR(b, g, tracker)
+		}
+	})
+}
+
+// TestSpanEmissionZeroAlloc pins the other half of the overhead contract:
+// assembling and emitting a superstep's spans allocates nothing — every span
+// is a value passed through the Hooks interface, so the only cost with hooks
+// enabled is the per-superstep bookkeeping slices the engines allocate.
+func TestSpanEmissionZeroAlloc(t *testing.T) {
+	const workers = 4
+	d := obs.StepSpanData{
+		Run: 1, Step: 3, Wall: 4 * time.Millisecond,
+		Parse:       make([]time.Duration, workers),
+		Compute:     make([]time.Duration, workers),
+		Send:        make([]time.Duration, workers),
+		SerializeNs: make([]int64, workers),
+		Units:       make([]int64, workers),
+		Sent:        make([]int64, workers),
+		Recv:        make([]int64, workers),
+		Deliveries:  make([][]span.Delivery, workers),
+	}
+	for w := 0; w < workers; w++ {
+		d.Deliveries[w] = []span.Delivery{{From: (w + 1) % workers,
+			Ctx: span.Context{Run: 1, Step: 3, Worker: int32((w + 1) % workers)}, Msgs: 7}}
+	}
+	h := obs.Hooks(obs.Nop{})
+	if allocs := testing.AllocsPerRun(100, func() {
+		obs.EmitStepSpans(h, d)
+	}); allocs != 0 {
+		t.Fatalf("EmitStepSpans allocates %.1f objects per superstep; want 0", allocs)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"cyclops/internal/aggregate"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/transport"
 )
 
@@ -33,7 +34,13 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	receivers := e.cfg.Cluster.Normalize().Receivers
 
 	hooks := e.cfg.Hooks
+	// runStart anchors span offsets; runWall accumulates the accounted run
+	// duration (sum of superstep walls), so the closing run span reconciles
+	// with timings.csv totals by construction.
+	runStart := time.Now()
+	var runWall time.Duration
 	if hooks != nil {
+		e.runSeq++
 		hooks.OnRunStart(obs.RunInfo{
 			Engine:         e.trace.Engine,
 			Workers:        workers,
@@ -42,6 +49,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			Replicas:       e.ingress.Replicas,
 			WorkerReplicas: e.workerReplicas(),
 		})
+		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}
 	stopReason := obs.ReasonMaxSupersteps
 
@@ -71,12 +79,35 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			e.inj.BeginStep(e.step)
 		}
 		stats := metrics.StepStats{Step: e.step}
+		// Span bookkeeping (nil when hooks are off): per-worker phase
+		// durations, drained batch provenance, wire-serialisation deltas.
+		sd := obs.StepSpanData{Run: e.runSeq, Step: e.step}
+		var parseDur, computeDur, sendDur []time.Duration
+		var serNs0, serNs []int64
+		var delivs [][]span.Delivery
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
+			sd.StepStart = time.Since(runStart)
+			hooks.OnSpanStart(obs.StepSpan(e.runSeq, e.step, sd.StepStart))
+			parseDur = make([]time.Duration, workers)
+			computeDur = make([]time.Duration, workers)
+			sendDur = make([]time.Duration, workers)
+			serNs0 = make([]int64, workers)
+			serNs = make([]int64, workers)
+			delivs = make([][]span.Delivery, workers)
+			// Tag this superstep's sync messages with its causal context;
+			// the RECV drain links Deliver spans back to the sender's Send
+			// span (same superstep — Cyclops drains within the step).
+			for w := 0; w < workers; w++ {
+				e.tr.Tag(w, span.Context{Run: e.runSeq, Step: int32(e.step), Worker: int32(w)})
+			}
 		}
 
 		// CMP: active masters compute over the immutable view, striped
 		// across T threads per worker.
+		if hooks != nil {
+			sd.ComputeStart = time.Since(runStart)
+		}
 		start := time.Now()
 		var active, changedTotal atomic.Int64
 		computeUnits := make([]int64, workers)
@@ -87,6 +118,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				ct := time.Now()
 				ws := e.ws[w]
 				partials[w] = make([]aggregate.Values, threads)
 				unitCh := make([]int64, threads)
@@ -131,6 +163,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				computeUnits[w] = units
 				activeCounts[w] = computed
 				active.Add(computed)
+				if computeDur != nil {
+					computeDur[w] = time.Since(ct)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -143,6 +178,12 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// activation, and send one sync message per replica of each
 		// changed/activating master (§3.5). Private per-destination
 		// out-queues avoid any shared-lock contention.
+		if hooks != nil {
+			sd.SendStart = time.Since(runStart)
+			for w := 0; w < workers; w++ {
+				serNs0[w] = e.tr.SerializeNanos(w)
+			}
+		}
 		start = time.Now()
 		sendCounts := make([]int64, workers)
 		residuals := make([][]float64, workers)
@@ -151,6 +192,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				st := time.Now()
 				ws := e.ws[w]
 				out := make([][]syncMsg[M], workers)
 				var sent, changed int64
@@ -198,9 +240,17 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				e.tr.FinishRound(w)
 				sendCounts[w] = sent
 				changedTotal.Add(changed)
+				if sendDur != nil {
+					sendDur[w] = time.Since(st)
+				}
 			}(w)
 		}
 		wg.Wait()
+		if hooks != nil {
+			for w := 0; w < workers; w++ {
+				serNs[w] = e.tr.SerializeNanos(w) - serNs0[w]
+			}
+		}
 		stats.Durations[metrics.Send] = time.Since(start)
 		if hooks != nil {
 			hooks.OnPhase(e.step, metrics.Send, stats.Durations[metrics.Send])
@@ -209,6 +259,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// RECV: replica updates, parallel across R receivers per worker.
 		// Each replica has exactly one writer per superstep, so updates are
 		// lock-free and there is no parse phase (§4.1).
+		if hooks != nil {
+			sd.ParseStart = time.Since(runStart)
+		}
 		start = time.Now()
 		recvCounts := make([]int64, workers)
 		recvBatches := make([]int64, workers)
@@ -220,6 +273,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				pt := time.Now()
 				ws := e.ws[w]
 				batches := e.tr.Drain(w)
 				var recv int64
@@ -249,6 +303,10 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				}
 				rwg.Wait()
 				recvCounts[w] = recv
+				if parseDur != nil {
+					parseDur[w] = time.Since(pt)
+					delivs[w] = e.tr.LastDeliveries(w)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -348,6 +406,21 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				hooks.OnViolation(v)
 			}
 			hooks.OnSuperstepEnd(e.step, stats)
+			// Wall is the sum of the four phase durations — exactly what
+			// timings.csv records for the step — so critpath.csv columns
+			// reconcile with it by construction.
+			sd.Wall = stats.Durations[metrics.Parse] + stats.Durations[metrics.Compute] +
+				stats.Durations[metrics.Send] + stats.Durations[metrics.Sync]
+			runWall += sd.Wall
+			sd.Parse = parseDur
+			sd.Compute = computeDur
+			sd.Send = sendDur
+			sd.SerializeNs = serNs
+			sd.Units = computeUnits
+			sd.Sent = sendCounts
+			sd.Recv = recvCounts
+			sd.Deliveries = delivs
+			obs.EmitStepSpans(hooks, sd)
 		}
 		// Fault check at the barrier, before anything from this superstep is
 		// persisted: a transient transport fault rolls the run back to the
@@ -357,6 +430,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				st, lerr := e.cfg.Recover()
 				if lerr != nil {
 					if hooks != nil {
+						hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 						hooks.OnConverged(e.step, obs.ReasonFault)
 					}
 					return e.trace, fmt.Errorf("cyclops: recovery: load checkpoint: %w", lerr)
@@ -367,6 +441,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				}
 				if rerr := e.Restore(st); rerr != nil {
 					if hooks != nil {
+						hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 						hooks.OnConverged(e.step, obs.ReasonFault)
 					}
 					return e.trace, fmt.Errorf("cyclops: recovery: %w", rerr)
@@ -384,6 +459,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				continue
 			}
 			if hooks != nil {
+				hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 				hooks.OnConverged(e.step, obs.ReasonFault)
 			}
 			return e.trace, fmt.Errorf("cyclops: transport: %w", err)
@@ -391,6 +467,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 
 		if len(violations) > 0 {
 			if hooks != nil {
+				hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
 			}
 			return e.trace, fmt.Errorf("cyclops: %w", &obs.AuditError{Violations: violations})
@@ -400,6 +477,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
 				if hooks != nil {
+					hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 					hooks.OnConverged(e.step, obs.ReasonFault)
 				}
 				return e.trace, fmt.Errorf("cyclops: checkpoint at step %d: %w", e.step, err)
@@ -422,6 +500,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		e.step++
 	}
 	if hooks != nil {
+		hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 		hooks.OnConverged(e.step, stopReason)
 	}
 	if err := e.tr.Err(); err != nil {

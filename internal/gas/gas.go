@@ -22,6 +22,7 @@ import (
 	"cyclops/internal/graph"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/transport"
 )
 
@@ -239,6 +240,10 @@ type Engine[V, G any] struct {
 	mirrors     int64   // total mirror count (replication metric)
 	mirrorsPerW []int64 // mirrors hosted per worker (skew reporting)
 	step        int
+
+	// runSeq numbers Run calls on this engine (1-based); it becomes the
+	// span stream's Run id, so restored engines keep distinct run spans.
+	runSeq int64
 }
 
 // New builds the engine: cuts edges across workers, creates masters and
@@ -409,7 +414,13 @@ func (e *Engine[V, G]) Values() []V {
 func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 	k := e.cfg.Cluster.Workers()
 	hooks := e.cfg.Hooks
+	// runStart anchors span offsets; runWall accumulates the accounted run
+	// duration (sum of superstep walls), so the closing run span reconciles
+	// with timings.csv totals by construction.
+	runStart := time.Now()
+	var runWall time.Duration
 	if hooks != nil {
+		e.runSeq++
 		hooks.OnRunStart(obs.RunInfo{
 			Engine:         e.trace.Engine,
 			Workers:        k,
@@ -418,6 +429,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			Replicas:       e.mirrors,
 			WorkerReplicas: append([]int64(nil), e.mirrorsPerW...),
 		})
+		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}
 	stopReason := obs.ReasonMaxSupersteps
 
@@ -444,12 +456,24 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		// Per-worker counters for OnWorkerStats; allocated only when
 		// observation is on.
 		var sentPerW, unitsPerW, recvPerW, batchPerW, activePerW []int64
+		// Span bookkeeping (nil when hooks are off): all five GAS rounds of
+		// a superstep fold into one Compute span per worker, with the send
+		// share split out from the per-round busy time.
+		sd := obs.StepSpanData{Run: e.runSeq, Step: e.step}
+		var busyPerW, sendBusy []time.Duration
+		var serNs0, serNs []int64
+		var delivs [][]span.Delivery
 		if hooks != nil {
 			sentPerW = make([]int64, k)
 			unitsPerW = make([]int64, k)
 			recvPerW = make([]int64, k)
 			batchPerW = make([]int64, k)
 			activePerW = make([]int64, k)
+			busyPerW = make([]time.Duration, k)
+			sendBusy = make([]time.Duration, k)
+			serNs0 = make([]int64, k)
+			serNs = make([]int64, k)
+			delivs = make([][]span.Delivery, k)
 		}
 		for w, ws := range e.ws {
 			for s := range ws.verts {
@@ -468,12 +492,23 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		stats.Active = active
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
+			sd.StepStart = time.Since(runStart)
+			hooks.OnSpanStart(obs.StepSpan(e.runSeq, e.step, sd.StepStart))
+			sd.ComputeStart = time.Since(runStart)
+			sd.SendStart = sd.ComputeStart // the five rounds interleave send and compute
+			// Tag this superstep's messages with its causal context; each
+			// round's drain links Deliver spans back to the sender's Send
+			// span (all five rounds drain within the step).
+			for w := 0; w < k; w++ {
+				e.tr.Tag(w, span.Context{Run: e.runSeq, Step: int32(e.step), Worker: int32(w)})
+				serNs0[w] = e.tr.SerializeNanos(w)
+			}
 		}
 
 		cmpStart := time.Now()
 
 		// Round 1 — gather requests: masters ask mirrors for partials.
-		e.parallel(k, func(w int) {
+		e.parallelTimed(k, busyPerW, func(w int) {
 			out := make([][]gasMsg[V, G], k)
 			ws := e.ws[w]
 			for s := range ws.verts {
@@ -485,7 +520,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindGatherReq, Slot: m.slot})
 				}
 			}
-			sent := e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
 			}
@@ -494,9 +529,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		// Round 2 — mirrors compute partial gathers and reply; masters add
 		// their own local partials. Draining is a separate barrier so a fast
 		// worker's replies cannot race into a slow worker's request drain.
-		inbound := e.drainAll(k, recvPerW, batchPerW)
+		inbound := e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
 		acc := make([]map[int32]gasMsg[V, G], k) // masterSlot → partial at master's worker
-		e.parallel(k, func(w int) {
+		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
 			out := make([][]gasMsg[V, G], k)
 			units := int64(0)
@@ -537,7 +572,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				local[int32(s)] = gasMsg[V, G]{Acc: sum, Has: has}
 			}
 			acc[w] = local
-			sent := e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
 				unitsPerW[w] += units
@@ -547,13 +582,13 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 
 		// Round 3 — masters fold partials, apply, and push new values to
 		// mirrors.
-		inbound = e.drainAll(k, recvPerW, batchPerW)
+		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
 		activateNext := make([]map[int32]bool, k) // masterSlot → scatter? at each worker
 		var residPerW [][]float64
 		if e.cfg.Residual != nil {
 			residPerW = make([][]float64, k)
 		}
-		e.parallel(k, func(w int) {
+		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
 			for _, batch := range inbound[w] {
 				for _, m := range batch {
@@ -588,15 +623,15 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 			}
 			activateNext[w] = scatter
-			sent := e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
 			}
 		})
 
 		// Round 4 — mirrors refresh caches; masters send scatter requests.
-		inbound = e.drainAll(k, recvPerW, batchPerW)
-		e.parallel(k, func(w int) {
+		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
+		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
 			for _, batch := range inbound[w] {
 				for _, m := range batch {
@@ -615,7 +650,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindScatterReq, Slot: m.slot})
 				}
 			}
-			sent := e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
 			}
@@ -630,8 +665,8 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		}
 		// nextActive[w] is only written by worker w's goroutine in each of
 		// the two sequential rounds below, so no locking is needed.
-		inbound = e.drainAll(k, recvPerW, batchPerW)
-		e.parallel(k, func(w int) {
+		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
+		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
 			out := make([][]gasMsg[V, G], k)
 			// PowerGraph batches activation returns: at most one activate
@@ -662,15 +697,15 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					activateLocalOuts(s)
 				}
 			}
-			sent := e.flush(w, out, &msgs)
+			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
 			}
 		})
 
 		// Final drain: deliver activation returns to masters.
-		inbound = e.drainAll(k, recvPerW, batchPerW)
-		e.parallel(k, func(w int) {
+		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
+		e.parallelTimed(k, busyPerW, func(w int) {
 			for _, batch := range inbound[w] {
 				for _, m := range batch {
 					if m.Kind != kindActivate {
@@ -740,6 +775,29 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				hooks.OnViolation(v)
 			}
 			hooks.OnSuperstepEnd(e.step, stats)
+			// Wall is the sum of the phase durations — exactly what
+			// timings.csv records for the step — so critpath.csv columns
+			// reconcile with it by construction. Compute is the per-worker
+			// busy time across all five rounds minus its send share.
+			sd.Wall = stats.Durations[metrics.Parse] + stats.Durations[metrics.Compute] +
+				stats.Durations[metrics.Send] + stats.Durations[metrics.Sync]
+			runWall += sd.Wall
+			computeDur := make([]time.Duration, k)
+			for w := 0; w < k; w++ {
+				computeDur[w] = busyPerW[w] - sendBusy[w]
+				if computeDur[w] < 0 {
+					computeDur[w] = 0
+				}
+				serNs[w] = e.tr.SerializeNanos(w) - serNs0[w]
+			}
+			sd.Compute = computeDur
+			sd.Send = sendBusy
+			sd.SerializeNs = serNs
+			sd.Units = unitsPerW
+			sd.Sent = sentPerW
+			sd.Recv = recvPerW
+			sd.Deliveries = delivs
+			obs.EmitStepSpans(hooks, sd)
 		}
 		// Fault check at the barrier, before anything from this superstep is
 		// persisted: a transient transport fault rolls the run back to the
@@ -750,6 +808,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				st, lerr := e.cfg.Recover()
 				if lerr != nil {
 					if hooks != nil {
+						hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 						hooks.OnConverged(e.step, obs.ReasonFault)
 					}
 					return e.trace, fmt.Errorf("gas: recovery: load checkpoint: %w", lerr)
@@ -760,6 +819,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 				if rerr := e.Restore(st); rerr != nil {
 					if hooks != nil {
+						hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 						hooks.OnConverged(e.step, obs.ReasonFault)
 					}
 					return e.trace, fmt.Errorf("gas: recovery: %w", rerr)
@@ -777,12 +837,14 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				continue
 			}
 			if hooks != nil {
+				hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 				hooks.OnConverged(e.step, obs.ReasonFault)
 			}
 			return e.trace, fmt.Errorf("gas: transport: %w", err)
 		}
 		if len(violations) > 0 {
 			if hooks != nil {
+				hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 				hooks.OnConverged(e.step, obs.ReasonAuditFailed)
 			}
 			return e.trace, fmt.Errorf("gas: %w", &obs.AuditError{Violations: violations})
@@ -791,6 +853,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			(e.step+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.cfg.Checkpoints(e.snapshot()); err != nil {
 				if hooks != nil {
+					hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 					hooks.OnConverged(e.step, obs.ReasonFault)
 				}
 				return e.trace, fmt.Errorf("gas: checkpoint at step %d: %w", e.step, err)
@@ -802,6 +865,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		e.step++
 	}
 	if hooks != nil {
+		hooks.OnSpanEnd(obs.RunSpan(e.runSeq, runWall))
 		hooks.OnConverged(e.step, stopReason)
 	}
 	if err := e.tr.Err(); err != nil {
@@ -814,10 +878,16 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 // next round can never race into the current round's processing. recvPerW
 // and batchPerW, when non-nil, accumulate per-worker receive counts for the
 // observation hooks (each slot is written only by its own worker).
-func (e *Engine[V, G]) drainAll(k int, recvPerW, batchPerW []int64) [][][]gasMsg[V, G] {
+func (e *Engine[V, G]) drainAll(k int, recvPerW, batchPerW []int64,
+	busy []time.Duration, delivs [][]span.Delivery) [][][]gasMsg[V, G] {
 	out := make([][][]gasMsg[V, G], k)
-	e.parallel(k, func(w int) {
+	e.parallelTimed(k, busy, func(w int) {
 		out[w] = e.tr.Drain(w)
+		if delivs != nil {
+			// Merge this round's batch provenance; five rounds drain per
+			// superstep and LastDeliveries only covers the latest.
+			delivs[w] = span.MergeDeliveries(delivs[w], e.tr.LastDeliveries(w))
+		}
 		if recvPerW != nil {
 			for _, b := range out[w] {
 				recvPerW[w] += int64(len(b))
@@ -830,12 +900,22 @@ func (e *Engine[V, G]) drainAll(k int, recvPerW, batchPerW []int64) [][][]gasMsg
 
 // parallel runs fn for every worker concurrently and waits.
 func (e *Engine[V, G]) parallel(k int, fn func(w int)) {
+	e.parallelTimed(k, nil, fn)
+}
+
+// parallelTimed is parallel with per-worker busy-time accounting for the
+// span stream; busy may be nil (hooks off).
+func (e *Engine[V, G]) parallelTimed(k int, busy []time.Duration, fn func(w int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < k; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			t0 := time.Now()
 			fn(w)
+			if busy != nil {
+				busy[w] += time.Since(t0)
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -844,7 +924,9 @@ func (e *Engine[V, G]) parallel(k int, fn func(w int)) {
 // flush sends per-destination batches, counts messages, and closes the
 // worker's communication round so the next drain can proceed. It returns
 // the number of messages sent.
-func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64) int64 {
+func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64,
+	sendBusy []time.Duration) int64 {
+	t0 := time.Now()
 	var sent int64
 	for to, batch := range out {
 		if len(batch) == 0 {
@@ -855,6 +937,9 @@ func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64)
 	}
 	msgs.Add(sent)
 	e.tr.FinishRound(from)
+	if sendBusy != nil {
+		sendBusy[from] += time.Since(t0)
+	}
 	return sent
 }
 

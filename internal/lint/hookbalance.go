@@ -16,7 +16,9 @@ import (
 // flight recorder then diffs clean against a baseline that never saw the
 // failure.
 //
-// Pairs: OnRunStart→OnConverged, OnSuperstepStart→OnSuperstepEnd.
+// Pairs: OnRunStart→OnConverged, OnSuperstepStart→OnSuperstepEnd,
+// OnSpanStart→OnSpanEnd (causal spans announced open must be closed on every
+// exit, or waterfalls and the critical-path analyzer see dangling spans).
 //
 // Coverage is judged structurally, per return statement: a return after a
 // begin call is covered when an end call appears in a preceding sibling
@@ -27,8 +29,8 @@ import (
 // end call covers everything.
 var HookBalance = &analysis.Analyzer{
 	Name: "hookbalance",
-	Doc: "flag return paths that fire an obs.Hooks begin callback (OnRunStart, OnSuperstepStart) " +
-		"without the matching end callback (OnConverged, OnSuperstepEnd), which silently truncates traces",
+	Doc: "flag return paths that fire an obs.Hooks begin callback (OnRunStart, OnSuperstepStart, OnSpanStart) " +
+		"without the matching end callback (OnConverged, OnSuperstepEnd, OnSpanEnd), which silently truncates traces",
 	Run: runHookBalance,
 }
 
@@ -36,6 +38,7 @@ var HookBalance = &analysis.Analyzer{
 var hookPairs = map[string]string{
 	"OnRunStart":       "OnConverged",
 	"OnSuperstepStart": "OnSuperstepEnd",
+	"OnSpanStart":      "OnSpanEnd",
 }
 
 type hookCall struct {

@@ -14,11 +14,20 @@ type WorkerStats struct{ Worker int }
 
 type RecoveryEvent struct{ Step int }
 
+// Span stands in for the real span value (obs/span.Span): the analyzer keys
+// on the hook method names, not the payload type.
+type Span struct {
+	ID   int64
+	Kind int
+}
+
 type Hooks interface {
 	OnRunStart(info RunInfo)
 	OnSuperstepStart(step int)
 	OnWorkerStats(ws WorkerStats)
 	OnViolation(v Violation)
+	OnSpanStart(s Span)
+	OnSpanEnd(s Span)
 	OnSuperstepEnd(step int, messages int64)
 	OnRecovery(e RecoveryEvent)
 	OnConverged(step int, reason string)

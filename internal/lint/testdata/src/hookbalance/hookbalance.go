@@ -106,6 +106,50 @@ func annotated(h obs.Hooks) error {
 	return nil
 }
 
+// spanEarlyReturnLosesEnd: a span announced open must be closed on every
+// exit, or waterfalls and the critical-path analyzer see a dangling span.
+func spanEarlyReturnLosesEnd(h obs.Hooks) error {
+	h.OnSpanStart(obs.Span{ID: 1})
+	if cond() {
+		return errors.New("transport died") // want `return path after OnSpanStart without OnSpanEnd`
+	}
+	h.OnSpanEnd(obs.Span{ID: 1})
+	return nil
+}
+
+// spanNeverEnds never closes the announced span at all.
+func spanNeverEnds(h obs.Hooks) {
+	h.OnSpanStart(obs.Span{ID: 2}) // want `OnSpanStart is called but OnSpanEnd never`
+}
+
+// spanGuardedPairing is the engines' canonical shape: the run span opens and
+// closes under the standard nil guard on every exit.
+func spanGuardedPairing(h obs.Hooks) error {
+	if h != nil {
+		h.OnSpanStart(obs.Span{ID: 3})
+	}
+	if cond() {
+		if h != nil {
+			h.OnSpanEnd(obs.Span{ID: 3})
+		}
+		return errors.New("fault")
+	}
+	if h != nil {
+		h.OnSpanEnd(obs.Span{ID: 3})
+	}
+	return nil
+}
+
+// spanDeferredEndCoversAll: a deferred close covers every return path.
+func spanDeferredEndCoversAll(h obs.Hooks) error {
+	h.OnSpanStart(obs.Span{ID: 4})
+	defer h.OnSpanEnd(obs.Span{ID: 4})
+	if cond() {
+		return errors.New("fault")
+	}
+	return nil
+}
+
 // implementations of the Hooks interface (On* methods) are the callee side
 // and exempt: a fan-out forwarder legitimately calls only its own hook.
 type forwarder struct{ inner []obs.Hooks }

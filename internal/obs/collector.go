@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/transport"
 )
 
@@ -43,6 +44,9 @@ const (
 	MetricWorkerIngress   = "cyclops_worker_ingress_messages"
 	MetricSkew            = "cyclops_skew_imbalance"
 	MetricAuditViolations = "cyclops_audit_violations_total"
+
+	// Causal span stream.
+	MetricSpans = "cyclops_spans_total"
 )
 
 // Collector is a Hooks implementation that folds engine events into a
@@ -139,6 +143,15 @@ func (c *Collector) OnRunStart(info RunInfo) {
 // OnSuperstepStart implements Hooks.
 func (c *Collector) OnSuperstepStart(step int) {
 	c.stepGauge.Set(float64(step))
+}
+
+// OnSpanStart implements Hooks (only completed spans are counted).
+func (c *Collector) OnSpanStart(span.Span) {}
+
+// OnSpanEnd implements Hooks: counts completed spans by kind.
+func (c *Collector) OnSpanEnd(s span.Span) {
+	c.reg.LabeledCounter(MetricSpans,
+		"Completed causal spans, by kind.", "kind", s.Kind.String()).Inc()
 }
 
 // OnPhase implements Hooks.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/transport"
 )
 
@@ -96,6 +97,16 @@ type Hooks interface {
 	OnRunStart(info RunInfo)
 	// OnSuperstepStart fires at the top of each superstep.
 	OnSuperstepStart(step int)
+	// OnSpanStart fires when a causal span opens: the run span after
+	// OnRunStart and each superstep span after OnSuperstepStart. Only spans
+	// whose end is not yet known are announced — completed per-worker phase
+	// spans arrive through OnSpanEnd alone, emitted post-barrier from the
+	// coordinator in deterministic worker order.
+	OnSpanStart(s span.Span)
+	// OnSpanEnd fires when a span completes, with its final duration and
+	// weights. Every OnSpanStart is matched by an OnSpanEnd on all return
+	// paths (cyclops-lint's hookbalance analyzer enforces the pairing).
+	OnSpanEnd(s span.Span)
 	// OnPhase fires after each timed phase of a superstep.
 	OnPhase(step int, phase metrics.Phase, d time.Duration)
 	// OnWorkerStats fires once per worker after the superstep's barriers.
@@ -127,6 +138,12 @@ func (Nop) OnRunStart(RunInfo) {}
 
 // OnSuperstepStart implements Hooks.
 func (Nop) OnSuperstepStart(int) {}
+
+// OnSpanStart implements Hooks.
+func (Nop) OnSpanStart(span.Span) {}
+
+// OnSpanEnd implements Hooks.
+func (Nop) OnSpanEnd(span.Span) {}
 
 // OnPhase implements Hooks.
 func (Nop) OnPhase(int, metrics.Phase, time.Duration) {}
@@ -180,6 +197,18 @@ func (m multi) OnRunStart(info RunInfo) {
 func (m multi) OnSuperstepStart(step int) {
 	for _, h := range m {
 		h.OnSuperstepStart(step)
+	}
+}
+
+func (m multi) OnSpanStart(s span.Span) {
+	for _, h := range m {
+		h.OnSpanStart(s)
+	}
+}
+
+func (m multi) OnSpanEnd(s span.Span) {
+	for _, h := range m {
+		h.OnSpanEnd(s)
 	}
 }
 

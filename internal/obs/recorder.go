@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/transport"
 )
 
@@ -60,6 +61,12 @@ type Manifest struct {
 	WallNanos int64  `json:"wall_ns"`
 	GoVersion string `json:"go_version"`
 	GitRev    string `json:"git_rev,omitempty"`
+	// ProfileDir and Profiles index the continuous-profiling harvest that
+	// accompanied the run: the capture directory and the comma-separated
+	// capture files retained when the run ended. Both empty (and omitted,
+	// keeping earlier manifests byte-stable) when profiling was off.
+	ProfileDir string `json:"profile_dir,omitempty"`
+	Profiles   string `json:"profiles,omitempty"`
 }
 
 // RunMeta is the run context only the caller knows (the engines report graph
@@ -109,6 +116,9 @@ type Recorder struct {
 	cur       *recording
 	manifests []Manifest
 	err       error
+
+	profileDir string
+	profiles   func() []string
 }
 
 // recording is one run in flight.
@@ -122,6 +132,7 @@ type recording struct {
 	skew     []SkewStep
 	msgs     []int64 // per-step comm-matrix message deltas
 	bytes    []int64
+	spans    []span.Span // completed causal spans, in emission order
 }
 
 // NewRecorder creates the record root (if needed), verifies it is writable,
@@ -173,6 +184,16 @@ func (r *Recorder) SetExperiment(id string) {
 func (r *Recorder) SetAlgorithm(algo string) {
 	r.mu.Lock()
 	r.meta.Algorithm = algo
+	r.mu.Unlock()
+}
+
+// SetProfileSource connects a profiling harvester (its capture directory and
+// a retained-files listing, typically Harvester.Dir and Harvester.Files) so
+// finished manifests index the captures that accompanied the run.
+func (r *Recorder) SetProfileSource(dir string, files func() []string) {
+	r.mu.Lock()
+	r.profileDir = dir
+	r.profiles = files
 	r.mu.Unlock()
 }
 
@@ -285,6 +306,17 @@ func (r *Recorder) OnSuperstepEnd(step int, stats metrics.StepStats) {
 	})
 }
 
+// OnSpanEnd implements Hooks: appends the completed span to the run's
+// stream. Emission order is deterministic (the engines emit post-barrier in
+// worker order), so spans.csv inherits the byte-identical guarantee.
+func (r *Recorder) OnSpanEnd(s span.Span) {
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.spans = append(r.cur.spans, s)
+	}
+	r.mu.Unlock()
+}
+
 // OnRecovery implements Hooks: counts the rollback in the manifest. The
 // replayed supersteps appear again in series.csv — the flight record shows
 // the replay, which is what makes a recovered run diffable against its
@@ -321,6 +353,10 @@ func (r *Recorder) OnConverged(step int, reason string) {
 		m.ModelNanos += s.ModelNanos
 	}
 	m.WallNanos = int64(time.Since(c.start))
+	if r.profiles != nil {
+		m.ProfileDir = r.profileDir
+		m.Profiles = strings.Join(r.profiles(), ",")
+	}
 	if err := r.write(c); err != nil && r.err == nil {
 		r.err = err
 		return
@@ -328,17 +364,15 @@ func (r *Recorder) OnConverged(step int, reason string) {
 	r.manifests = append(r.manifests, *m)
 }
 
-// write materialises one recording as a run directory.
+// write materialises one recording as a run directory. The data files are
+// written first and manifest.json last — atomically, via temp + fsync +
+// rename — because the /runs endpoint (and ReadManifests generally) treats
+// the manifest's presence as "this run is complete": a listing racing an
+// in-progress flush either sees the whole run or none of it, never a
+// half-written manifest or a manifest whose series is still missing.
 func (r *Recorder) write(c *recording) error {
 	dir := filepath.Join(r.root, c.manifest.Run)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
-	}
-	blob, err := json.MarshalIndent(c.manifest, "", "  ")
-	if err != nil {
-		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(blob, '\n'), 0o644); err != nil {
 		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "series.csv"), c.seriesCSV(), 0o644); err != nil {
@@ -347,7 +381,48 @@ func (r *Recorder) write(c *recording) error {
 	if err := os.WriteFile(filepath.Join(dir, "timings.csv"), c.timingsCSV(), 0o644); err != nil {
 		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
 	}
+	if err := os.WriteFile(filepath.Join(dir, "spans.csv"), span.EncodeCSV(c.spans), 0o644); err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
+	critpath := span.EncodeCritPathCSV(span.CriticalPath(c.spans))
+	if err := os.WriteFile(filepath.Join(dir, "critpath.csv"), critpath, 0o644); err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
+	blob, err := json.MarshalIndent(c.manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
+	if err := atomicWriteFile(filepath.Join(dir, "manifest.json"), append(blob, '\n')); err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
 	return nil
+}
+
+// atomicWriteFile writes path so readers only ever observe the old content
+// or the complete new content: the bytes land in a temp file in the same
+// directory, are fsynced, and the temp file is renamed over path.
+func atomicWriteFile(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

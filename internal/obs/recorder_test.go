@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"cyclops/internal/gen"
 	"cyclops/internal/graph"
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 )
 
 // recordOne runs one engine over g with a fresh Recorder in dir and returns
@@ -198,8 +200,115 @@ func TestRecorderDeterminism(t *testing.T) {
 			if ma != mb {
 				t.Errorf("manifests differ beyond wall time:\nA: %+v\nB: %+v", ma, mb)
 			}
+
+			// The span stream carries no durations, so spans.csv is
+			// byte-identical across same-seed runs — the structural guarantee
+			// the causal tracer stands on.
+			sa, err := os.ReadFile(filepath.Join(dirA, ma.Run, "spans.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := os.ReadFile(filepath.Join(dirB, mb.Run, "spans.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(strings.Split(strings.TrimSpace(string(sa)), "\n")) < 1+ma.Supersteps {
+				t.Errorf("spans.csv too small:\n%s", sa)
+			}
+			if !bytes.Equal(sa, sb) {
+				t.Errorf("spans.csv differs between same-seed runs:\nA:\n%s\nB:\n%s",
+					firstDiffLine(sa, sb), firstDiffLine(sb, sa))
+			}
+
+			// critpath.csv quarantines durations in its _ns columns; the
+			// structural columns (step, gating worker, weight) must agree.
+			pa := loadCritPath(t, filepath.Join(dirA, ma.Run))
+			pb := loadCritPath(t, filepath.Join(dirB, mb.Run))
+			if ga, gb := span.GatingSequence(pa), span.GatingSequence(pb); ga != gb {
+				t.Errorf("gating sequence differs between same-seed runs:\nA: %s\nB: %s", ga, gb)
+			}
+			if len(pa) != ma.Supersteps {
+				t.Errorf("critpath.csv has %d rows, want one per %d supersteps", len(pa), ma.Supersteps)
+			}
+			for i := range pa {
+				if pa[i].Weight != pb[i].Weight {
+					t.Errorf("step %d gating weight %d vs %d across same-seed runs",
+						pa[i].Step, pa[i].Weight, pb[i].Weight)
+				}
+			}
 		})
 	}
+}
+
+// TestCritPathReconcilesWithTimings pins the accounting identity the report
+// CLI checks: each critpath.csv row's four columns sum to the same superstep
+// wall timings.csv records as prs+cmp+snd+syn — the span stream and the phase
+// timers measure the same time, on every engine.
+func TestCritPathReconcilesWithTimings(t *testing.T) {
+	for _, engine := range []string{"hama", "cyclops", "powergraph"} {
+		t.Run(engine, func(t *testing.T) {
+			g, _, err := gen.Dataset("wiki", 0.02, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			m := recordOne(t, dir, engine, g)
+			paths := loadCritPath(t, filepath.Join(dir, m.Run))
+			walls := loadPhaseWalls(t, filepath.Join(dir, m.Run, "timings.csv"))
+			if len(paths) != len(walls) {
+				t.Fatalf("critpath has %d rows, timings %d", len(paths), len(walls))
+			}
+			for i, p := range paths {
+				if p.Wall() != walls[i] {
+					t.Errorf("step %d: critpath wall %dns != timings phase sum %dns",
+						p.Step, p.Wall(), walls[i])
+				}
+				if p.Wall() <= 0 {
+					t.Errorf("step %d: non-positive critpath wall %d", p.Step, p.Wall())
+				}
+			}
+		})
+	}
+}
+
+func loadCritPath(t *testing.T, runDir string) []span.StepPath {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(runDir, "critpath.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := span.ParseCritPathCSV(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// loadPhaseWalls reads timings.csv into per-step prs+cmp+snd+syn sums.
+func loadPhaseWalls(t *testing.T, path string) []int64 {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	var out []int64
+	for _, ln := range lines[1:] {
+		f := strings.Split(ln, ",")
+		if len(f) != 6 {
+			t.Fatalf("timings row %q", ln)
+		}
+		var sum int64
+		for _, col := range f[1:5] {
+			v, err := strconv.ParseInt(col, 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		out = append(out, sum)
+	}
+	return out
 }
 
 func firstDiffLine(a, b []byte) string {

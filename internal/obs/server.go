@@ -24,16 +24,18 @@ type Server struct {
 	srv  *http.Server
 }
 
-// NewMux builds the diagnostics routes. reg, ring and comm may each be nil
-// and runsDir empty; the corresponding endpoint then reports 404.
-func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string) *http.ServeMux {
+// NewMux builds the diagnostics routes. reg, ring, comm and spans may each
+// be nil and runsDir/profileDir empty; the corresponding endpoint then
+// reports 404.
+func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
+	spans *SpanTracker, profileDir string) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/runs\n/debug/pprof/\n")
+		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/spans\n/runs\n/profiles\n/debug/pprof/\n")
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -49,6 +51,18 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string) *http.
 	}
 	if comm != nil {
 		mux.Handle("/comm", comm)
+	}
+	if spans != nil {
+		// /spans is the live causal-span waterfall: JSON by default,
+		// ?format=text for the plain-text rendering, ?step=N to focus one
+		// superstep.
+		mux.Handle("/spans", spans)
+	}
+	if profileDir != "" {
+		// /profiles serves the continuous-profiling harvest: index.json and
+		// the rotated pprof captures.
+		mux.Handle("/profiles/", http.StripPrefix("/profiles/", http.FileServer(http.Dir(profileDir))))
+		mux.Handle("/profiles", http.RedirectHandler("/profiles/index.json", http.StatusTemporaryRedirect))
 	}
 	if runsDir != "" {
 		// /runs lists the recorded runs' manifests as JSON; /runs/<run>/<file>
@@ -91,7 +105,8 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string) *http.
 // ":0" for an ephemeral port) and returns immediately; requests are handled
 // on a background goroutine until Close or Shutdown. runsDir may be empty
 // (no /runs endpoint).
-func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir string) (*Server, error) {
+func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
+	spans *SpanTracker, profileDir string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -101,7 +116,7 @@ func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir st
 		ring: ring,
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           NewMux(reg, ring, comm, runsDir),
+			Handler:           NewMux(reg, ring, comm, runsDir, spans, profileDir),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

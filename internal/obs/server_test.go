@@ -10,10 +10,14 @@ package obs_test
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,6 +27,7 @@ import (
 	"cyclops/internal/gen"
 	"cyclops/internal/metrics"
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 )
 
 // gate blocks the engine's coordinator at the end of superstep `at` until the
@@ -64,7 +69,7 @@ func TestServerLiveDuringRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir)
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir, obs.NewSpanTracker(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,9 +254,114 @@ func get(t *testing.T, url, wantCT string) string {
 	return string(b)
 }
 
+// TestRunsListsOnlyCompleteRuns races /runs scrapes against an in-progress
+// Recorder flush. The recorder writes data files first and manifest.json last
+// (atomically), so any run a scrape lists must already have every artifact on
+// disk — a listing never observes a half-written run.
+func TestRunsListsOnlyCompleteRuns(t *testing.T) {
+	recDir := t.TempDir()
+	rec, err := obs.NewRecorder(recDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4),
+		obs.NewCommTracker(), recDir, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL() + "/runs")
+				if err != nil {
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					select {
+					case errs <- fmt.Sprintf("/runs status %d: %s", resp.StatusCode, body):
+					default:
+					}
+					continue
+				}
+				var ms []obs.Manifest
+				if err := json.Unmarshal(body, &ms); err != nil {
+					select {
+					case errs <- fmt.Sprintf("/runs returned unparseable JSON during flush: %v", err):
+					default:
+					}
+					continue
+				}
+				for _, m := range ms {
+					if m.Supersteps == 0 || m.StopReason == "" {
+						select {
+						case errs <- fmt.Sprintf("/runs served incomplete manifest %+v", m):
+						default:
+						}
+					}
+					for _, name := range []string{"series.csv", "timings.csv", "spans.csv", "critpath.csv"} {
+						if _, err := os.Stat(filepath.Join(recDir, m.Run, name)); err != nil {
+							select {
+							case errs <- fmt.Sprintf("%s listed before its %s existed: %v", m.Run, name, err):
+							default:
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Drive many small synthetic runs through the recorder as fast as it can
+	// flush them, maximising the window a racing scrape could hit.
+	const runs = 40
+	for r := 0; r < runs; r++ {
+		rec.OnRunStart(obs.RunInfo{Engine: "synthetic", Workers: 2, Vertices: 10, Edges: 20})
+		for s := 0; s < 3; s++ {
+			rec.OnSuperstepStart(s)
+			rec.OnSpanEnd(span.Span{ID: int64(s + 1), Kind: span.Compute, Step: s, Units: 5})
+			rec.OnSpanEnd(span.Span{ID: int64(s + 100), Kind: span.Superstep, Step: s, Dur: time.Millisecond})
+			rec.OnSuperstepEnd(s, metrics.StepStats{Step: s, Active: 1})
+		}
+		rec.OnConverged(2, "halt")
+	}
+	close(stop)
+	wg.Wait()
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Quiescent state: every run visible, every artifact in place.
+	var ms []obs.Manifest
+	if err := json.Unmarshal([]byte(get(t, srv.URL()+"/runs", "application/json")), &ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != runs {
+		t.Fatalf("/runs lists %d runs after flushes, want %d", len(ms), runs)
+	}
+}
+
 // TestServeEphemeralPort keeps ":0" usable for tests and CLIs.
 func TestServeEphemeralPort(t *testing.T) {
-	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "")
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "", nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,255 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StepPath is one superstep's critical-path attribution: the worker that
+// gated the barrier and where its time went. Gating is decided by the
+// deterministic per-worker weight (compute units + messages sent +
+// messages received, ties to the lowest worker id), NOT by measured wall
+// clock — so the gating worker, like the span structure, is byte-identical
+// across same-seed runs. The _ns fields are the gating worker's measured
+// durations and are quarantined like timings.csv.
+type StepPath struct {
+	Step   int
+	Gating int
+	// Weight is the gating worker's deterministic load score.
+	Weight int64
+	// ComputeNs is the gating worker's parse+compute time (the paper's
+	// "computation" side); SerializeNs and SendNs split its communication
+	// side; BarrierNs is the superstep wall minus the gating worker's busy
+	// time. The four columns sum to the superstep wall exactly — which is
+	// how `cyclops-report show --critpath` reconciles against timings.csv.
+	ComputeNs   int64
+	SerializeNs int64
+	SendNs      int64
+	BarrierNs   int64
+}
+
+// Wall is the superstep wall this path row accounts for.
+func (p StepPath) Wall() int64 { return p.ComputeNs + p.SerializeNs + p.SendNs + p.BarrierNs }
+
+// CriticalPath folds a span stream into per-superstep path rows, in stream
+// order (a recovered run's replayed supersteps appear again, mirroring
+// series.csv). Spans must arrive in the canonical emission order: a
+// superstep's worker spans first, then its Superstep span.
+func CriticalPath(spans []Span) []StepPath {
+	type acc struct {
+		weight                   []int64
+		compute, serialize, send []int64
+		seen                     int
+	}
+	var out []StepPath
+	cur := acc{}
+	grow := func(w int) {
+		for len(cur.weight) <= w {
+			cur.weight = append(cur.weight, 0)
+			cur.compute = append(cur.compute, 0)
+			cur.serialize = append(cur.serialize, 0)
+			cur.send = append(cur.send, 0)
+		}
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case Parse:
+			grow(s.Worker)
+			cur.weight[s.Worker] += s.Msgs
+			cur.compute[s.Worker] += s.Dur.Nanoseconds()
+		case Compute:
+			grow(s.Worker)
+			cur.weight[s.Worker] += s.Units
+			cur.compute[s.Worker] += s.Dur.Nanoseconds()
+		case Serialize:
+			grow(s.Worker)
+			cur.serialize[s.Worker] += s.Dur.Nanoseconds()
+		case Send:
+			grow(s.Worker)
+			cur.weight[s.Worker] += s.Msgs
+			cur.send[s.Worker] += s.Dur.Nanoseconds()
+		case Superstep:
+			gating, best := 0, int64(-1)
+			for w, wt := range cur.weight {
+				if wt > best {
+					gating, best = w, wt
+				}
+			}
+			p := StepPath{Step: s.Step, Gating: gating, Weight: best}
+			if best < 0 {
+				p.Weight = 0
+			}
+			if gating < len(cur.weight) {
+				p.ComputeNs = cur.compute[gating]
+				p.SerializeNs = cur.serialize[gating]
+				p.SendNs = cur.send[gating]
+			}
+			p.BarrierNs = s.Dur.Nanoseconds() - p.ComputeNs - p.SerializeNs - p.SendNs
+			out = append(out, p)
+			cur = acc{}
+		}
+	}
+	return out
+}
+
+// spansHeader is the column set of spans.csv: structure and deterministic
+// weights only — no durations, so the file is byte-identical across
+// same-seed runs.
+var spansHeader = []string{"id", "parent", "kind", "step", "worker", "from", "units", "msgs"}
+
+// EncodeCSV renders the deterministic spans.csv.
+func EncodeCSV(spans []Span) []byte {
+	var b strings.Builder
+	b.WriteString(strings.Join(spansHeader, ","))
+	b.WriteByte('\n')
+	for _, s := range spans {
+		cols := []string{
+			strconv.FormatInt(s.ID, 10),
+			strconv.FormatInt(s.Parent, 10),
+			s.Kind.String(),
+			strconv.Itoa(s.Step),
+			strconv.Itoa(s.Worker),
+			strconv.Itoa(s.From),
+			strconv.FormatInt(s.Units, 10),
+			strconv.FormatInt(s.Msgs, 10),
+		}
+		b.WriteString(strings.Join(cols, ","))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// critPathHeader is the column set of critpath.csv. The first three columns
+// are deterministic (structure); the *_ns columns are measured wall clock,
+// quarantined here exactly as timings.csv quarantines phase walls.
+var critPathHeader = []string{
+	"step", "gating_worker", "weight",
+	"compute_ns", "serialize_ns", "send_ns", "barrier_wait_ns",
+}
+
+// EncodeCritPathCSV renders critpath.csv from path rows.
+func EncodeCritPathCSV(paths []StepPath) []byte {
+	var b strings.Builder
+	b.WriteString(strings.Join(critPathHeader, ","))
+	b.WriteByte('\n')
+	for _, p := range paths {
+		cols := []string{
+			strconv.Itoa(p.Step),
+			strconv.Itoa(p.Gating),
+			strconv.FormatInt(p.Weight, 10),
+			strconv.FormatInt(p.ComputeNs, 10),
+			strconv.FormatInt(p.SerializeNs, 10),
+			strconv.FormatInt(p.SendNs, 10),
+			strconv.FormatInt(p.BarrierNs, 10),
+		}
+		b.WriteString(strings.Join(cols, ","))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ParseCritPathCSV parses what EncodeCritPathCSV wrote (header required).
+func ParseCritPathCSV(blob []byte) ([]StepPath, error) {
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) == 0 || lines[0] != strings.Join(critPathHeader, ",") {
+		return nil, fmt.Errorf("span: critpath.csv: unrecognised header")
+	}
+	var out []StepPath
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		f := strings.Split(ln, ",")
+		if len(f) != len(critPathHeader) {
+			return nil, fmt.Errorf("span: critpath.csv: %d columns, want %d", len(f), len(critPathHeader))
+		}
+		var p StepPath
+		var err error
+		ints := []*int64{nil, nil, &p.Weight, &p.ComputeNs, &p.SerializeNs, &p.SendNs, &p.BarrierNs}
+		if p.Step, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("span: critpath.csv: step %q", f[0])
+		}
+		if p.Gating, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("span: critpath.csv: gating_worker %q", f[1])
+		}
+		for i := 2; i < len(f); i++ {
+			if ints[i] == nil {
+				continue
+			}
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("span: critpath.csv: %s %q", critPathHeader[i], f[i])
+			}
+			*ints[i] = v
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// GatingSequence compresses path rows to the structural signature diffs
+// compare: "step:gatingWorker" joined by spaces, durations excluded.
+func GatingSequence(paths []StepPath) string {
+	parts := make([]string, len(paths))
+	for i, p := range paths {
+		parts[i] = fmt.Sprintf("%d:%d", p.Step, p.Gating)
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteWaterfall renders a plain-text per-superstep waterfall of a span
+// stream: one block per superstep, one bar per worker span, scaled to the
+// superstep wall. Deliver spans print as arrows under their receiver.
+func WriteWaterfall(w io.Writer, spans []Span) {
+	const width = 40
+	var step []Span
+	flush := func(top Span) {
+		fmt.Fprintf(w, "superstep %d  wall=%s\n", top.Step, top.Dur)
+		wall := top.Dur
+		if wall <= 0 {
+			wall = 1
+		}
+		for _, s := range step {
+			switch s.Kind {
+			case Deliver:
+				fmt.Fprintf(w, "  w%-3d %-12s %6d msgs  <- w%d@step%d\n",
+					s.Worker, s.Kind, s.Msgs, s.From, int((s.Parent>>32)&0xFFFFFF)-1)
+			default:
+				off := int(int64(width) * int64(s.Start-top.Start) / int64(wall))
+				n := int(int64(width) * int64(s.Dur) / int64(wall))
+				if off < 0 {
+					off = 0
+				}
+				if off > width {
+					off = width
+				}
+				if n < 1 {
+					n = 1
+				}
+				if off+n > width {
+					n = width - off
+					if n < 1 {
+						n = 1
+						off = width - 1
+					}
+				}
+				bar := strings.Repeat(" ", off) + strings.Repeat("#", n)
+				fmt.Fprintf(w, "  w%-3d %-12s |%-*s| %s\n", s.Worker, s.Kind, width, bar, s.Dur.Round(time.Microsecond))
+			}
+		}
+		step = step[:0]
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case Run:
+			fmt.Fprintf(w, "run %d  wall=%s\n", s.Run, s.Dur)
+		case Superstep:
+			flush(s)
+		default:
+			step = append(step, s)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
+)
+
+// feedTracker pushes a small two-step run through the tracker the way an
+// engine does: run span opens, each superstep's measurements emit through
+// EmitStepSpans, and a step-2 span is left open so the endpoint has something
+// in flight to report.
+func feedTracker(t *testing.T) *obs.SpanTracker {
+	t.Helper()
+	tr := obs.NewSpanTracker()
+	tr.OnRunStart(obs.RunInfo{Engine: "span-test", Workers: 2})
+	tr.OnSpanStart(obs.RunSpan(1, 0))
+
+	// Step 0: worker 0 dominates the deterministic weights.
+	obs.EmitStepSpans(tr, obs.StepSpanData{
+		Run: 1, Step: 0, Wall: 4 * time.Millisecond,
+		Compute:    []time.Duration{time.Millisecond, time.Millisecond},
+		Send:       []time.Duration{time.Millisecond, time.Millisecond},
+		Units:      []int64{10, 1},
+		Sent:       []int64{5, 0},
+		Recv:       []int64{0, 0},
+		Deliveries: [][]span.Delivery{nil, nil},
+	})
+	// Step 1: worker 1 dominates, and receives a tagged batch from step 0's
+	// worker 0 send — the Deliver span must link back to that send.
+	obs.EmitStepSpans(tr, obs.StepSpanData{
+		Run: 1, Step: 1, Wall: 4 * time.Millisecond,
+		Compute: []time.Duration{time.Millisecond, time.Millisecond},
+		Send:    []time.Duration{time.Millisecond, time.Millisecond},
+		Units:   []int64{1, 20},
+		Sent:    []int64{0, 2},
+		Recv:    []int64{0, 5},
+		Deliveries: [][]span.Delivery{nil, {
+			{From: 0, Ctx: span.Context{Run: 1, Step: 0, Worker: 0}, Msgs: 5},
+		}},
+	})
+	tr.OnSpanStart(obs.StepSpan(1, 2, 8*time.Millisecond))
+	return tr
+}
+
+func TestSpansEndpointJSON(t *testing.T) {
+	tr := feedTracker(t)
+	rr := httptest.NewRecorder()
+	tr.ServeHTTP(rr, httptest.NewRequest("GET", "/spans", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /spans: %d", rr.Code)
+	}
+	var got struct {
+		Run      int64           `json:"run"`
+		Engine   string          `json:"engine"`
+		Open     []span.Span     `json:"open"`
+		CritPath []span.StepPath `json:"critpath"`
+		Spans    []span.Span     `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("/spans is not JSON: %v", err)
+	}
+	if got.Run != 1 || got.Engine != "span-test" {
+		t.Errorf("run %d engine %q, want 1 span-test", got.Run, got.Engine)
+	}
+	// The run span and the in-flight step-2 span are open.
+	if len(got.Open) != 2 {
+		t.Errorf("open = %+v, want run span and step-2 span", got.Open)
+	}
+	if got, want := span.GatingSequence(got.CritPath), "0:0 1:1"; got != want {
+		t.Errorf("live critical path = %q, want %q", got, want)
+	}
+	// The tagged delivery links causally to step 0's send by worker 0.
+	var deliver *span.Span
+	for i := range got.Spans {
+		if got.Spans[i].Kind == span.Deliver {
+			deliver = &got.Spans[i]
+		}
+	}
+	if deliver == nil {
+		t.Fatal("no Deliver span in the stream")
+	}
+	if deliver.Parent != span.SendID(0, 0) {
+		t.Errorf("Deliver parent = %d, want SendID(0,0) = %d", deliver.Parent, span.SendID(0, 0))
+	}
+}
+
+func TestSpansEndpointStepFilterAndText(t *testing.T) {
+	tr := feedTracker(t)
+
+	rr := httptest.NewRecorder()
+	tr.ServeHTTP(rr, httptest.NewRequest("GET", "/spans?step=1", nil))
+	var got struct {
+		Spans []span.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) == 0 {
+		t.Fatal("step filter returned nothing")
+	}
+	for _, s := range got.Spans {
+		if s.Step != 1 {
+			t.Errorf("?step=1 leaked a step-%d span", s.Step)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	tr.ServeHTTP(rr, httptest.NewRequest("GET", "/spans?format=text", nil))
+	text := rr.Body.String()
+	for _, want := range []string{"span-test", "superstep 0", "superstep 1", "compute", "open"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text waterfall missing %q:\n%s", want, text)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	tr.ServeHTTP(rr, httptest.NewRequest("GET", "/spans?step=banana", nil))
+	if rr.Code != 400 {
+		t.Errorf("bogus step filter answered %d, want 400", rr.Code)
+	}
+}

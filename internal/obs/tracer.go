@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cyclops/internal/metrics"
+	"cyclops/internal/obs/span"
 	"cyclops/internal/transport"
 )
 
@@ -147,6 +148,14 @@ func (t *Tracer) OnSuperstepStart(step int) {
 	t.log.Debug("superstep-start", "span", "superstep",
 		"run", t.run(), "engine", t.engineName(), "step", step)
 }
+
+// OnSpanStart implements Hooks. The causal span stream has its own consumers
+// (SpanTracker, Recorder); the tracer narrates runs and supersteps already,
+// so it stays quiet here rather than doubling every event.
+func (t *Tracer) OnSpanStart(span.Span) {}
+
+// OnSpanEnd implements Hooks.
+func (t *Tracer) OnSpanEnd(span.Span) {}
 
 // OnPhase implements Hooks: logs the phase duration and runs the slow-phase
 // detector against the phase's trailing mean.

@@ -12,11 +12,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 )
 
 // Entry is one run, normalized for comparison. Runs are matched by
@@ -32,6 +34,12 @@ type Entry struct {
 	Bytes      int64   `json:"bytes"`
 	Replicas   int64   `json:"replicas"`
 	ModelMs    float64 `json:"model_ms"`
+	// CritPath is the run's critical-path structure: the gating-worker
+	// sequence from critpath.csv ("step:worker" pairs, durations excluded).
+	// Populated when loading a record directory that has span data; empty for
+	// baselines written before span tracing existed, in which case diffs skip
+	// the comparison (old baselines stay usable).
+	CritPath string `json:"critpath,omitempty"`
 }
 
 // Baseline is a normalized set of runs — what cyclops-bench -record emits as
@@ -84,7 +92,15 @@ func Load(path string) (Baseline, error) {
 		if len(ms) == 0 {
 			return Baseline{}, fmt.Errorf("report: %s holds no run-* directories", path)
 		}
-		return FromManifests(ms), nil
+		b := FromManifests(ms)
+		for i, m := range ms {
+			seq, err := loadGatingSequence(filepath.Join(path, m.Run))
+			if err != nil {
+				return Baseline{}, err
+			}
+			b.Entries[i].CritPath = seq
+		}
+		return b, nil
 	}
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -98,6 +114,25 @@ func Load(path string) (Baseline, error) {
 		return Baseline{}, fmt.Errorf("report: %s has no entries", path)
 	}
 	return b, nil
+}
+
+// loadGatingSequence reads a run directory's critpath.csv and compresses it
+// to the structural gating sequence. A missing file (a record made before
+// span tracing, or with spans disabled) is not an error — it yields the
+// empty sequence, which Diff treats as "no path data on this side".
+func loadGatingSequence(runDir string) (string, error) {
+	blob, err := os.ReadFile(filepath.Join(runDir, "critpath.csv"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", fmt.Errorf("report: %w", err)
+	}
+	paths, err := span.ParseCritPathCSV(blob)
+	if err != nil {
+		return "", fmt.Errorf("report: %s: %w", runDir, err)
+	}
+	return span.GatingSequence(paths), nil
 }
 
 // Write stores a Baseline as deterministic, committable JSON.
@@ -164,6 +199,10 @@ type Delta struct {
 	Exact bool
 	// Regression marks deltas outside the allowed band.
 	Regression bool
+	// OldText/NewText carry string-valued metrics (the critical-path gating
+	// sequence); when either is set the numeric fields are unused.
+	OldText string
+	NewText string
 }
 
 // Result is a full diff.
@@ -197,8 +236,12 @@ func (r Result) OK() bool {
 func (r Result) Err() error {
 	if regs := r.Regressions(); len(regs) > 0 {
 		d := regs[0]
+		oldV, newV := fnum(d.Old), fnum(d.New)
+		if d.OldText != "" || d.NewText != "" {
+			oldV, newV = ftext(d.OldText), ftext(d.NewText)
+		}
 		return fmt.Errorf("report: %d metric(s) regressed, first: %s %s %s -> %s",
-			len(regs), d.Run, d.Metric, fnum(d.Old), fnum(d.New))
+			len(regs), d.Run, d.Metric, oldV, newV)
 	}
 	if len(r.MissingInNew) > 0 {
 		return fmt.Errorf("report: run %s is in the baseline but not in the new recording", r.MissingInNew[0])
@@ -240,6 +283,12 @@ func Diff(old, new Baseline, opts Options) Result {
 			exact(k, "replicas", float64(o.Replicas), float64(n.Replicas)),
 			banded(k, "model_ms", o.ModelMs, n.ModelMs, opts.ModelTol),
 		)
+		// The critical-path structure is deterministic, so it compares
+		// exactly — but only when both sides carry it, so baselines recorded
+		// before span tracing (or with spans off) still diff cleanly.
+		if o.CritPath != "" && n.CritPath != "" {
+			res.Deltas = append(res.Deltas, exactText(k, "critpath", o.CritPath, n.CritPath))
+		}
 	}
 	return res
 }
@@ -257,6 +306,11 @@ func rel(old, new float64) float64 {
 func exact(run, metric string, old, new float64) Delta {
 	return Delta{Run: run, Metric: metric, Old: old, New: new,
 		Rel: rel(old, new), Exact: true, Regression: old != new}
+}
+
+func exactText(run, metric, old, new string) Delta {
+	return Delta{Run: run, Metric: metric, OldText: old, NewText: new,
+		Exact: true, Regression: old != new}
 }
 
 func banded(run, metric string, old, new, tol float64) Delta {
@@ -298,8 +352,12 @@ func (r Result) WriteMarkdown(w io.Writer) error {
 		if d.Exact {
 			mode = "="
 		}
+		oldCell, newCell, relCell := fnum(d.Old), fnum(d.New), frel(d.Rel)
+		if d.OldText != "" || d.NewText != "" {
+			oldCell, newCell, relCell = ftext(d.OldText), ftext(d.NewText), "—"
+		}
 		fmt.Fprintf(&b, "| %s | %s%s | %s | %s | %s | %s |\n",
-			d.Run, d.Metric, mode, fnum(d.Old), fnum(d.New), frel(d.Rel), status)
+			d.Run, d.Metric, mode, oldCell, newCell, relCell, status)
 	}
 	for _, k := range r.MissingInNew {
 		fmt.Fprintf(&b, "| %s | — | — | missing | — | REGRESSION |\n", k)
@@ -319,6 +377,18 @@ func okDeltas(ds []Delta) []Delta {
 		}
 	}
 	return out
+}
+
+// ftext renders a string metric cell, truncated so long gating sequences
+// don't blow up the table (the full sequences live in critpath.csv).
+func ftext(s string) string {
+	if s == "" {
+		return "—"
+	}
+	if len(s) > 32 {
+		return s[:29] + "..."
+	}
+	return s
 }
 
 func frel(r float64) string {

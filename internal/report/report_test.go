@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cyclops/internal/obs"
+	"cyclops/internal/obs/span"
 )
 
 func baseline() Baseline {
@@ -193,6 +194,89 @@ func TestWriteMarkdownOrdersRegressionsFirst(t *testing.T) {
 	}
 	if !strings.Contains(clean.String(), "No regressions") {
 		t.Errorf("clean diff lacks summary line:\n%s", clean.String())
+	}
+}
+
+func TestDiffCritPathStructure(t *testing.T) {
+	with := func(path string) Baseline {
+		b := Baseline{Entries: []Entry{{Experiment: "pagerank", Engine: "cyclops",
+			Supersteps: 3, Messages: 100, CritPath: path}}}
+		return b
+	}
+	// Same path structure on both sides: clean, and the critpath delta exists.
+	res := Diff(with("0:1 1:2 2:0"), with("0:1 1:2 2:0"), Options{})
+	if !res.OK() {
+		t.Fatalf("identical critpath flagged: %v", res.Err())
+	}
+	found := false
+	for _, d := range res.Deltas {
+		if d.Metric == "critpath" {
+			found = true
+			if !d.Exact || d.Regression {
+				t.Errorf("identical critpath delta = %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no critpath delta when both sides carry path data")
+	}
+
+	// A gating-sequence change is a structural regression, compared exactly.
+	res = Diff(with("0:1 1:2 2:0"), with("0:1 1:3 2:0"), Options{})
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "critpath" {
+		t.Fatalf("regressions = %v, want one critpath", regs)
+	}
+	if err := res.Err(); err == nil || !strings.Contains(err.Error(), "critpath") {
+		t.Errorf("Err() = %v, want it to name critpath", err)
+	}
+	var sb strings.Builder
+	if err := res.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "critpath=") {
+		t.Errorf("markdown lacks the critpath row:\n%s", sb.String())
+	}
+
+	// Old baselines have no path data: the comparison is skipped, not failed.
+	old := with("0:1 1:2 2:0")
+	old.Entries[0].CritPath = ""
+	if res := Diff(old, with("0:1 1:3 2:0"), Options{}); !res.OK() {
+		t.Errorf("pre-span baseline vs spanned record flagged: %v", res.Err())
+	}
+	if res := Diff(with("0:1 1:2 2:0"), old, Options{}); !res.OK() {
+		t.Errorf("spanned baseline vs span-less record flagged: %v", res.Err())
+	}
+}
+
+func TestLoadCritPathFromRecordDir(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.Manifest{Run: "run-001-cyclops", Experiment: "pagerank", Engine: "cyclops"}
+	writeManifest(t, dir, m)
+	csv := span.EncodeCritPathCSV([]span.StepPath{
+		{Step: 0, Gating: 1, Weight: 9, ComputeNs: 5, SerializeNs: 1, SendNs: 2, BarrierNs: 3},
+		{Step: 1, Gating: 0, Weight: 7, ComputeNs: 4, BarrierNs: 1},
+	})
+	if err := os.WriteFile(filepath.Join(dir, m.Run, "critpath.csv"), csv, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Entries[0].CritPath, "0:1 1:0"; got != want {
+		t.Errorf("CritPath = %q, want %q", got, want)
+	}
+
+	// A run without critpath.csv loads with an empty sequence, not an error.
+	m2 := obs.Manifest{Run: "run-002-hama", Experiment: "pagerank", Engine: "hama"}
+	writeManifest(t, dir, m2)
+	b, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Entries[1].CritPath != "" {
+		t.Errorf("span-less run got CritPath %q", b.Entries[1].CritPath)
 	}
 }
 

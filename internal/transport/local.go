@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"cyclops/internal/obs/span"
 )
 
 // QueueMode selects the receive-side queue discipline.
@@ -46,6 +49,15 @@ type Local[M any] struct {
 	global []lockedQueue[M]
 	// PerSenderQueue state: slot [to][from], single writer each.
 	slots [][]slot[M]
+
+	// Span tagging. tagged flips once on the first Tag call; until then the
+	// send path skips all span bookkeeping (the nil-Hooks fast path). tags
+	// and lastDeliv rely on the Tag/Drain contract for ordering: tags[from]
+	// is written by the coordinator between barriers, lastDeliv[to] only by
+	// Drain(to)'s caller.
+	tagged    atomic.Bool
+	tags      []span.Context
+	lastDeliv [][]span.Delivery
 }
 
 type lockedQueue[M any] struct {
@@ -62,19 +74,22 @@ type lockedQueue[M any] struct {
 type taggedBatch[M any] struct {
 	from  int
 	seq   int64
+	ctx   span.Context
 	batch []M
 }
 
 type slot[M any] struct {
 	mu      sync.Mutex // uncontended: single writer; keeps the race detector honest
 	batches [][]M
+	ctxs    []span.Context // span tag per batch, parallel to batches
 }
 
 // NewLocal creates a transport between n workers with the given queue mode.
 // sizeOf estimates a message's wire size for byte accounting; nil means a
 // flat 16 bytes per message (two words: vertex id + value).
 func NewLocal[M any](n int, mode QueueMode, sizeOf func(M) int64) *Local[M] {
-	t := &Local[M]{n: n, mode: mode, sizeOf: sizeOf, matrix: NewMatrix(n)}
+	t := &Local[M]{n: n, mode: mode, sizeOf: sizeOf, matrix: NewMatrix(n),
+		tags: make([]span.Context, n), lastDeliv: make([][]span.Delivery, n)}
 	switch mode {
 	case GlobalQueue:
 		t.global = make([]lockedQueue[M], n)
@@ -126,18 +141,23 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 	}
 	bytes := t.batchBytes(batch)
 	t.matrix.Add(from, to, int64(len(batch)), bytes)
+	var ctx span.Context
+	if t.tagged.Load() {
+		ctx = t.tags[from]
+	}
 	switch t.mode {
 	case GlobalQueue:
 		q := &t.global[to]
 		q.mu.Lock()
 		q.seq[from]++
-		q.batches = append(q.batches, taggedBatch[M]{from: from, seq: q.seq[from], batch: batch})
+		q.batches = append(q.batches, taggedBatch[M]{from: from, seq: q.seq[from], ctx: ctx, batch: batch})
 		q.mu.Unlock()
 		t.stats.count(int64(len(batch)), bytes, true)
 	case PerSenderQueue:
 		s := &t.slots[to][from]
 		s.mu.Lock()
 		s.batches = append(s.batches, batch)
+		s.ctxs = append(s.ctxs, ctx)
 		s.mu.Unlock()
 		t.stats.count(int64(len(batch)), bytes, false)
 	}
@@ -150,6 +170,10 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 // that fold message values in drain order produce bit-identical results on
 // every same-seed run.
 func (t *Local[M]) Drain(to int) [][]M {
+	record := t.tagged.Load()
+	if record {
+		t.lastDeliv[to] = t.lastDeliv[to][:0]
+	}
 	switch t.mode {
 	case GlobalQueue:
 		q := &t.global[to]
@@ -166,6 +190,10 @@ func (t *Local[M]) Drain(to int) [][]M {
 		out := make([][]M, len(tagged))
 		for i := range tagged {
 			out[i] = tagged[i].batch
+			if record {
+				t.lastDeliv[to] = span.MergeDeliveries(t.lastDeliv[to],
+					[]span.Delivery{{From: tagged[i].from, Ctx: tagged[i].ctx, Msgs: int64(len(tagged[i].batch))}})
+			}
 		}
 		if len(out) == 0 {
 			return nil
@@ -178,13 +206,39 @@ func (t *Local[M]) Drain(to int) [][]M {
 			s.mu.Lock()
 			if len(s.batches) > 0 {
 				out = append(out, s.batches...)
+				if record {
+					for i, b := range s.batches {
+						t.lastDeliv[to] = span.MergeDeliveries(t.lastDeliv[to],
+							[]span.Delivery{{From: from, Ctx: s.ctxs[i], Msgs: int64(len(b))}})
+					}
+				}
 				s.batches = nil
+				s.ctxs = nil
 			}
 			s.mu.Unlock()
 		}
 		return out
 	}
 }
+
+// Tag implements Interface: stamps the span context carried on `from`'s
+// subsequent sends. See the Interface contract for the concurrency rules.
+func (t *Local[M]) Tag(from int, sc span.Context) {
+	t.tags[from] = sc
+	t.tagged.Store(true)
+}
+
+// LastDeliveries implements Interface.
+func (t *Local[M]) LastDeliveries(to int) []span.Delivery {
+	if !t.tagged.Load() {
+		return nil
+	}
+	return t.lastDeliv[to]
+}
+
+// SerializeNanos implements Interface: the in-process transport never
+// encodes, so serialisation time is identically zero.
+func (t *Local[M]) SerializeNanos(int) int64 { return 0 }
 
 // Pending reports whether worker `to` has undrained batches (test helper).
 func (t *Local[M]) Pending(to int) bool {

@@ -8,6 +8,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"cyclops/internal/obs/span"
 )
 
 // This file implements the Table 3 message-passing microbenchmark (§6.11):
@@ -51,6 +53,25 @@ type MicroResult struct {
 	// Messages, mirroring the Matrix/Stats consistency of the engine
 	// transports.
 	SenderMessages []int64
+	// LinkedBatches counts the batches whose span tag survived the wire and
+	// resolved back to the sending worker in the parse phase — the
+	// microbenchmark's version of the causal sender→receiver span link. For
+	// the Cyclops implementation every sender's direct write is its own send
+	// span, so the count equals the sender count by construction.
+	LinkedBatches int64
+}
+
+// microCtx is the span tag a microbenchmark sender stamps on its frames.
+func microCtx(sender int) span.Context {
+	return span.Context{Run: 1, Step: 0, Worker: int32(sender)}
+}
+
+// microFrame is the Hama-style wire format: the gob envelope carries the
+// sender's span context alongside the batch, as the RPC transport's frames
+// do.
+type microFrame struct {
+	Tag   span.Context
+	Batch []IndexValue
 }
 
 // microSenderCounts returns how many messages each of the disjoint sender
@@ -96,6 +117,7 @@ func MicroHama(total, senders int) MicroResult {
 	var wg sync.WaitGroup
 	for s := 0; s < senders; s++ {
 		lo, hi := microRange(total, senders, s)
+		ctx := microCtx(s)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -105,8 +127,8 @@ func MicroHama(total, senders int) MicroResult {
 					return
 				}
 				var buf bytes.Buffer
-				if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
-					panic(err) // cannot happen for a concrete slice type
+				if err := gob.NewEncoder(&buf).Encode(microFrame{Tag: ctx, Batch: batch}); err != nil {
+					panic(err) // cannot happen for a concrete struct type
 				}
 				mu.Lock()
 				queue = append(queue, buf.Bytes())
@@ -126,12 +148,16 @@ func MicroHama(total, senders int) MicroResult {
 	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	parseStart := time.Now()
+	var linked int64
 	for _, raw := range queue {
-		var batch []IndexValue
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&batch); err != nil {
+		var f microFrame
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f); err != nil {
 			panic(err)
 		}
-		for _, m := range batch {
+		if f.Tag.Tagged() {
+			linked++
+		}
+		for _, m := range f.Batch {
 			arr[m.Idx] = m.Val
 		}
 	}
@@ -142,6 +168,7 @@ func MicroHama(total, senders int) MicroResult {
 		Send: send, Parse: parse, Total: send + parse,
 		Checksum:       microChecksum(arr),
 		SenderMessages: microSenderCounts(total, senders),
+		LinkedBatches:  linked,
 	}
 }
 
@@ -152,29 +179,41 @@ func MicroPowerGraph(total, senders int) MicroResult {
 	var mu sync.Mutex
 	var queue [][]byte
 
+	// The span tag rides a fixed 16-byte binary header (run int64, step
+	// int32, worker int32), matching the implementation's hand-rolled
+	// encoding style.
+	const microHeader = 16
 	start := time.Now()
 	var wg sync.WaitGroup
 	for s := 0; s < senders; s++ {
 		lo, hi := microRange(total, senders, s)
+		ctx := microCtx(s)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			buf := make([]byte, 0, microBatch*12)
+			header := func() []byte {
+				buf := make([]byte, microHeader, microHeader+microBatch*12)
+				binary.LittleEndian.PutUint64(buf[0:8], uint64(ctx.Run))
+				binary.LittleEndian.PutUint32(buf[8:12], uint32(ctx.Step))
+				binary.LittleEndian.PutUint32(buf[12:16], uint32(ctx.Worker))
+				return buf
+			}
+			buf := header()
 			flush := func() {
-				if len(buf) == 0 {
+				if len(buf) == microHeader {
 					return
 				}
 				mu.Lock()
 				queue = append(queue, buf)
 				mu.Unlock()
-				buf = make([]byte, 0, microBatch*12)
+				buf = header()
 			}
 			for i := lo; i < hi; i++ {
 				var rec [12]byte
 				binary.LittleEndian.PutUint32(rec[0:4], uint32(i))
 				binary.LittleEndian.PutUint64(rec[4:12], math.Float64bits(float64(i+1)))
 				buf = append(buf, rec[:]...)
-				if len(buf) == microBatch*12 {
+				if len(buf) == microHeader+microBatch*12 {
 					flush()
 				}
 			}
@@ -185,8 +224,12 @@ func MicroPowerGraph(total, senders int) MicroResult {
 	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	parseStart := time.Now()
+	var linked int64
 	for _, raw := range queue {
-		for off := 0; off+12 <= len(raw); off += 12 {
+		if binary.LittleEndian.Uint64(raw[0:8]) != 0 {
+			linked++
+		}
+		for off := microHeader; off+12 <= len(raw); off += 12 {
 			idx := binary.LittleEndian.Uint32(raw[off : off+4])
 			val := math.Float64frombits(binary.LittleEndian.Uint64(raw[off+4 : off+12]))
 			arr[idx] = val
@@ -199,6 +242,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 		Send: send, Parse: parse, Total: send + parse,
 		Checksum:       microChecksum(arr),
 		SenderMessages: microSenderCounts(total, senders),
+		LinkedBatches:  linked,
 	}
 }
 
@@ -228,6 +272,9 @@ func MicroCyclops(total, senders int) MicroResult {
 		Send: send, Parse: 0, Total: send,
 		Checksum:       microChecksum(arr),
 		SenderMessages: microSenderCounts(total, senders),
+		// No frames to tag: each sender's direct write carries its span
+		// context implicitly, so every sender is its own linked "batch".
+		LinkedBatches: int64(senders),
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cyclops/internal/obs/span"
 )
 
 // RPCOptions tunes the failure handling of the RPC transport. The zero value
@@ -99,6 +101,12 @@ type RPC[M any] struct {
 
 	inboxes []rpcInbox[M]
 
+	// tags[from] and serNs[from] are guarded by encMu[from], like the
+	// encoder they describe. tagged flips once on the first Tag call.
+	tagged atomic.Bool
+	tags   []span.Context
+	serNs  []int64
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -110,16 +118,28 @@ type RPC[M any] struct {
 type rpcInbox[M any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	batches [][]M
+	batches []rpcBatch[M]
+	// lastDeliv is the span provenance of the batches the last Drain
+	// returned; rebuilt per Drain, read by the same worker afterwards.
+	lastDeliv []span.Delivery
 	// endsFrom[i] counts unconsumed round markers from sender i. Drain
 	// consumes exactly one from every sender per round.
 	endsFrom []int
 	closed   bool
 }
 
+// rpcBatch is one received batch plus its provenance: the sender and the
+// causal span tag its frame carried.
+type rpcBatch[M any] struct {
+	from  int
+	ctx   span.Context
+	batch []M
+}
+
 type frame[M any] struct {
 	From  int
 	End   bool
+	Tag   span.Context
 	Batch []M
 }
 
@@ -143,6 +163,8 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 		encMu:     make([]sync.Mutex, n),
 		rngs:      make([]*rand.Rand, n),
 		inboxes:   make([]rpcInbox[M], n),
+		tags:      make([]span.Context, n),
+		serNs:     make([]int64, n),
 	}
 	for i := range t.inboxes {
 		t.inboxes[i].cond = sync.NewCond(&t.inboxes[i].mu)
@@ -220,7 +242,7 @@ func (t *RPC[M]) receiveLoop(to int, conn net.Conn) {
 		}
 		in := &t.inboxes[to]
 		in.mu.Lock()
-		in.batches = append(in.batches, f.Batch)
+		in.batches = append(in.batches, rpcBatch[M]{from: f.From, ctx: f.Tag, batch: f.Batch})
 		in.cond.Broadcast()
 		in.mu.Unlock()
 	}
@@ -343,7 +365,10 @@ func (t *RPC[M]) sendFrame(from, to int, f frame[M]) error {
 		if t.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)) //nolint:errcheck
 		}
-		if err := t.encoders[from][to].Encode(f); err != nil {
+		encStart := time.Now()
+		err := t.encoders[from][to].Encode(f)
+		t.serNs[from] += time.Since(encStart).Nanoseconds() //lint:allow determinism serialisation time feeds the Serialize span, quarantined like timings.csv
+		if err != nil {
 			lastErr = err
 			t.stats.retries.Add(1)
 			continue
@@ -368,16 +393,22 @@ func (t *RPC[M]) Send(from, to int, batch []M) {
 	t.stats.count(int64(len(batch)), int64(len(batch))*16, true)
 	t.matrix.Add(from, to, int64(len(batch)), int64(len(batch))*16)
 	if from == to {
+		var ctx span.Context
+		if t.tagged.Load() {
+			t.encMu[from].Lock()
+			ctx = t.tags[from]
+			t.encMu[from].Unlock()
+		}
 		in := &t.inboxes[to]
 		in.mu.Lock()
-		in.batches = append(in.batches, batch)
+		in.batches = append(in.batches, rpcBatch[M]{from: from, ctx: ctx, batch: batch})
 		in.cond.Broadcast()
 		in.mu.Unlock()
 		return
 	}
 	t.encMu[from].Lock()
 	defer t.encMu[from].Unlock()
-	t.recordErr(t.sendFrame(from, to, frame[M]{From: from, Batch: batch}))
+	t.recordErr(t.sendFrame(from, to, frame[M]{From: from, Tag: t.tags[from], Batch: batch}))
 }
 
 // FinishRound marks the end of `from`'s sends for the current round. It must
@@ -425,14 +456,57 @@ func (t *RPC[M]) Drain(to int) [][]M {
 		}
 		in.cond.Wait()
 	}
-	out := in.batches
+	received := in.batches
 	in.batches = nil
 	if !in.closed {
 		for i := range in.endsFrom {
 			in.endsFrom[i]--
 		}
 	}
+	record := t.tagged.Load()
+	if record {
+		in.lastDeliv = in.lastDeliv[:0]
+	}
+	out := make([][]M, len(received))
+	for i, rb := range received {
+		out[i] = rb.batch
+		if record {
+			in.lastDeliv = span.MergeDeliveries(in.lastDeliv,
+				[]span.Delivery{{From: rb.from, Ctx: rb.ctx, Msgs: int64(len(rb.batch))}})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
 	return out
+}
+
+// Tag implements Interface: stamps the span context carried on `from`'s
+// subsequent frames.
+func (t *RPC[M]) Tag(from int, sc span.Context) {
+	t.encMu[from].Lock()
+	t.tags[from] = sc
+	t.encMu[from].Unlock()
+	t.tagged.Store(true)
+}
+
+// LastDeliveries implements Interface.
+func (t *RPC[M]) LastDeliveries(to int) []span.Delivery {
+	if !t.tagged.Load() {
+		return nil
+	}
+	in := &t.inboxes[to]
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.lastDeliv
+}
+
+// SerializeNanos implements Interface: cumulative gob-encoding time charged
+// to sender `from`.
+func (t *RPC[M]) SerializeNanos(from int) int64 {
+	t.encMu[from].Lock()
+	defer t.encMu[from].Unlock()
+	return t.serNs[from]
 }
 
 // Close shuts down all sockets. It is idempotent and safe to call
