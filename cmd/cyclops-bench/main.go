@@ -140,9 +140,12 @@ func main() {
 		hookList = append(hookList, skewProf)
 	}
 	var spans *obs.SpanTracker
+	var mem *obs.MemTracker
 	if *debugAddr != "" {
 		spans = obs.NewSpanTracker()
 		hookList = append(hookList, spans)
+		mem = obs.NewMemTracker()
+		hookList = append(hookList, mem)
 	}
 	var harvester *obs.Harvester
 	if *profDir != "" {
@@ -161,7 +164,7 @@ func main() {
 		hookList = append(hookList, rec)
 	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir, mem)
 		if err != nil {
 			fatal(err)
 		}
@@ -224,7 +227,10 @@ func main() {
 		}
 		ms := rec.Manifests()
 		baseline := filepath.Join(*record, "BENCH_baseline.json")
-		if err := report.Write(baseline, report.FromManifests(ms)); err != nil {
+		// FromManifestsDir (not FromManifests) so the baseline carries the
+		// critical-path and quarantined allocation fields read back from the
+		// run directories alongside the manifests' exact counters.
+		if err := report.Write(baseline, report.FromManifestsDir(*record, ms)); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("recorded %d runs under %s, baseline at %s\n", len(ms), *record, baseline)

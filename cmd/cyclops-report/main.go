@@ -2,14 +2,16 @@
 // cyclops-run/cyclops-bench -record.
 //
 //	cyclops-report list <record-dir>
-//	cyclops-report show [-critpath] <record-dir> <run-name>
-//	cyclops-report diff [-model-tol 0.05] <baseline> <current>
+//	cyclops-report show [-critpath] [-mem] <record-dir> <run-name>
+//	cyclops-report diff [-model-tol 0.05] [-alloc-tol 0.25] <baseline> <current>
 //
 // diff's sides are each either a record directory (its run-* manifests are
 // normalized) or a baseline JSON file (BENCH_baseline.json). Deterministic
-// counts — supersteps, messages, bytes, replicas — must match exactly; model
-// time gets a relative tolerance band. The exit status is non-zero when any
-// metric regresses, which is what the CI perf-gate keys off.
+// counts — supersteps, messages, bytes, wire bytes, replicas, replica value
+// bytes — must match exactly (any wire/payload ratio change fails); model
+// time and allocations per superstep get relative tolerance bands. The exit
+// status is non-zero when any metric regresses, which is what the CI
+// perf-gate keys off.
 package main
 
 import (
@@ -51,6 +53,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		fs := flag.NewFlagSet("cyclops-report show", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		critpath := fs.Bool("critpath", false, "print the per-superstep critical-path breakdown instead of the raw record")
+		mem := fs.Bool("mem", false, "print the per-superstep memory telemetry (mem.csv) instead of the raw record")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -60,25 +63,29 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		if *critpath {
 			return showCritPath(fs.Arg(0), fs.Arg(1), stdout)
 		}
+		if *mem {
+			return showMem(fs.Arg(0), fs.Arg(1), stdout)
+		}
 		return show(fs.Arg(0), fs.Arg(1), stdout)
 	case "diff":
 		fs := flag.NewFlagSet("cyclops-report diff", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		modelTol := fs.Float64("model-tol", 0.05, "relative tolerance for model_ms")
+		allocTol := fs.Float64("alloc-tol", 0.25, "relative tolerance for allocs_per_superstep (quarantined telemetry)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
 		if fs.NArg() != 2 {
 			return usageError()
 		}
-		return diff(fs.Arg(0), fs.Arg(1), *modelTol, stdout)
+		return diff(fs.Arg(0), fs.Arg(1), *modelTol, *allocTol, stdout)
 	default:
 		return usageError()
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: cyclops-report list <dir> | show [-critpath] <dir> <run> | diff [-model-tol F] <baseline> <current>")
+	return fmt.Errorf("usage: cyclops-report list <dir> | show [-critpath] [-mem] <dir> <run> | diff [-model-tol F] [-alloc-tol F] <baseline> <current>")
 }
 
 func list(dir string, w io.Writer) error {
@@ -114,7 +121,7 @@ func show(dir, run string, w io.Writer) error {
 		return fmt.Errorf("parse manifest: %w", err)
 	}
 	fmt.Fprintf(w, "%s", blob)
-	for _, name := range []string{"series.csv", "timings.csv"} {
+	for _, name := range []string{"series.csv", "timings.csv", "mem.csv"} {
 		body, err := os.ReadFile(filepath.Join(dir, run, name))
 		if err != nil {
 			continue
@@ -219,7 +226,39 @@ func readPhaseWalls(path string) ([]int64, error) {
 	return out, nil
 }
 
-func diff(oldPath, newPath string, modelTol float64, w io.Writer) error {
+// showMem renders a run's memory telemetry: the quarantined mem.csv rows plus
+// a per-phase allocation summary. Every number here is machine-dependent —
+// the table is for reading trends, never for exact comparison.
+func showMem(dir, run string, w io.Writer) error {
+	blob, err := os.ReadFile(filepath.Join(dir, run, "mem.csv"))
+	if err != nil {
+		return fmt.Errorf("no memory telemetry (was the run recorded by a pre-observatory binary?): %w", err)
+	}
+	steps, err := obs.ParseMemCSV(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%4s %12s %10s %10s %10s %10s %4s %10s %12s\n",
+		"step", "alloc-bytes", "prs-kb", "cmp-kb", "snd-kb", "syn-kb", "gcs", "pause-us", "heap-live")
+	var totBytes, totObjs uint64
+	for _, s := range steps {
+		fmt.Fprintf(w, "%4d %12d %10.1f %10.1f %10.1f %10.1f %4d %10.1f %12d\n",
+			s.Step, s.StepBytes,
+			float64(s.PhaseBytes[0])/1024, float64(s.PhaseBytes[1])/1024,
+			float64(s.PhaseBytes[2])/1024, float64(s.PhaseBytes[3])/1024,
+			s.GCCycles, float64(s.GCPauseNs)/1e3, s.HeapLive)
+		totBytes += s.StepBytes
+		totObjs += s.StepObjects
+	}
+	if n := len(steps); n > 0 {
+		fmt.Fprintf(w, "total: %d bytes, %d objects over %d superstep(s); mean %.0f allocs/superstep\n",
+			totBytes, totObjs, n, float64(totObjs)/float64(n))
+	}
+	fmt.Fprintln(w, "note: all columns are quarantined telemetry (machine- and GC-schedule-dependent)")
+	return nil
+}
+
+func diff(oldPath, newPath string, modelTol, allocTol float64, w io.Writer) error {
 	base, err := report.Load(oldPath)
 	if err != nil {
 		return err
@@ -228,7 +267,7 @@ func diff(oldPath, newPath string, modelTol float64, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res := report.Diff(base, cur, report.Options{ModelTol: modelTol})
+	res := report.Diff(base, cur, report.Options{ModelTol: modelTol, AllocTol: allocTol})
 	if err := res.WriteMarkdown(w); err != nil {
 		return err
 	}

@@ -149,9 +149,12 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		hookList = append(hookList, comm)
 	}
 	var spans *obs.SpanTracker
+	var mem *obs.MemTracker
 	if *debugAddr != "" {
 		spans = obs.NewSpanTracker()
 		hookList = append(hookList, spans)
+		mem = obs.NewMemTracker()
+		hookList = append(hookList, mem)
 	}
 	var harvester *obs.Harvester
 	if *profDir != "" {
@@ -184,7 +187,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		hookList = append(hookList, rec)
 	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir, mem)
 		if err != nil {
 			return err
 		}

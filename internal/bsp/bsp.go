@@ -362,6 +362,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			Workers:  workers,
 			Vertices: e.g.NumVertices(),
 			Edges:    e.g.NumEdges(),
+			// Replicas and ReplicaValueBytes stay zero: Hama has no
+			// replicated view — it pays in message buffers instead, which is
+			// exactly the memory trade Table 4/5 compares.
 		})
 		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"cyclops/internal/aggregate"
 	"cyclops/internal/metrics"
@@ -42,12 +43,16 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	if hooks != nil {
 		e.runSeq++
 		hooks.OnRunStart(obs.RunInfo{
-			Engine:         e.trace.Engine,
-			Workers:        workers,
-			Vertices:       e.g.NumVertices(),
-			Edges:          e.g.NumEdges(),
-			Replicas:       e.ingress.Replicas,
-			WorkerReplicas: e.workerReplicas(),
+			Engine:   e.trace.Engine,
+			Workers:  workers,
+			Vertices: e.g.NumVertices(),
+			Edges:    e.g.NumEdges(),
+			Replicas: e.ingress.Replicas,
+			// The distributed immutable view caches one M per replica slot,
+			// so the replicated values cost Replicas × sizeof(M) — the
+			// deterministic replica side of the Table 4/5 memory trade.
+			ReplicaValueBytes: e.ingress.Replicas * int64(unsafe.Sizeof(*new(M))),
+			WorkerReplicas:    e.workerReplicas(),
 		})
 		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}

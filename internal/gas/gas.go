@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"cyclops/internal/cluster"
 	"cyclops/internal/fault"
@@ -422,12 +423,16 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 	if hooks != nil {
 		e.runSeq++
 		hooks.OnRunStart(obs.RunInfo{
-			Engine:         e.trace.Engine,
-			Workers:        k,
-			Vertices:       e.g.NumVertices(),
-			Edges:          e.g.NumEdges(),
-			Replicas:       e.mirrors,
-			WorkerReplicas: append([]int64(nil), e.mirrorsPerW...),
+			Engine:   e.trace.Engine,
+			Workers:  k,
+			Vertices: e.g.NumVertices(),
+			Edges:    e.g.NumEdges(),
+			Replicas: e.mirrors,
+			// Every mirror caches its master's value V, so the vertex-cut's
+			// replicated-value memory is mirrors × sizeof(V) — the GAS side
+			// of the Table 4/5 memory comparison.
+			ReplicaValueBytes: e.mirrors * int64(unsafe.Sizeof(*new(V))),
+			WorkerReplicas:    append([]int64(nil), e.mirrorsPerW...),
 		})
 		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}

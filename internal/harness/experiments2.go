@@ -283,6 +283,11 @@ func Table2Memory(o Options, w io.Writer) error {
 		return err
 	}
 	ctx.params.trackMemory = true
+	// Force a collection before each run so peak-heap-MB compares the
+	// engines' live sets, not leftover garbage from the previous row. This
+	// deliberately perturbs GC telemetry (extra cycle, pacer reset); runs
+	// that only want GC counts/pauses leave forceGC off.
+	ctx.params.forceGC = true
 	t := newTable("config", "peak-heap-MB", "GCs", "GC-pause-ms", "replicas/vertex", "messages")
 	for _, run := range []struct {
 		engine string

@@ -191,6 +191,7 @@ type runParams struct {
 	alsSweeps   int
 	alsUsers    int
 	trackMemory bool
+	forceGC     bool
 	audit       bool
 	onValues    func(step int, values []float64)
 	hooks       obs.Hooks
@@ -212,10 +213,19 @@ type memTracker struct {
 	pause0 uint64
 }
 
-func newMemTracker(active bool) *memTracker {
+// newMemTracker starts heap tracking for one run. forceGC runs a full
+// collection before the baseline sample so HeapPeak measures this run's
+// allocations rather than the previous run's garbage — but the forced cycle
+// itself perturbs GC telemetry (it inflates NumGC/PauseTotalNs ambient state
+// and resets the pacer), so it is opt-in: only experiments that compare
+// heap peaks across engines (Table 2) ask for it, and its cost lands before
+// gcs0/pause0 are sampled so the run's own GC deltas stay clean.
+func newMemTracker(active, forceGC bool) *memTracker {
 	t := &memTracker{active: active}
 	if active {
-		runtime.GC()
+		if forceGC {
+			runtime.GC()
+		}
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		t.gcs0 = ms.NumGC

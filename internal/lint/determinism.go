@@ -23,11 +23,15 @@ import (
 //     engine packages — message emission, obs.Recorder series and
 //     checkpoint encoding all live here, so iteration order must not exist
 //     unless the loop provably doesn't depend on it (collect-then-sort or
-//     delete-all idioms).
+//     delete-all idioms);
+//   - allocator introspection (runtime.ReadMemStats, runtime/metrics.Read),
+//     whose values depend on GC schedule and machine — memory telemetry
+//     belongs to the obs layer's quarantined mem.csv, never to engine code
+//     that could fold heap numbers into replayed state.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "flag wall-clock, global math/rand and map-iteration use that can break §3.6 replay determinism " +
-		"(byte-identical flight records) in the engine and transport packages",
+	Doc: "flag wall-clock, global math/rand, map-iteration and allocator-introspection use that can break " +
+		"§3.6 replay determinism (byte-identical flight records) in the engine and transport packages",
 	Run: runDeterminism,
 }
 
@@ -103,6 +107,18 @@ func checkDeterminismCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.N
 		pass.Reportf(call.Pos(),
 			"global math/rand.%s is process-seeded and breaks replay determinism (§3.6); "+
 				"use an explicitly seeded *rand.Rand", fn.Name())
+	case "runtime":
+		if fn.Name() == "ReadMemStats" {
+			pass.Reportf(call.Pos(),
+				"runtime.ReadMemStats values are GC-schedule- and machine-dependent; engine code must not "+
+					"read them (§3.6) — memory telemetry flows through obs hooks into the quarantined mem.csv")
+		}
+	case "runtime/metrics":
+		if fn.Name() == "Read" {
+			pass.Reportf(call.Pos(),
+				"runtime/metrics.Read values are GC-schedule- and machine-dependent; engine code must not "+
+					"read them (§3.6) — memory telemetry flows through obs hooks into the quarantined mem.csv")
+		}
 	}
 }
 

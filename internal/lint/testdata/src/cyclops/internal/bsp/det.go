@@ -5,6 +5,8 @@ package bsp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"runtime/metrics"
 	"sort"
 	"time"
 )
@@ -86,6 +88,21 @@ func rangeOverSlice(xs []int) int {
 		sum += x
 	}
 	return sum
+}
+
+func heapIntrospection() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) // want `runtime.ReadMemStats values are GC-schedule- and machine-dependent`
+	samples := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(samples) // want `runtime/metrics.Read values are GC-schedule- and machine-dependent`
+	return ms.HeapAlloc + samples[0].Value.Uint64()
+}
+
+func allowedIntrospection() uint32 {
+	var ms runtime.MemStats
+	//lint:allow determinism golden-test exercise of the allow directive
+	runtime.ReadMemStats(&ms)
+	return ms.NumGC
 }
 
 func work() {}

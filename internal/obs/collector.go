@@ -29,6 +29,9 @@ const (
 	MetricTransportMessages   = "cyclops_transport_messages_total"
 	MetricTransportBatches    = "cyclops_transport_batches_total"
 	MetricTransportBytes      = "cyclops_transport_bytes_total"
+	MetricTransportWireBytes  = "cyclops_transport_wire_bytes_total"
+	MetricTransportEncodes    = "cyclops_transport_encodes_total"
+	MetricTransportDecodes    = "cyclops_transport_decodes_total"
 	MetricTransportLocked     = "cyclops_transport_locked_enqueues_total"
 	MetricTransportRetries    = "cyclops_transport_retries_total"
 	MetricTransportReconnects = "cyclops_transport_reconnects_total"
@@ -40,6 +43,7 @@ const (
 	// Communication observatory series.
 	MetricCommMessages    = "cyclops_comm_messages_total"
 	MetricCommBytes       = "cyclops_comm_bytes_total"
+	MetricCommWireBytes   = "cyclops_comm_wire_bytes_total"
 	MetricWorkerEgress    = "cyclops_worker_egress_messages"
 	MetricWorkerIngress   = "cyclops_worker_ingress_messages"
 	MetricSkew            = "cyclops_skew_imbalance"
@@ -120,6 +124,16 @@ func (c *Collector) WatchTransport(fn func() transport.Snapshot) {
 	c.reg.CounterFunc(MetricTransportBytes,
 		"Estimated payload bytes through the transport layer (Table 4).",
 		func() float64 { return float64(fn().Bytes) })
+	c.reg.CounterFunc(MetricTransportWireBytes,
+		"Encoded wire bytes through the transport layer (== payload bytes "+
+			"when nothing serialises; the excess is the gob envelope).",
+		func() float64 { return float64(fn().WireBytes) })
+	c.reg.CounterFunc(MetricTransportEncodes,
+		"Frame encode operations performed by the transport layer.",
+		func() float64 { return float64(fn().Encodes) })
+	c.reg.CounterFunc(MetricTransportDecodes,
+		"Frame decode operations performed by the transport layer.",
+		func() float64 { return float64(fn().Decodes) })
 	c.reg.CounterFunc(MetricTransportLocked,
 		"Enqueues that serialised on a shared lock (zero for per-sender queues).",
 		func() float64 { return float64(fn().LockedEnqueues) })

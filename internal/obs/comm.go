@@ -87,12 +87,14 @@ type commJSON struct {
 	Supersteps      int       `json:"supersteps"`
 	MessagesTotal   int64     `json:"messages_total"`
 	BytesTotal      int64     `json:"bytes_total"`
+	WireBytesTotal  int64     `json:"wire_bytes_total"`
 	EgressMessages  []int64   `json:"egress_messages"`
 	IngressMessages []int64   `json:"ingress_messages"`
 	EgressBytes     []int64   `json:"egress_bytes"`
 	IngressBytes    []int64   `json:"ingress_bytes"`
 	Messages        [][]int64 `json:"messages"`
 	Bytes           [][]int64 `json:"bytes"`
+	Wire            [][]int64 `json:"wire,omitempty"`
 }
 
 // WriteJSON renders the cumulative matrix of the latest run as JSON.
@@ -104,12 +106,14 @@ func (c *CommTracker) WriteJSON(w io.Writer) error {
 		Supersteps:      len(c.steps),
 		MessagesTotal:   c.cum.TotalMessages(),
 		BytesTotal:      c.cum.TotalBytes(),
+		WireBytesTotal:  c.cum.TotalWireBytes(),
 		EgressMessages:  c.cum.Egress(),
 		IngressMessages: c.cum.Ingress(),
 		EgressBytes:     c.cum.EgressBytes(),
 		IngressBytes:    c.cum.IngressBytes(),
 		Messages:        c.cum.Messages,
 		Bytes:           c.cum.Bytes,
+		Wire:            c.cum.Wire,
 	}
 	c.mu.Unlock()
 	enc := json.NewEncoder(w)
@@ -156,12 +160,28 @@ func (c *CommTracker) WritePromText(w io.Writer) error {
 			}
 		}
 	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s Encoded wire bytes sent between worker pairs, latest run.\n# TYPE %s counter\n",
+		MetricCommWireBytes, MetricCommWireBytes); err != nil {
+		return err
+	}
+	for f, row := range cum.Wire {
+		for t, v := range row {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{from=\"%d\",to=\"%d\"} %d\n",
+				MetricCommWireBytes, f, t, v); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
 // CommCSVHeader is the stable column set of the comm CSV export: one row
 // per (superstep, sender, receiver) cell with non-zero traffic.
-const CommCSVHeader = "engine,workers,step,from,to,messages,bytes"
+const CommCSVHeader = "engine,workers,step,from,to,messages,bytes,wire_bytes"
 
 // WriteCSV renders the per-superstep deltas as CSV (zero cells omitted).
 // It lives here rather than in internal/metrics because the matrix type
@@ -181,8 +201,9 @@ func (c *CommTracker) WriteCSV(w io.Writer) error {
 				if v == 0 && st.Delta.Bytes[f][t] == 0 {
 					continue
 				}
-				if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d\n",
-					engine, workers, st.Step, f, t, v, st.Delta.Bytes[f][t]); err != nil {
+				if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d\n",
+					engine, workers, st.Step, f, t, v, st.Delta.Bytes[f][t],
+					st.Delta.WireAt(f, t)); err != nil {
 					return err
 				}
 			}

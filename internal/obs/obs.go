@@ -32,6 +32,11 @@ type RunInfo struct {
 	// Replicas is the replica (Cyclops) or mirror (GAS) count; zero for
 	// engines without a replicated view (Hama).
 	Replicas int64
+	// ReplicaValueBytes is the memory the replicated view spends on cached
+	// values: Replicas × sizeof(replica value). It is the deterministic side
+	// of the paper's Table 4/5 memory trade (replica bytes vs message-buffer
+	// bytes); zero for engines without replicas.
+	ReplicaValueBytes int64
 	// WorkerReplicas is the per-worker replica/mirror placement (len ==
 	// Workers); nil for engines without a replicated view. It feeds the skew
 	// profiler's replica-imbalance coefficient.

@@ -55,6 +55,16 @@ type Manifest struct {
 	// per-superstep comm-matrix deltas).
 	Messages int64 `json:"messages"`
 	Bytes    int64 `json:"bytes"`
+	// WireBytes is the encoded on-the-wire total (sum of the per-superstep
+	// wire deltas): equal to Bytes on in-process transports, strictly larger
+	// on the gob RPC transport — the difference is the serialisation
+	// envelope. Deterministic, so diffed exactly. Omitted when zero to keep
+	// earlier manifests byte-stable.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// ReplicaValueBytes is the replicated view's value memory (Replicas ×
+	// sizeof(value)): the deterministic half of the paper's Table 4/5 memory
+	// trade. Zero (omitted) for Hama, which buffers messages instead.
+	ReplicaValueBytes int64 `json:"replica_value_bytes,omitempty"`
 	// ModelNanos is the cost model's deterministic run time estimate.
 	ModelNanos float64 `json:"model_ns"`
 	// WallNanos is measured wall time — the one machine-dependent field.
@@ -89,10 +99,11 @@ type RunMeta struct {
 // residual quantiles; no wall-clock). Phase wall times go to timings.csv.
 var seriesHeader = []string{
 	"step", "active", "changed", "messages", "redundant_messages",
-	"redundant_ratio", "bytes", "compute_units_max", "send_max", "recv_max",
+	"redundant_ratio", "payload_bytes", "wire_bytes", "compute_units_max",
+	"send_max", "recv_max",
 	"residual_n", "residual_p50", "residual_p90", "residual_max",
 	"skew_compute", "skew_sent", "skew_recv", "skew_active",
-	"replicas", "model_ns",
+	"replicas", "replica_value_bytes", "model_ns",
 }
 
 // timingsHeader is the column set of timings.csv: the measured per-phase wall
@@ -132,7 +143,10 @@ type recording struct {
 	skew     []SkewStep
 	msgs     []int64 // per-step comm-matrix message deltas
 	bytes    []int64
+	wire     []int64     // per-step comm-matrix wire-byte deltas
 	spans    []span.Span // completed causal spans, in emission order
+	mem      *memAttrib  // per-phase allocation attribution → mem.csv
+	memSteps []MemStep
 }
 
 // NewRecorder creates the record root (if needed), verifies it is writable,
@@ -232,6 +246,7 @@ func (r *Recorder) OnRunStart(info RunInfo) {
 		Vertices:          info.Vertices,
 		Edges:             info.Edges,
 		Replicas:          info.Replicas,
+		ReplicaValueBytes: info.ReplicaValueBytes,
 		GoVersion:         runtime.Version(),
 		GitRev:            gitRev(),
 	}
@@ -239,6 +254,7 @@ func (r *Recorder) OnRunStart(info RunInfo) {
 		manifest: m,
 		start:    time.Now(),
 		pending:  make(map[int][]WorkerStats),
+		mem:      newMemAttrib(),
 	}
 }
 
@@ -247,6 +263,17 @@ func (r *Recorder) OnSuperstepStart(step int) {
 	r.mu.Lock()
 	if r.cur != nil {
 		r.cur.stepAt = time.Now()
+		r.cur.mem.startStep(step)
+	}
+	r.mu.Unlock()
+}
+
+// OnPhase implements Hooks: attributes the allocation since the previous
+// phase boundary to the phase that just ended (→ mem.csv, quarantined).
+func (r *Recorder) OnPhase(step int, phase metrics.Phase, d time.Duration) {
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.mem.phase(phase)
 	}
 	r.mu.Unlock()
 }
@@ -267,6 +294,7 @@ func (r *Recorder) OnCommMatrix(step int, delta transport.MatrixSnapshot) {
 	if r.cur != nil {
 		r.cur.msgs = append(r.cur.msgs, delta.TotalMessages())
 		r.cur.bytes = append(r.cur.bytes, delta.TotalBytes())
+		r.cur.wire = append(r.cur.wire, delta.TotalWireBytes())
 	}
 	r.mu.Unlock()
 }
@@ -280,6 +308,7 @@ func (r *Recorder) OnSuperstepEnd(step int, stats metrics.StepStats) {
 		return
 	}
 	c.steps = append(c.steps, stats)
+	c.memSteps = append(c.memSteps, c.mem.endStep())
 	if c.stepAt.IsZero() {
 		c.wall = append(c.wall, 0)
 	} else {
@@ -349,6 +378,9 @@ func (r *Recorder) OnConverged(step int, reason string) {
 	for _, n := range c.bytes {
 		m.Bytes += n
 	}
+	for _, n := range c.wire {
+		m.WireBytes += n
+	}
 	for _, s := range c.steps {
 		m.ModelNanos += s.ModelNanos
 	}
@@ -379,6 +411,11 @@ func (r *Recorder) write(c *recording) error {
 		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "timings.csv"), c.timingsCSV(), 0o644); err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
+	// mem.csv is quarantined like timings.csv: allocation and GC columns are
+	// machine-dependent, so the perf gate reads but never exact-compares them.
+	if err := os.WriteFile(filepath.Join(dir, "mem.csv"), EncodeMemCSV(c.memSteps), 0o644); err != nil {
 		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "spans.csv"), span.EncodeCSV(c.spans), 0o644); err != nil {
@@ -432,9 +469,12 @@ func (c *recording) seriesCSV() []byte {
 	b.WriteString(strings.Join(seriesHeader, ","))
 	b.WriteByte('\n')
 	for i, s := range c.steps {
-		var msgBytes int64
+		var msgBytes, wireBytes int64
 		if i < len(c.bytes) {
 			msgBytes = c.bytes[i]
+		}
+		if i < len(c.wire) {
+			wireBytes = c.wire[i]
 		}
 		skew := SkewStep{Compute: 1, Sent: 1, Received: 1, Active: 1}
 		if i < len(c.skew) {
@@ -448,6 +488,7 @@ func (c *recording) seriesCSV() []byte {
 			strconv.FormatInt(s.RedundantMessages, 10),
 			ftoa(s.RedundantRatio()),
 			strconv.FormatInt(msgBytes, 10),
+			strconv.FormatInt(wireBytes, 10),
 			strconv.FormatInt(s.ComputeUnitsMax, 10),
 			strconv.FormatInt(s.SendMax, 10),
 			strconv.FormatInt(s.RecvMax, 10),
@@ -460,6 +501,7 @@ func (c *recording) seriesCSV() []byte {
 			ftoa(skew.Received),
 			ftoa(skew.Active),
 			strconv.FormatInt(c.manifest.Replicas, 10),
+			strconv.FormatInt(c.manifest.ReplicaValueBytes, 10),
 			ftoa(s.ModelNanos),
 		}
 		b.WriteString(strings.Join(cols, ","))

@@ -140,7 +140,8 @@ func TestRecorderArtifacts(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "step,active,changed,messages,") {
 		t.Errorf("series header = %q", lines[0])
 	}
-	for _, col := range []string{"residual_p50", "skew_compute", "redundant_ratio", "model_ns"} {
+	for _, col := range []string{"residual_p50", "skew_compute", "redundant_ratio",
+		"payload_bytes", "wire_bytes", "replica_value_bytes", "model_ns"} {
 		if !strings.Contains(lines[0], col) {
 			t.Errorf("series header missing %q", col)
 		}
@@ -157,6 +158,33 @@ func TestRecorderArtifacts(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(timings), "step,prs_ns,cmp_ns,snd_ns,syn_ns,wall_ns") {
 		t.Errorf("timings header = %q", strings.SplitN(string(timings), "\n", 2)[0])
+	}
+
+	// Every run directory carries the quarantined memory telemetry: one
+	// mem.csv row per superstep, parseable back through the obs API.
+	memBlob, err := os.ReadFile(filepath.Join(dir, m.Run, "mem.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(memBlob), obs.MemCSVHeader+"\n") {
+		t.Errorf("mem.csv header = %q", strings.SplitN(string(memBlob), "\n", 2)[0])
+	}
+	memSteps, err := obs.ParseMemCSV(memBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memSteps) != m.Supersteps {
+		t.Errorf("mem.csv has %d rows, want one per %d supersteps", len(memSteps), m.Supersteps)
+	}
+
+	// The deterministic wire accounting made it into the manifest: local
+	// transport wire bytes equal payload bytes (nothing serialises
+	// in-process), and replica storage cost is attributed for cyclops.
+	if m.WireBytes != m.Bytes {
+		t.Errorf("local-transport wire bytes %d != payload bytes %d", m.WireBytes, m.Bytes)
+	}
+	if m.ReplicaValueBytes <= 0 {
+		t.Errorf("cyclops manifest missing replica_value_bytes: %+v", m)
 	}
 
 	// ReadManifests finds the run; a second recorder appends after it.
@@ -218,6 +246,22 @@ func TestRecorderDeterminism(t *testing.T) {
 			if !bytes.Equal(sa, sb) {
 				t.Errorf("spans.csv differs between same-seed runs:\nA:\n%s\nB:\n%s",
 					firstDiffLine(sa, sb), firstDiffLine(sb, sa))
+			}
+
+			// mem.csv is quarantined (alloc counts differ across runs), but
+			// both runs must have one parseable row per superstep.
+			for _, runDir := range []string{filepath.Join(dirA, ma.Run), filepath.Join(dirB, mb.Run)} {
+				blob, err := os.ReadFile(filepath.Join(runDir, "mem.csv"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				steps, err := obs.ParseMemCSV(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(steps) != ma.Supersteps {
+					t.Errorf("%s: mem.csv has %d rows, want %d", runDir, len(steps), ma.Supersteps)
+				}
 			}
 
 			// critpath.csv quarantines durations in its _ns columns; the

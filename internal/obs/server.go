@@ -24,18 +24,18 @@ type Server struct {
 	srv  *http.Server
 }
 
-// NewMux builds the diagnostics routes. reg, ring, comm and spans may each
-// be nil and runsDir/profileDir empty; the corresponding endpoint then
+// NewMux builds the diagnostics routes. reg, ring, comm, spans and mem may
+// each be nil and runsDir/profileDir empty; the corresponding endpoint then
 // reports 404.
 func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
-	spans *SpanTracker, profileDir string) *http.ServeMux {
+	spans *SpanTracker, profileDir string, mem *MemTracker) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/spans\n/runs\n/profiles\n/debug/pprof/\n")
+		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/mem\n/spans\n/runs\n/profiles\n/debug/pprof/\n")
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -51,6 +51,12 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
 	}
 	if comm != nil {
 		mux.Handle("/comm", comm)
+	}
+	if mem != nil {
+		// /mem is the live memory observatory: per-superstep, per-phase
+		// allocation telemetry of the latest run, JSON by default,
+		// ?format=csv for the mem.csv rendering.
+		mux.Handle("/mem", mem)
 	}
 	if spans != nil {
 		// /spans is the live causal-span waterfall: JSON by default,
@@ -106,7 +112,7 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
 // on a background goroutine until Close or Shutdown. runsDir may be empty
 // (no /runs endpoint).
 func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
-	spans *SpanTracker, profileDir string) (*Server, error) {
+	spans *SpanTracker, profileDir string, mem *MemTracker) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -116,7 +122,7 @@ func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir st
 		ring: ring,
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           NewMux(reg, ring, comm, runsDir, spans, profileDir),
+			Handler:           NewMux(reg, ring, comm, runsDir, spans, profileDir, mem),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

@@ -69,7 +69,7 @@ func TestServerLiveDuringRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir, obs.NewSpanTracker(), "")
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir, obs.NewSpanTracker(), "", obs.NewMemTracker())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestRunsListsOnlyCompleteRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4),
-		obs.NewCommTracker(), recDir, nil, "")
+		obs.NewCommTracker(), recDir, nil, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestRunsListsOnlyCompleteRuns(t *testing.T) {
 
 // TestServeEphemeralPort keeps ":0" usable for tests and CLIs.
 func TestServeEphemeralPort(t *testing.T) {
-	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "", nil, "")
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "", nil, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,18 @@ type Entry struct {
 	Bytes      int64   `json:"bytes"`
 	Replicas   int64   `json:"replicas"`
 	ModelMs    float64 `json:"model_ms"`
+	// WireBytes is the encoded on-the-wire byte total (Bytes is the payload
+	// estimate); both are deterministic, so the wire/payload ratio — the
+	// serialisation envelope — is gated exactly. Zero on baselines recorded
+	// before wire accounting existed, in which case diffs skip the gate.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// ReplicaValueBytes is the replicated view's deterministic value memory
+	// (Replicas × sizeof(value)) — the Table 4/5 replica side.
+	ReplicaValueBytes int64 `json:"replica_value_bytes,omitempty"`
+	// AllocsPerStep is the run's mean heap allocations per superstep, read
+	// back from the quarantined mem.csv. Machine- and GC-schedule-dependent,
+	// so diffs band it (Options.AllocTol) and never compare it exactly.
+	AllocsPerStep float64 `json:"allocs_per_superstep,omitempty"`
 	// CritPath is the run's critical-path structure: the gating-worker
 	// sequence from critpath.csv ("step:worker" pairs, durations excluded).
 	// Populated when loading a record directory that has span data; empty for
@@ -63,18 +75,57 @@ func FromManifests(ms []obs.Manifest) Baseline {
 			b.Seed = m.Seed
 		}
 		b.Entries = append(b.Entries, Entry{
-			Experiment: m.Experiment,
-			Engine:     m.Engine,
-			Algorithm:  m.Algorithm,
-			Dataset:    m.Dataset,
-			Supersteps: m.Supersteps,
-			Messages:   m.Messages,
-			Bytes:      m.Bytes,
-			Replicas:   m.Replicas,
-			ModelMs:    m.ModelNanos / 1e6,
+			Experiment:        m.Experiment,
+			Engine:            m.Engine,
+			Algorithm:         m.Algorithm,
+			Dataset:           m.Dataset,
+			Supersteps:        m.Supersteps,
+			Messages:          m.Messages,
+			Bytes:             m.Bytes,
+			Replicas:          m.Replicas,
+			ModelMs:           m.ModelNanos / 1e6,
+			WireBytes:         m.WireBytes,
+			ReplicaValueBytes: m.ReplicaValueBytes,
 		})
 	}
 	return b
+}
+
+// FromManifestsDir normalizes recorded manifests and enriches each entry with
+// the per-run artifacts only the record directory holds: the critical-path
+// gating sequence (critpath.csv) and the mean allocations per superstep
+// (quarantined mem.csv). Artifacts a run directory lacks are skipped, so
+// records made by older binaries still normalize.
+func FromManifestsDir(root string, ms []obs.Manifest) Baseline {
+	b := FromManifests(ms)
+	for i, m := range ms {
+		runDir := filepath.Join(root, m.Run)
+		if seq, err := loadGatingSequence(runDir); err == nil {
+			b.Entries[i].CritPath = seq
+		}
+		b.Entries[i].AllocsPerStep = loadAllocsPerStep(runDir)
+	}
+	return b
+}
+
+// loadAllocsPerStep reads a run directory's mem.csv and returns the mean heap
+// allocations per superstep. Zero when the file is absent (a pre-observatory
+// record), unparsable, or empty — all of which Diff treats as "no alloc data
+// on this side".
+func loadAllocsPerStep(runDir string) float64 {
+	blob, err := os.ReadFile(filepath.Join(runDir, "mem.csv"))
+	if err != nil {
+		return 0
+	}
+	steps, err := obs.ParseMemCSV(blob)
+	if err != nil || len(steps) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range steps {
+		total += float64(s.StepObjects)
+	}
+	return total / float64(len(steps))
 }
 
 // Load reads a comparison side: a directory is a flight-record root (its
@@ -92,15 +143,14 @@ func Load(path string) (Baseline, error) {
 		if len(ms) == 0 {
 			return Baseline{}, fmt.Errorf("report: %s holds no run-* directories", path)
 		}
-		b := FromManifests(ms)
-		for i, m := range ms {
-			seq, err := loadGatingSequence(filepath.Join(path, m.Run))
-			if err != nil {
+		// Surface critpath parse errors (FromManifestsDir is lenient so the
+		// bench CLI can always write a baseline; the gate should not be).
+		for _, m := range ms {
+			if _, err := loadGatingSequence(filepath.Join(path, m.Run)); err != nil {
 				return Baseline{}, err
 			}
-			b.Entries[i].CritPath = seq
 		}
-		return b, nil
+		return FromManifestsDir(path, ms), nil
 	}
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -178,11 +228,19 @@ type Options struct {
 	// band absorbs deliberate cost-constant retuning at minor magnitude;
 	// count drift still fails exactly.
 	ModelTol float64
+	// AllocTol is the relative tolerance for allocs_per_superstep (default
+	// 0.25). Allocation counts are quarantined telemetry — GC scheduling and
+	// the Go version move them — so the band is wide: the gate exists to
+	// catch order-of-magnitude allocation regressions, not noise.
+	AllocTol float64
 }
 
 func (o Options) normalize() Options {
 	if o.ModelTol <= 0 {
 		o.ModelTol = 0.05
+	}
+	if o.AllocTol <= 0 {
+		o.AllocTol = 0.25
 	}
 	return o
 }
@@ -288,6 +346,26 @@ func Diff(old, new Baseline, opts Options) Result {
 		// before span tracing (or with spans off) still diff cleanly.
 		if o.CritPath != "" && n.CritPath != "" {
 			res.Deltas = append(res.Deltas, exactText(k, "critpath", o.CritPath, n.CritPath))
+		}
+		// Wire bytes (and so the wire/payload envelope ratio) are as
+		// deterministic as the payload counts: any change at all fails. The
+		// skip-when-absent guard keeps pre-observatory baselines usable.
+		if o.WireBytes != 0 && n.WireBytes != 0 {
+			res.Deltas = append(res.Deltas,
+				exact(k, "wire_bytes", float64(o.WireBytes), float64(n.WireBytes)),
+				exact(k, "wire_ratio",
+					float64(o.WireBytes)/float64(o.Bytes),
+					float64(n.WireBytes)/float64(n.Bytes)),
+			)
+		}
+		if o.ReplicaValueBytes != 0 && n.ReplicaValueBytes != 0 {
+			res.Deltas = append(res.Deltas,
+				exact(k, "replica_value_bytes", float64(o.ReplicaValueBytes), float64(n.ReplicaValueBytes)))
+		}
+		// Allocation counts are quarantined: banded, never exact.
+		if o.AllocsPerStep != 0 && n.AllocsPerStep != 0 {
+			res.Deltas = append(res.Deltas,
+				banded(k, "allocs_per_superstep", o.AllocsPerStep, n.AllocsPerStep, opts.AllocTol))
 		}
 	}
 	return res

@@ -141,6 +141,11 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 	}
 	bytes := t.batchBytes(batch)
 	t.matrix.Add(from, to, int64(len(batch)), bytes)
+	// No serialisation in-process: the wire cost of a memory hand-off is the
+	// payload itself, so the wire/payload ratio is identically 1 here and the
+	// RPC transport's ratio isolates the gob envelope.
+	t.matrix.AddWire(from, to, bytes)
+	t.stats.countWire(bytes)
 	var ctx span.Context
 	if t.tagged.Load() {
 		ctx = t.tags[from]

@@ -16,6 +16,7 @@ type Matrix struct {
 	n        int
 	messages []atomic.Int64
 	bytes    []atomic.Int64
+	wire     []atomic.Int64 // encoded frame bytes per (from, to) pair
 }
 
 // NewMatrix creates an n×n traffic matrix.
@@ -24,6 +25,7 @@ func NewMatrix(n int) *Matrix {
 		n:        n,
 		messages: make([]atomic.Int64, n*n),
 		bytes:    make([]atomic.Int64, n*n),
+		wire:     make([]atomic.Int64, n*n),
 	}
 }
 
@@ -37,6 +39,14 @@ func (m *Matrix) Add(from, to int, msgs, b int64) {
 	m.bytes[i].Add(b)
 }
 
+// AddWire records b encoded wire bytes sent from `from` to `to`. Transports
+// that do not serialise call it with the payload estimate so wire == payload
+// holds for them; the RPC transport calls it with the measured socket bytes
+// of each gob frame (the envelope cost becomes WireBytes − Bytes).
+func (m *Matrix) AddWire(from, to int, b int64) {
+	m.wire[from*m.n+to].Add(b)
+}
+
 // Snapshot returns a plain-struct copy of the cumulative matrix, safe to
 // read concurrently with traffic (per-cell atomicity; the matrix as a whole
 // is a superstep-boundary artefact, which is when the engines snapshot it).
@@ -46,17 +56,22 @@ func (m *Matrix) Snapshot() MatrixSnapshot {
 		for t := 0; t < m.n; t++ {
 			s.Messages[f][t] = m.messages[f*m.n+t].Load()
 			s.Bytes[f][t] = m.bytes[f*m.n+t].Load()
+			s.Wire[f][t] = m.wire[f*m.n+t].Load()
 		}
 	}
 	return s
 }
 
-// MatrixSnapshot is a point-in-time copy of a Matrix: Messages[from][to] and
-// Bytes[from][to]. The zero value acts as an all-zero matrix in Sub.
+// MatrixSnapshot is a point-in-time copy of a Matrix: Messages[from][to],
+// Bytes[from][to] (payload estimate) and Wire[from][to] (encoded frame
+// bytes). The zero value acts as an all-zero matrix in Sub. Wire may be nil
+// on snapshots built by hand (older tests, JSON without the field); all
+// arithmetic treats a nil Wire as all-zero.
 type MatrixSnapshot struct {
 	Workers  int       `json:"workers"`
 	Messages [][]int64 `json:"messages"`
 	Bytes    [][]int64 `json:"bytes"`
+	Wire     [][]int64 `json:"wire,omitempty"`
 }
 
 func newMatrixSnapshot(n int) MatrixSnapshot {
@@ -64,12 +79,23 @@ func newMatrixSnapshot(n int) MatrixSnapshot {
 		Workers:  n,
 		Messages: make([][]int64, n),
 		Bytes:    make([][]int64, n),
+		Wire:     make([][]int64, n),
 	}
 	for i := 0; i < n; i++ {
 		s.Messages[i] = make([]int64, n)
 		s.Bytes[i] = make([]int64, n)
+		s.Wire[i] = make([]int64, n)
 	}
 	return s
+}
+
+// WireAt reads a wire cell, treating a nil Wire matrix as all-zero (hand-built
+// snapshots and pre-wire JSON have no Wire field).
+func (s MatrixSnapshot) WireAt(f, t int) int64 {
+	if s.Wire == nil {
+		return 0
+	}
+	return s.Wire[f][t]
 }
 
 // Sub returns s - prev cell-wise: the traffic of the interval between the
@@ -87,6 +113,7 @@ func (s MatrixSnapshot) Sub(prev MatrixSnapshot) MatrixSnapshot {
 		for t := range s.Messages[f] {
 			d.Messages[f][t] = s.Messages[f][t] - prev.Messages[f][t]
 			d.Bytes[f][t] = s.Bytes[f][t] - prev.Bytes[f][t]
+			d.Wire[f][t] = s.WireAt(f, t) - prev.WireAt(f, t)
 		}
 	}
 	return d
@@ -106,10 +133,19 @@ func (s MatrixSnapshot) AddInto(other MatrixSnapshot) MatrixSnapshot {
 		panic(fmt.Sprintf("transport: MatrixSnapshot.AddInto dimension mismatch %d vs %d",
 			s.Workers, other.Workers))
 	}
+	if s.Wire == nil && other.Wire != nil {
+		s.Wire = make([][]int64, s.Workers)
+		for i := range s.Wire {
+			s.Wire[i] = make([]int64, s.Workers)
+		}
+	}
 	for f := range s.Messages {
 		for t := range s.Messages[f] {
 			s.Messages[f][t] += other.Messages[f][t]
 			s.Bytes[f][t] += other.Bytes[f][t]
+			if s.Wire != nil {
+				s.Wire[f][t] += other.WireAt(f, t)
+			}
 		}
 	}
 	return s
@@ -121,6 +157,9 @@ func (s MatrixSnapshot) Clone() MatrixSnapshot {
 	for i := range s.Messages {
 		copy(c.Messages[i], s.Messages[i])
 		copy(c.Bytes[i], s.Bytes[i])
+		if s.Wire != nil {
+			copy(c.Wire[i], s.Wire[i])
+		}
 	}
 	return c
 }
@@ -174,6 +213,18 @@ func (s MatrixSnapshot) TotalMessages() int64 {
 func (s MatrixSnapshot) TotalBytes() int64 {
 	var n int64
 	for _, row := range s.Bytes {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// TotalWireBytes returns the grand total of the wire-byte matrix. On a
+// cumulative snapshot this equals Stats.WireBytes exactly.
+func (s MatrixSnapshot) TotalWireBytes() int64 {
+	var n int64
+	for _, row := range s.Wire {
 		for _, v := range row {
 			n += v
 		}

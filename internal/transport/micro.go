@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cyclops/internal/obs/span"
@@ -47,6 +48,14 @@ type MicroResult struct {
 	// Checksum guards against dead-code elimination and wrong results: it is
 	// the sum of the final array, identical across implementations.
 	Checksum float64
+	// PayloadBytes is the logical message volume at 12 bytes/message
+	// (uint32 index + float64 value), identical across implementations.
+	// WireBytes is what each implementation actually materialises to move
+	// that payload: gob frames for hama, header+records for powergraph, zero
+	// for cyclops (direct writes). WireBytes/PayloadBytes is Table 3's
+	// serialisation-envelope factor.
+	PayloadBytes int64
+	WireBytes    int64
 	// SenderMessages is the per-peer accounting for the microbenchmark: one
 	// count per sender. All traffic targets the single master, so the full
 	// worker×worker matrix collapses to this egress vector; its sum equals
@@ -95,6 +104,10 @@ func microRange(total, senders, s int) (lo, hi int) {
 	return
 }
 
+// microPayloadBytes is the logical volume of one run: 12 bytes per (index,
+// value) message, independent of how an implementation encodes it.
+func microPayloadBytes(total int) int64 { return int64(total) * 12 }
+
 func microChecksum(arr []float64) float64 {
 	var sum float64
 	for _, v := range arr {
@@ -112,6 +125,7 @@ func MicroHama(total, senders int) MicroResult {
 	arr := make([]float64, total)
 	var mu sync.Mutex
 	var queue [][]byte
+	var wire atomic.Int64
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -130,6 +144,7 @@ func MicroHama(total, senders int) MicroResult {
 				if err := gob.NewEncoder(&buf).Encode(microFrame{Tag: ctx, Batch: batch}); err != nil {
 					panic(err) // cannot happen for a concrete struct type
 				}
+				wire.Add(int64(buf.Len()))
 				mu.Lock()
 				queue = append(queue, buf.Bytes())
 				mu.Unlock()
@@ -167,6 +182,8 @@ func MicroHama(total, senders int) MicroResult {
 		Impl: "hama", Messages: total,
 		Send: send, Parse: parse, Total: send + parse,
 		Checksum:       microChecksum(arr),
+		PayloadBytes:   microPayloadBytes(total),
+		WireBytes:      wire.Load(),
 		SenderMessages: microSenderCounts(total, senders),
 		LinkedBatches:  linked,
 	}
@@ -178,6 +195,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 	arr := make([]float64, total)
 	var mu sync.Mutex
 	var queue [][]byte
+	var wire atomic.Int64
 
 	// The span tag rides a fixed 16-byte binary header (run int64, step
 	// int32, worker int32), matching the implementation's hand-rolled
@@ -203,6 +221,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 				if len(buf) == microHeader {
 					return
 				}
+				wire.Add(int64(len(buf)))
 				mu.Lock()
 				queue = append(queue, buf)
 				mu.Unlock()
@@ -241,6 +260,8 @@ func MicroPowerGraph(total, senders int) MicroResult {
 		Impl: "powergraph", Messages: total,
 		Send: send, Parse: parse, Total: send + parse,
 		Checksum:       microChecksum(arr),
+		PayloadBytes:   microPayloadBytes(total),
+		WireBytes:      wire.Load(),
 		SenderMessages: microSenderCounts(total, senders),
 		LinkedBatches:  linked,
 	}
@@ -270,7 +291,11 @@ func MicroCyclops(total, senders int) MicroResult {
 	return MicroResult{
 		Impl: "cyclops", Messages: total,
 		Send: send, Parse: 0, Total: send,
-		Checksum:       microChecksum(arr),
+		Checksum:     microChecksum(arr),
+		PayloadBytes: microPayloadBytes(total),
+		// WireBytes stays zero: direct writes materialise no frames at all,
+		// which is precisely the paper's point about the §3.4 one-message
+		// guarantee.
 		SenderMessages: microSenderCounts(total, senders),
 		// No frames to tag: each sender's direct write carries its span
 		// context implicitly, so every sender is its own linked "batch".

@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -96,6 +97,10 @@ type RPC[M any] struct {
 	// to `to`; nil on the diagonal (self-sends short-circuit).
 	conns    [][]net.Conn
 	encoders [][]*gob.Encoder
+	// counters[from][to] sits between the encoder and the socket, counting
+	// the encoded frame bytes each gob Encode actually writes. Guarded by
+	// encMu[from], like the encoder it feeds.
+	counters [][]*countingWriter
 	encMu    []sync.Mutex // one per sender: engines may send from several goroutines
 	rngs     []*rand.Rand // per-sender jitter source, guarded by encMu
 
@@ -143,6 +148,23 @@ type frame[M any] struct {
 	Batch []M
 }
 
+// countingWriter counts the bytes flowing through it to the underlying
+// connection — the ground truth for wire-overhead accounting. The per-frame
+// byte sequence of a (from, to) gob stream is deterministic for a fixed
+// message sequence (gob emits type descriptors once per stream, then
+// identical frame encodings), so cumulative wire bytes are as reproducible
+// as the payload counts the perf gate already diffs exactly.
+type countingWriter struct {
+	w io.Writer
+	n int64 // guarded by the owning sender's encMu
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // NewRPC creates a fully connected loopback transport between n endpoints
 // with default failure-handling options.
 func NewRPC[M any](n int) (*RPC[M], error) {
@@ -160,6 +182,7 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 		listeners: make([]net.Listener, n),
 		conns:     make([][]net.Conn, n),
 		encoders:  make([][]*gob.Encoder, n),
+		counters:  make([][]*countingWriter, n),
 		encMu:     make([]sync.Mutex, n),
 		rngs:      make([]*rand.Rand, n),
 		inboxes:   make([]rpcInbox[M], n),
@@ -204,6 +227,7 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 	for from := 0; from < n; from++ {
 		t.conns[from] = make([]net.Conn, n)
 		t.encoders[from] = make([]*gob.Encoder, n)
+		t.counters[from] = make([]*countingWriter, n)
 		for to := 0; to < n; to++ {
 			if to == from {
 				continue
@@ -214,7 +238,8 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 				return nil, fmt.Errorf("transport: dial %d→%d: %w", from, to, err)
 			}
 			t.conns[from][to] = conn
-			t.encoders[from][to] = gob.NewEncoder(conn)
+			t.counters[from][to] = &countingWriter{w: conn}
+			t.encoders[from][to] = gob.NewEncoder(t.counters[from][to])
 		}
 	}
 	return t, nil
@@ -228,7 +253,11 @@ func (t *RPC[M]) receiveLoop(to int, conn net.Conn) {
 			conn.SetReadDeadline(time.Now().Add(t.opts.ReadTimeout)) //nolint:errcheck
 		}
 		var f frame[M]
-		if err := dec.Decode(&f); err != nil {
+		err := dec.Decode(&f)
+		if err == nil {
+			t.stats.countDecode()
+		}
+		if err != nil {
 			// EOF is the normal end of a replaced or closed connection; a
 			// deadline expiry means the peer stalled past ReadTimeout.
 			if ne, ok := err.(net.Error); ok && ne.Timeout() && !t.closed.Load() {
@@ -270,11 +299,12 @@ func (t *RPC[M]) depositEnd(to, from int) {
 func (t *RPC[M]) NumEndpoints() int { return t.n }
 
 // Stats exposes the traffic counters. Bytes are counted as 16/message to
-// stay comparable with Local; the real wire bytes are strictly larger.
+// stay comparable with Local; WireBytes carries the measured socket bytes of
+// every gob frame, so WireBytes − Bytes is the real envelope cost.
 func (t *RPC[M]) Stats() *Stats { return &t.stats }
 
-// Matrix exposes the per-peer traffic counters (same 16 bytes/message
-// estimate as Stats).
+// Matrix exposes the per-peer traffic counters (payload at the same
+// 16 bytes/message estimate as Stats, wire at measured socket bytes).
 func (t *RPC[M]) Matrix() *Matrix { return t.matrix }
 
 // recordErr keeps the first asynchronous failure for Err. A fatal error also
@@ -358,13 +388,19 @@ func (t *RPC[M]) sendFrame(from, to int, f frame[M]) error {
 				old.Close()
 			}
 			t.conns[from][to] = conn
-			t.encoders[from][to] = gob.NewEncoder(conn)
+			// A fresh gob stream re-sends its type descriptors; the new
+			// counting writer charges them to the wire like any other bytes
+			// (under a seed-deterministic fault plan the resend is part of
+			// the replayable byte sequence).
+			t.counters[from][to] = &countingWriter{w: conn}
+			t.encoders[from][to] = gob.NewEncoder(t.counters[from][to])
 			t.stats.reconnects.Add(1)
 		}
 		conn := t.conns[from][to]
 		if t.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)) //nolint:errcheck
 		}
+		wire0 := t.counters[from][to].n
 		encStart := time.Now()
 		err := t.encoders[from][to].Encode(f)
 		t.serNs[from] += time.Since(encStart).Nanoseconds() //lint:allow determinism serialisation time feeds the Serialize span, quarantined like timings.csv
@@ -373,6 +409,13 @@ func (t *RPC[M]) sendFrame(from, to int, f frame[M]) error {
 			t.stats.retries.Add(1)
 			continue
 		}
+		// Wire accounting only on success: a failed attempt's partial bytes
+		// are retried in full over a fresh stream, so the counted sequence
+		// stays the deterministic one the perf gate can diff exactly.
+		wire := t.counters[from][to].n - wire0
+		t.stats.countWire(wire)
+		t.stats.countEncode()
+		t.matrix.AddWire(from, to, wire)
 		return nil
 	}
 	return &Error{Op: "send", Peer: to, Retryable: true, Err: lastErr}
@@ -390,9 +433,15 @@ func (t *RPC[M]) Send(from, to int, batch []M) {
 		t.recordErr(&Error{Op: "send", Peer: to, Err: ErrClosed})
 		return
 	}
-	t.stats.count(int64(len(batch)), int64(len(batch))*16, true)
-	t.matrix.Add(from, to, int64(len(batch)), int64(len(batch))*16)
+	payload := int64(len(batch)) * 16
+	t.stats.count(int64(len(batch)), payload, true)
+	t.matrix.Add(from, to, int64(len(batch)), payload)
 	if from == to {
+		// A self-send never crosses a socket: wire == payload, same as the
+		// in-process transports, so the aggregate wire/payload ratio isolates
+		// the gob envelope paid on the remote paths.
+		t.stats.countWire(payload)
+		t.matrix.AddWire(from, to, payload)
 		var ctx span.Context
 		if t.tagged.Load() {
 			t.encMu[from].Lock()

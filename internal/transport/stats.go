@@ -20,6 +20,9 @@ type Stats struct {
 	messages   atomic.Int64
 	batches    atomic.Int64
 	bytes      atomic.Int64
+	wireBytes  atomic.Int64 // encoded frame bytes (== payload when no encoding)
+	encodes    atomic.Int64 // frame encode operations (gob / manual binary)
+	decodes    atomic.Int64 // frame decode operations
 	enqueues   atomic.Int64 // enqueue operations that took the shared lock
 	retries    atomic.Int64 // send attempts repeated after a transient failure
 	reconnects atomic.Int64 // connections re-established after a failure
@@ -35,6 +38,17 @@ func (s *Stats) count(n, b int64, locked bool) {
 	}
 }
 
+// countWire records b encoded bytes on the wire. In-process transports call
+// it with the payload estimate (memory hand-off has no envelope); the RPC
+// transport with the gob frame's true socket byte count, so WireBytes-Bytes
+// is exactly the serialisation envelope the paper's Table 3 charges Hama for.
+func (s *Stats) countWire(b int64) { s.wireBytes.Add(b) }
+
+// countEncode / countDecode record one frame encode / decode operation.
+// Always zero for in-process transports, which never serialise.
+func (s *Stats) countEncode() { s.encodes.Add(1) }
+func (s *Stats) countDecode() { s.decodes.Add(1) }
+
 // Messages reports the total messages sent.
 func (s *Stats) Messages() int64 { return s.messages.Load() }
 
@@ -43,6 +57,17 @@ func (s *Stats) Batches() int64 { return s.batches.Load() }
 
 // Bytes reports the total estimated payload bytes sent.
 func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// WireBytes reports the total encoded bytes sent. Equal to Bytes on
+// transports that do not serialise; strictly larger on the gob RPC transport
+// (frame envelope + type descriptors).
+func (s *Stats) WireBytes() int64 { return s.wireBytes.Load() }
+
+// Encodes reports the number of frame encode operations performed.
+func (s *Stats) Encodes() int64 { return s.encodes.Load() }
+
+// Decodes reports the number of frame decode operations performed.
+func (s *Stats) Decodes() int64 { return s.decodes.Load() }
 
 // LockedEnqueues reports how many enqueues serialised on a shared lock —
 // zero for the per-sender discipline, equal to Batches for the global queue.
@@ -62,6 +87,9 @@ func (s *Stats) Reset() {
 	s.messages.Store(0)
 	s.batches.Store(0)
 	s.bytes.Store(0)
+	s.wireBytes.Store(0)
+	s.encodes.Store(0)
+	s.decodes.Store(0)
 	s.enqueues.Store(0)
 	s.retries.Store(0)
 	s.reconnects.Store(0)
@@ -70,7 +98,10 @@ func (s *Stats) Reset() {
 // Snapshot is a plain-struct copy of the counters for reporting.
 type Snapshot struct {
 	Messages, Batches, Bytes, LockedEnqueues int64
-	Retries, Reconnects                      int64
+	// WireBytes is the encoded on-the-wire byte count; Encodes and Decodes
+	// count frame serialisation operations (zero for in-process transports).
+	WireBytes, Encodes, Decodes int64
+	Retries, Reconnects         int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -79,6 +110,9 @@ func (s *Stats) Snapshot() Snapshot {
 		Messages:       s.Messages(),
 		Batches:        s.Batches(),
 		Bytes:          s.Bytes(),
+		WireBytes:      s.WireBytes(),
+		Encodes:        s.Encodes(),
+		Decodes:        s.Decodes(),
 		LockedEnqueues: s.LockedEnqueues(),
 		Retries:        s.Retries(),
 		Reconnects:     s.Reconnects(),
@@ -86,6 +120,15 @@ func (s *Stats) Snapshot() Snapshot {
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("msgs=%d batches=%d bytes=%d locked=%d",
-		s.Messages, s.Batches, s.Bytes, s.LockedEnqueues)
+	return fmt.Sprintf("msgs=%d batches=%d bytes=%d wire=%d locked=%d",
+		s.Messages, s.Batches, s.Bytes, s.WireBytes, s.LockedEnqueues)
+}
+
+// WireOverhead reports the wire/payload byte ratio — the serialisation
+// envelope factor. Zero when nothing was sent.
+func (s Snapshot) WireOverhead() float64 {
+	if s.Bytes == 0 {
+		return 0
+	}
+	return float64(s.WireBytes) / float64(s.Bytes)
 }
