@@ -141,11 +141,14 @@ func main() {
 	}
 	var spans *obs.SpanTracker
 	var mem *obs.MemTracker
+	var heat *obs.HeatTracker
 	if *debugAddr != "" {
 		spans = obs.NewSpanTracker()
 		hookList = append(hookList, spans)
 		mem = obs.NewMemTracker()
 		hookList = append(hookList, mem)
+		heat = obs.NewHeatTracker()
+		hookList = append(hookList, heat)
 	}
 	var harvester *obs.Harvester
 	if *profDir != "" {
@@ -164,7 +167,7 @@ func main() {
 		hookList = append(hookList, rec)
 	}
 	if *debugAddr != "" {
-		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir, mem)
+		srv, err := obs.Serve(*debugAddr, reg, tracer.Ring(), comm, *record, spans, *profDir, mem, heat)
 		if err != nil {
 			fatal(err)
 		}

@@ -54,6 +54,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		fs.SetOutput(stderr)
 		critpath := fs.Bool("critpath", false, "print the per-superstep critical-path breakdown instead of the raw record")
 		mem := fs.Bool("mem", false, "print the per-superstep memory telemetry (mem.csv) instead of the raw record")
+		heat := fs.Bool("heat", false, "print the partition heat map, hot-vertex set and straggler root causes instead of the raw record")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -65,6 +66,9 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 		}
 		if *mem {
 			return showMem(fs.Arg(0), fs.Arg(1), stdout)
+		}
+		if *heat {
+			return showHeat(fs.Arg(0), fs.Arg(1), stdout)
 		}
 		return show(fs.Arg(0), fs.Arg(1), stdout)
 	case "diff":
@@ -85,7 +89,7 @@ func cliMain(args []string, stdout, stderr io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: cyclops-report list <dir> | show [-critpath] [-mem] <dir> <run> | diff [-model-tol F] [-alloc-tol F] <baseline> <current>")
+	return fmt.Errorf("usage: cyclops-report list <dir> | show [-critpath] [-mem] [-heat] <dir> <run> | diff [-model-tol F] [-alloc-tol F] <baseline> <current>")
 }
 
 func list(dir string, w io.Writer) error {
@@ -256,6 +260,160 @@ func showMem(dir, run string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "note: all columns are quarantined telemetry (machine- and GC-schedule-dependent)")
 	return nil
+}
+
+// showHeat renders a run's heat observatory: the per-(superstep, worker) heat
+// map from heat.csv, the final top-k hot-vertex set from hotset.csv, and a
+// straggler root-cause table joining each superstep's critpath.csv gating
+// worker against its heat row. The cause names which load dimension put that
+// worker on the critical path: compute volume, boundary messages, or
+// replica-sync traffic.
+func showHeat(dir, run string, w io.Writer) error {
+	heatBlob, err := os.ReadFile(filepath.Join(dir, run, "heat.csv"))
+	if err != nil {
+		return fmt.Errorf("no heat data (was the run recorded by a pre-heat-observatory binary?): %w", err)
+	}
+	rows, err := obs.ParseHeatCSV(heatBlob)
+	if err != nil {
+		return err
+	}
+	var hot []obs.HotVertex
+	if blob, err := os.ReadFile(filepath.Join(dir, run, "hotset.csv")); err == nil {
+		if hot, err = obs.ParseHotsetCSV(blob); err != nil {
+			return err
+		}
+	}
+	gating := make(map[int]int) // step → gating worker
+	if blob, err := os.ReadFile(filepath.Join(dir, run, "critpath.csv")); err == nil {
+		paths, err := span.ParseCritPathCSV(blob)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			gating[p.Step] = int(p.Gating)
+		}
+	}
+
+	byStep := make(map[int][]obs.HeatPartition)
+	var steps []int
+	for _, r := range rows {
+		if _, seen := byStep[r.Step]; !seen {
+			steps = append(steps, r.Step)
+		}
+		byStep[r.Step] = append(byStep[r.Step], r)
+	}
+
+	fmt.Fprintf(w, "partition heat map: %s (* = gating worker)\n", run)
+	fmt.Fprintf(w, "%4s %7s %8s %10s %9s %9s %8s %8s %9s\n",
+		"step", "worker", "active", "units", "out-int", "out-bnd", "in-bnd", "sync", "")
+	for _, s := range steps {
+		for _, r := range byStep[s] {
+			mark := ""
+			if gw, ok := gating[s]; ok && gw == r.Worker {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "%4d %7s %8d %10d %9d %9d %8d %8d %9s\n",
+				r.Step, fmt.Sprintf("w%d", r.Worker), r.Active, r.ComputeUnits,
+				r.OutInterior, r.OutBoundary, r.InBoundary, r.ReplicaSync, mark)
+		}
+	}
+
+	if len(hot) > 0 {
+		fmt.Fprintf(w, "\nhot vertices (cumulative, msgs desc):\n")
+		fmt.Fprintf(w, "%4s %10s %7s %10s %10s\n", "rank", "vertex", "worker", "msgs", "units")
+		for i, h := range hot {
+			fmt.Fprintf(w, "%4d %10d %7s %10d %10d\n", i+1, h.Vertex, fmt.Sprintf("w%d", h.Worker), h.Msgs, h.Units)
+		}
+	}
+
+	if len(gating) == 0 {
+		fmt.Fprintln(w, "\nno critpath.csv: straggler root causes unavailable")
+		return nil
+	}
+	fmt.Fprintf(w, "\nstraggler root causes (gating worker's load vs the step mean):\n")
+	fmt.Fprintf(w, "%4s %7s %-24s %12s %12s %12s\n",
+		"step", "gating", "cause", "units/mean", "bnd/mean", "sync/mean")
+	for _, s := range steps {
+		gw, ok := gating[s]
+		if !ok {
+			continue
+		}
+		var row *obs.HeatPartition
+		var meanUnits, meanBnd, meanSync float64
+		for i := range byStep[s] {
+			r := &byStep[s][i]
+			meanUnits += float64(r.ComputeUnits)
+			meanBnd += float64(r.OutBoundary + r.InBoundary)
+			meanSync += float64(r.ReplicaSync)
+			if r.Worker == gw {
+				row = r
+			}
+		}
+		n := float64(len(byStep[s]))
+		meanUnits, meanBnd, meanSync = meanUnits/n, meanBnd/n, meanSync/n
+		if row == nil {
+			fmt.Fprintf(w, "%4d %7s %-24s %12s %12s %12s\n",
+				s, fmt.Sprintf("w%d", gw), "unknown (no heat row)", "-", "-", "-")
+			continue
+		}
+		cause := rootCause(*row, meanUnits, meanBnd, meanSync)
+		fmt.Fprintf(w, "%4d %7s %-24s %12s %12s %12s\n",
+			s, fmt.Sprintf("w%d", gw), cause,
+			fratio(float64(row.ComputeUnits), meanUnits),
+			fratio(float64(row.OutBoundary+row.InBoundary), meanBnd),
+			fratio(float64(row.ReplicaSync), meanSync))
+	}
+	return nil
+}
+
+// rootCause classifies why a gating worker was slowest from its heat row: the
+// load dimension furthest above the step mean wins; a worker near the mean on
+// every dimension is "balanced", qualified by its dominant absolute volume; a
+// worker with no load at all is "idle" (it gated on coordination, not load).
+func rootCause(row obs.HeatPartition, meanUnits, meanBnd, meanSync float64) string {
+	units := float64(row.ComputeUnits)
+	bnd := float64(row.OutBoundary + row.InBoundary)
+	sync := float64(row.ReplicaSync)
+	if units == 0 && bnd == 0 && sync == 0 {
+		return "idle"
+	}
+	best, bestRatio := "", 0.0
+	for _, d := range []struct {
+		name    string
+		v, mean float64
+	}{
+		{"compute-heavy", units, meanUnits},
+		{"boundary-message-heavy", bnd, meanBnd},
+		{"replica-sync-heavy", sync, meanSync},
+	} {
+		if d.mean <= 0 {
+			continue
+		}
+		if r := d.v / d.mean; r > bestRatio {
+			bestRatio, best = r, d.name
+		}
+	}
+	if best != "" && bestRatio > 1.05 {
+		return best
+	}
+	// Near the mean everywhere: the straggle isn't skew. Name the dominant
+	// volume so the row still says what the worker spent the step on.
+	switch {
+	case units >= bnd && units >= sync:
+		return "balanced (compute-bound)"
+	case bnd >= sync:
+		return "balanced (message-bound)"
+	default:
+		return "balanced (sync-bound)"
+	}
+}
+
+// fratio renders a load/mean ratio cell; "-" when the step mean is zero.
+func fratio(v, mean float64) string {
+	if mean <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v/mean)
 }
 
 func diff(oldPath, newPath string, modelTol, allocTol float64, w io.Writer) error {

@@ -212,6 +212,101 @@ func TestShowCritPath(t *testing.T) {
 	}
 }
 
+func TestShowHeat(t *testing.T) {
+	dir := t.TempDir()
+	run := filepath.Join(dir, "run-001-cyclops")
+	if err := os.MkdirAll(run, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Two workers, two supersteps. Step 0's gating worker w1 is boundary-heavy
+	// (bnd 90+60 vs w0's 10+40, means 75); step 1's gating worker w0 is
+	// compute-heavy (600 vs mean 350).
+	heat := obs.HeatCSVHeader + "\n" +
+		"0,0,5,100,3,10,3,40,20\n" +
+		"0,1,5,110,2,90,2,60,25\n" +
+		"1,0,4,600,1,50,1,50,30\n" +
+		"1,1,4,100,1,50,1,50,30\n"
+	hotset := obs.HotsetCSVHeader + "\n" +
+		"1,7,1,120,40\n" +
+		"2,3,0,80,200\n"
+	critpath := "step,gating_worker,weight,compute_ns,serialize_ns,send_ns,barrier_wait_ns\n" +
+		"0,1,9,600,100,200,100\n" +
+		"1,0,7,50,10,20,20\n"
+	for name, body := range map[string]string{
+		"heat.csv": heat, "hotset.csv": hotset, "critpath.csv": critpath,
+	} {
+		if err := os.WriteFile(filepath.Join(run, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out strings.Builder
+	if err := cliMain([]string{"show", "-heat", dir, "run-001-cyclops"}, &out, &out); err != nil {
+		t.Fatalf("show -heat failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"partition heat map", "hot vertices", "straggler root causes",
+		"boundary-message-heavy", "compute-heavy",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("heat output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "unknown") {
+		t.Errorf("complete record produced an unknown root cause:\n%s", out.String())
+	}
+
+	// No heat data at all: a helpful error, not a zero-row table.
+	if err := os.Remove(filepath.Join(run, "heat.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliMain([]string{"show", "-heat", dir, "run-001-cyclops"}, &out, &out); err == nil {
+		t.Error("missing heat.csv accepted")
+	}
+}
+
+func TestDiffHeatDigest(t *testing.T) {
+	// Two record dirs identical except for one count in heat.csv: the heat
+	// digest must flag the structural change exactly.
+	writeRec := func(t *testing.T, root, heatRow string) {
+		run := filepath.Join(root, "run-001-cyclops")
+		if err := os.MkdirAll(run, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		m := obs.Manifest{Run: "run-001-cyclops", Experiment: "pagerank", Engine: "cyclops",
+			Supersteps: 1, Messages: 100, Bytes: 800, ModelNanos: 1e6}
+		blob, _ := json.Marshal(m)
+		files := map[string]string{
+			"manifest.json": string(blob),
+			"heat.csv":      obs.HeatCSVHeader + "\n" + heatRow,
+			"hotset.csv":    obs.HotsetCSVHeader + "\n1,7,1,120,40\n",
+		}
+		for name, body := range files {
+			if err := os.WriteFile(filepath.Join(run, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dir := t.TempDir()
+	a, b, c := filepath.Join(dir, "a"), filepath.Join(dir, "b"), filepath.Join(dir, "c")
+	writeRec(t, a, "0,0,5,100,3,10,3,40,20\n")
+	writeRec(t, b, "0,0,5,100,3,10,3,40,20\n")
+	writeRec(t, c, "0,0,5,100,3,10,3,40,21\n")
+
+	var out strings.Builder
+	if err := cliMain([]string{"diff", a, b}, &out, &out); err != nil {
+		t.Fatalf("identical heat digests diffed dirty: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "heat=") {
+		t.Errorf("diff table missing the heat metric:\n%s", out.String())
+	}
+	out.Reset()
+	err := cliMain([]string{"diff", a, c}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "heat") {
+		t.Errorf("changed heat count not flagged: %v\n%s", err, out.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out strings.Builder
 	for _, args := range [][]string{nil, {"bogus"}, {"list"}, {"show", "x"}, {"diff", "one"}} {

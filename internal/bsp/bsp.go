@@ -365,6 +365,8 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			// Replicas and ReplicaValueBytes stay zero: Hama has no
 			// replicated view — it pays in message buffers instead, which is
 			// exactly the memory trade Table 4/5 compares.
+			EdgeCut:          int64(e.assign.EdgeCut(e.g)),
+			PartitionBalance: e.assign.Balance(),
 		})
 		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}
@@ -375,6 +377,15 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	var prevComm transport.MatrixSnapshot
 	if hooks != nil {
 		prevComm = e.tr.Matrix().Snapshot()
+	}
+
+	// Cumulative per-vertex heat counters (hooks on only): messages sent and
+	// compute units, by vertex. Each vertex is computed only by its owner's
+	// goroutine, so the worker fan-out below stays race-free.
+	var heatMsgs, heatUnits []int64
+	if hooks != nil {
+		heatMsgs = make([]int64, e.g.NumVertices())
+		heatUnits = make([]int64, e.g.NumVertices())
 	}
 
 	if !e.primed {
@@ -522,6 +533,10 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					units += int64(len(msgs)) + int64(e.g.OutDegree(v))
 					vsent := ctx.sent - before
 					sent += vsent
+					if heatMsgs != nil {
+						heatMsgs[v] += vsent
+						heatUnits[v] += int64(len(msgs)) + int64(e.g.OutDegree(v))
+					}
 					if ctx.changed {
 						changedW++
 					} else {
@@ -637,11 +652,20 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				})
 			}
 			cur := e.tr.Matrix().Snapshot()
-			hooks.OnCommMatrix(e.step, cur.Sub(prevComm))
+			commDelta := cur.Sub(prevComm)
+			hooks.OnCommMatrix(e.step, commDelta)
 			prevComm = cur
 			for _, v := range violations {
 				hooks.OnViolation(v)
 			}
+			// Heat: Hama has no replicated view, so the replica-sync column
+			// stays nil/zero; its boundary messages are the full §3.4 cost.
+			hooks.OnHeat(obs.HeatStepData{
+				Step:       e.step,
+				Partitions: obs.BuildHeatPartitions(e.step, commDelta, activeCounts, computeUnits, nil),
+				Hot: obs.TopHotVertices(heatMsgs, heatUnits,
+					func(v int) int { return e.assign.Of[v] }, obs.DefaultHotK),
+			})
 			hooks.OnSuperstepEnd(e.step, stats)
 			// Wall is the sum of the four phase durations — exactly what
 			// timings.csv records for the step — so critpath.csv columns

@@ -121,7 +121,7 @@ func BenchmarkAuditOn(b *testing.B) {
 // every span announced open must be closed by the time the run returns.
 type countingHooks struct {
 	runStarts, stepStarts, phases, workerStats, stepEnds, converged atomic.Int64
-	commSteps, commMessages, violations                             atomic.Int64
+	commSteps, commMessages, violations, heatSteps                  atomic.Int64
 	spanStarts, spanEnds                                            atomic.Int64
 	lastReason                                                      string
 	lastStats                                                       metrics.StepStats
@@ -141,6 +141,7 @@ func (c *countingHooks) OnCommMatrix(_ int, delta transport.MatrixSnapshot) {
 	c.commMessages.Add(delta.TotalMessages())
 }
 func (c *countingHooks) OnViolation(obs.Violation)    { c.violations.Add(1) }
+func (c *countingHooks) OnHeat(obs.HeatStepData)      { c.heatSteps.Add(1) }
 func (c *countingHooks) OnRecovery(obs.RecoveryEvent) {}
 func (c *countingHooks) OnSpanStart(s span.Span) {
 	c.spanStarts.Add(1)
@@ -194,6 +195,10 @@ func TestHookSequenceOnRealRun(t *testing.T) {
 	if c.commSteps.Load() != steps {
 		t.Fatalf("comm matrices: %d, want 1 per %d supersteps", c.commSteps.Load(), steps)
 	}
+	// One heat record per superstep, paired with OnSuperstepStart on every path.
+	if c.heatSteps.Load() != steps {
+		t.Fatalf("heat records: %d, want 1 per %d supersteps", c.heatSteps.Load(), steps)
+	}
 	if c.violations.Load() != 0 {
 		t.Fatalf("violations on a clean run: %d", c.violations.Load())
 	}
@@ -238,6 +243,28 @@ func BenchmarkSpanOverhead(b *testing.B) {
 	b.Run("tracker", func(b *testing.B) {
 		b.ReportAllocs()
 		tracker := obs.NewSpanTracker()
+		for i := 0; i < b.N; i++ {
+			runPR(b, g, tracker)
+		}
+	})
+}
+
+// BenchmarkHeatOverhead prices the heat observatory on the gate experiment
+// shape. "nil" is the default path (the per-vertex heat counters are not even
+// allocated); "tracker" routes every superstep's heat record — per-partition
+// rows plus the exact top-k hot-vertex scan — through a HeatTracker. The CI
+// perf gate bounds tracker at <2% over nil.
+func BenchmarkHeatOverhead(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("nil", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runPR(b, g, nil)
+		}
+	})
+	b.Run("tracker", func(b *testing.B) {
+		b.ReportAllocs()
+		tracker := obs.NewHeatTracker()
 		for i := 0; i < b.N; i++ {
 			runPR(b, g, tracker)
 		}

@@ -53,6 +53,8 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			// deterministic replica side of the Table 4/5 memory trade.
 			ReplicaValueBytes: e.ingress.Replicas * int64(unsafe.Sizeof(*new(M))),
 			WorkerReplicas:    e.workerReplicas(),
+			EdgeCut:           int64(e.assign.EdgeCut(e.g)),
+			PartitionBalance:  e.assign.Balance(),
 		})
 		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}
@@ -63,6 +65,16 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	var prevComm transport.MatrixSnapshot
 	if hooks != nil {
 		prevComm = e.tr.Matrix().Snapshot()
+	}
+
+	// Cumulative per-vertex heat counters (hooks on only): replica-sync
+	// messages caused and edges scanned, by master vertex. Each slot is
+	// written only by the goroutines of the worker owning the master, so the
+	// worker fan-outs below stay race-free.
+	var heatMsgs, heatUnits []int64
+	if hooks != nil {
+		heatMsgs = make([]int64, e.g.NumVertices())
+		heatUnits = make([]int64, e.g.NumVertices())
 	}
 
 	pend := make([]pending[M], workers)
@@ -145,6 +157,11 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 							e.prog.Compute(ctx)
 							computed++
 							units += int64(ws.inUnits[s])
+							if heatUnits != nil {
+								// Threads stride disjoint slots, so each
+								// vertex entry has exactly one writer.
+								heatUnits[ws.masters[s]] += int64(ws.inUnits[s])
+							}
 							if ctx.published {
 								pend[w].val[s] = ctx.pubVal
 								f := uint8(flagPublish)
@@ -237,6 +254,9 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 						out[ref.worker] = append(out[ref.worker],
 							syncMsg[M]{Slot: ref.slot, Val: ws.view[s], Activate: activate})
 						sent++
+					}
+					if heatMsgs != nil {
+						heatMsgs[ws.masters[s]] += int64(len(ws.replicas[s]))
 					}
 				}
 				for to := range out {
@@ -405,11 +425,21 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				})
 			}
 			cur := e.tr.Matrix().Snapshot()
-			hooks.OnCommMatrix(e.step, cur.Sub(prevComm))
+			commDelta := cur.Sub(prevComm)
+			hooks.OnCommMatrix(e.step, commDelta)
 			prevComm = cur
 			for _, v := range violations {
 				hooks.OnViolation(v)
 			}
+			// Heat: every Cyclops message is a replica sync (local edges read
+			// shared memory; replicas exist only for spanning edges), so the
+			// sync column is the full send count.
+			hooks.OnHeat(obs.HeatStepData{
+				Step:       e.step,
+				Partitions: obs.BuildHeatPartitions(e.step, commDelta, activeCounts, computeUnits, sendCounts),
+				Hot: obs.TopHotVertices(heatMsgs, heatUnits,
+					func(v int) int { return e.assign.Of[v] }, obs.DefaultHotK),
+			})
 			hooks.OnSuperstepEnd(e.step, stats)
 			// Wall is the sum of the four phase durations — exactly what
 			// timings.csv records for the step — so critpath.csv columns

@@ -394,6 +394,31 @@ func (e *Engine[V, G]) ReplicationFactor() float64 {
 	return float64(e.mirrors) / float64(e.g.NumVertices())
 }
 
+// edgeBalance reports the per-worker edge-load imbalance (max/mean of local
+// in-edge counts, ≥ 1). The vertex-cut balances edges, not vertices, so this —
+// not a vertex count — is the quality figure RunInfo.PartitionBalance carries.
+func (e *Engine[V, G]) edgeBalance() float64 {
+	if len(e.ws) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, ws := range e.ws {
+		var load int64
+		for s := range ws.verts {
+			load += int64(len(ws.verts[s].inEdges))
+		}
+		sum += load
+		if load > max {
+			max = load
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(e.ws))
+	return float64(max) / mean
+}
+
 // TransportStats exposes raw traffic counters.
 func (e *Engine[V, G]) TransportStats() transport.Snapshot { return e.tr.Stats().Snapshot() }
 
@@ -433,6 +458,10 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			// of the Table 4/5 memory comparison.
 			ReplicaValueBytes: e.mirrors * int64(unsafe.Sizeof(*new(V))),
 			WorkerReplicas:    append([]int64(nil), e.mirrorsPerW...),
+			// EdgeCut stays zero: under a vertex-cut every edge is
+			// worker-local by construction; the partition quality lives in
+			// the mirror counts and the edge balance instead.
+			PartitionBalance: e.edgeBalance(),
 		})
 		hooks.OnSpanStart(obs.RunSpan(e.runSeq, 0))
 	}
@@ -451,6 +480,26 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 	}
 	recoveries := 0
 
+	// Cumulative per-vertex heat counters (hooks on only), all attributed at
+	// the vertex's master worker: every round either runs at the master
+	// (request/apply/scatter emission) or drains into it (partials,
+	// activation returns), so each entry has exactly one writer per round.
+	// masterOf maps a vertex to the worker holding its master.
+	var heatMsgs, heatUnits []int64
+	var masterOf []int32
+	if hooks != nil {
+		heatMsgs = make([]int64, e.g.NumVertices())
+		heatUnits = make([]int64, e.g.NumVertices())
+		masterOf = make([]int32, e.g.NumVertices())
+		for w, ws := range e.ws {
+			for s := range ws.verts {
+				if ws.verts[s].master {
+					masterOf[ws.verts[s].id] = int32(w)
+				}
+			}
+		}
+	}
+
 	for e.step < e.cfg.MaxSupersteps {
 		if e.inj != nil {
 			e.inj.BeginStep(e.step)
@@ -460,7 +509,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		var active int64
 		// Per-worker counters for OnWorkerStats; allocated only when
 		// observation is on.
-		var sentPerW, unitsPerW, recvPerW, batchPerW, activePerW []int64
+		var sentPerW, unitsPerW, recvPerW, batchPerW, activePerW, syncPerW []int64
 		// Span bookkeeping (nil when hooks are off): all five GAS rounds of
 		// a superstep fold into one Compute span per worker, with the send
 		// share split out from the per-round busy time.
@@ -474,6 +523,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			recvPerW = make([]int64, k)
 			batchPerW = make([]int64, k)
 			activePerW = make([]int64, k)
+			syncPerW = make([]int64, k)
 			busyPerW = make([]time.Duration, k)
 			sendBusy = make([]time.Duration, k)
 			serNs0 = make([]int64, k)
@@ -523,6 +573,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 				for _, m := range lv.mirrors {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindGatherReq, Slot: m.slot})
+				}
+				if heatMsgs != nil {
+					heatMsgs[lv.id] += int64(len(lv.mirrors))
 				}
 			}
 			sent := e.flush(w, out, &msgs, sendBusy)
@@ -600,6 +653,11 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					if m.Kind != kindGatherPartial {
 						panic("gas: unexpected kind in apply round")
 					}
+					if heatMsgs != nil {
+						// Partials arrive only at the master's worker, so the
+						// attribution stays single-writer.
+						heatMsgs[ws.verts[m.Slot].id]++
+					}
 					if !m.Has {
 						continue
 					}
@@ -626,11 +684,20 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				for _, m := range lv.mirrors {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindApplyPush, Slot: m.slot, Val: newVal})
 				}
+				if heatMsgs != nil {
+					heatMsgs[lv.id] += int64(len(lv.mirrors))
+					// The vertex's gather scanned its full in-edge set,
+					// wherever those edges live — its global in-degree.
+					heatUnits[lv.id] += int64(e.g.InDegree(lv.id))
+				}
 			}
 			activateNext[w] = scatter
 			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
+				// Round 3's out queues hold only apply pushes — the mirror
+				// value maintenance that is GAS's replica-sync traffic.
+				syncPerW[w] += sent
 			}
 		})
 
@@ -653,6 +720,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				}
 				for _, m := range ws.verts[s].mirrors {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindScatterReq, Slot: m.slot})
+				}
+				if heatMsgs != nil {
+					heatMsgs[ws.verts[s].id] += int64(len(ws.verts[s].mirrors))
 				}
 			}
 			sent := e.flush(w, out, &msgs, sendBusy)
@@ -716,6 +786,10 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					if m.Kind != kindActivate {
 						panic("gas: unexpected kind in activation drain")
 					}
+					if heatMsgs != nil {
+						// Activation returns land at the master's worker.
+						heatMsgs[e.ws[w].verts[m.Slot].id]++
+					}
 					nextActive[w][m.Slot] = true
 				}
 			}
@@ -774,11 +848,18 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 				})
 			}
 			cur := e.tr.Matrix().Snapshot()
-			hooks.OnCommMatrix(e.step, cur.Sub(prevComm))
+			commDelta := cur.Sub(prevComm)
+			hooks.OnCommMatrix(e.step, commDelta)
 			prevComm = cur
 			for _, v := range violations {
 				hooks.OnViolation(v)
 			}
+			hooks.OnHeat(obs.HeatStepData{
+				Step:       e.step,
+				Partitions: obs.BuildHeatPartitions(e.step, commDelta, activePerW, unitsPerW, syncPerW),
+				Hot: obs.TopHotVertices(heatMsgs, heatUnits,
+					func(v int) int { return int(masterOf[v]) }, obs.DefaultHotK),
+			})
 			hooks.OnSuperstepEnd(e.step, stats)
 			// Wall is the sum of the phase durations — exactly what
 			// timings.csv records for the step — so critpath.csv columns

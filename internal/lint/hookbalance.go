@@ -17,8 +17,12 @@ import (
 // failure.
 //
 // Pairs: OnRunStart→OnConverged, OnSuperstepStart→OnSuperstepEnd,
-// OnSpanStart→OnSpanEnd (causal spans announced open must be closed on every
-// exit, or waterfalls and the critical-path analyzer see dangling spans).
+// OnSuperstepStart→OnHeat (each started superstep must report per-partition
+// heat, or the heat map gets holes and straggler root-causing comes up
+// "unknown"), OnSpanStart→OnSpanEnd (causal spans announced open must be
+// closed on every exit, or waterfalls and the critical-path analyzer see
+// dangling spans). A begin callback may carry more than one end obligation;
+// every listed pair is enforced independently.
 //
 // Coverage is judged structurally, per return statement: a return after a
 // begin call is covered when an end call appears in a preceding sibling
@@ -30,15 +34,18 @@ import (
 var HookBalance = &analysis.Analyzer{
 	Name: "hookbalance",
 	Doc: "flag return paths that fire an obs.Hooks begin callback (OnRunStart, OnSuperstepStart, OnSpanStart) " +
-		"without the matching end callback (OnConverged, OnSuperstepEnd, OnSpanEnd), which silently truncates traces",
+		"without the matching end callback (OnConverged, OnSuperstepEnd, OnHeat, OnSpanEnd), which silently truncates traces",
 	Run: runHookBalance,
 }
 
-// hookPairs maps each begin callback to its required end callback.
-var hookPairs = map[string]string{
-	"OnRunStart":       "OnConverged",
-	"OnSuperstepStart": "OnSuperstepEnd",
-	"OnSpanStart":      "OnSpanEnd",
+// hookPairs lists each begin callback with a required end callback. A begin
+// may appear more than once (OnSuperstepStart owes both OnSuperstepEnd and
+// OnHeat); each pair is checked independently.
+var hookPairs = []struct{ begin, end string }{
+	{"OnRunStart", "OnConverged"},
+	{"OnSuperstepStart", "OnSuperstepEnd"},
+	{"OnSuperstepStart", "OnHeat"},
+	{"OnSpanStart", "OnSpanEnd"},
 }
 
 type hookCall struct {
@@ -101,10 +108,12 @@ func obsHookCall(pass *analysis.Pass, call *ast.CallExpr) (hookCall, bool) {
 		return hookCall{}, false
 	}
 	name := fn.Name()
-	isBegin := hookPairs[name] != ""
-	isEnd := false
-	for _, end := range hookPairs {
-		if name == end {
+	isBegin, isEnd := false, false
+	for _, p := range hookPairs {
+		if name == p.begin {
+			isBegin = true
+		}
+		if name == p.end {
 			isEnd = true
 		}
 	}
@@ -122,7 +131,8 @@ func isHookMethod(fn ast.Node) bool {
 }
 
 func checkHookFunction(pass *analysis.Pass, fn ast.Node, calls []hookCall, rets []*ast.ReturnStmt, parents map[ast.Node]ast.Node) {
-	for begin, end := range hookPairs {
+	for _, p := range hookPairs {
+		begin, end := p.begin, p.end
 		var beginCalls, endCalls []hookCall
 		deferredEnd := false
 		for _, c := range calls {

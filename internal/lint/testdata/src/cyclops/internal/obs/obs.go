@@ -21,6 +21,11 @@ type Span struct {
 	Kind int
 }
 
+// HeatStepData stands in for the real per-superstep heat payload.
+type HeatStepData struct {
+	Step int
+}
+
 type Hooks interface {
 	OnRunStart(info RunInfo)
 	OnSuperstepStart(step int)
@@ -28,6 +33,7 @@ type Hooks interface {
 	OnViolation(v Violation)
 	OnSpanStart(s Span)
 	OnSpanEnd(s Span)
+	OnHeat(d HeatStepData)
 	OnSuperstepEnd(step int, messages int64)
 	OnRecovery(e RecoveryEvent)
 	OnConverged(step int, reason string)

@@ -55,9 +55,10 @@ func branchOnlyEndDoesNotCover(h obs.Hooks) error {
 	return nil
 }
 
-// neverEnds never fires the end hook at all.
+// neverEnds never fires either of OnSuperstepStart's end hooks: the superstep
+// owes both OnSuperstepEnd and OnHeat, so both obligations fire.
 func neverEnds(h obs.Hooks) {
-	h.OnSuperstepStart(1) // want `OnSuperstepStart is called but OnSuperstepEnd never`
+	h.OnSuperstepStart(1) // want `OnSuperstepStart is called but OnSuperstepEnd never` `OnSuperstepStart is called but OnHeat never`
 }
 
 // deferredEndCoversAll: a deferred end hook covers every return path.
@@ -70,16 +71,51 @@ func deferredEndCoversAll(h obs.Hooks) error {
 	return nil
 }
 
-// supersteps pairs OnSuperstepStart/OnSuperstepEnd per iteration; the final
-// return is covered by the end call that precedes it inside the loop... but
-// an in-loop error return is not.
+// supersteps pairs OnSuperstepStart with OnHeat and OnSuperstepEnd per
+// iteration — the engines' barrier shape; the final return is covered by the
+// end calls that precede it inside the loop... but an in-loop error return
+// skips both.
 func supersteps(h obs.Hooks) error {
 	for step := 0; step < 3; step++ {
 		h.OnSuperstepStart(step)
 		if cond() {
-			return errors.New("fault") // want `return path after OnSuperstepStart without OnSuperstepEnd`
+			return errors.New("fault") // want `return path after OnSuperstepStart without OnSuperstepEnd` `return path after OnSuperstepStart without OnHeat`
 		}
+		h.OnHeat(obs.HeatStepData{Step: step})
 		h.OnSuperstepEnd(step, 0)
+	}
+	return nil
+}
+
+// heatNeverReported pairs OnSuperstepStart/OnSuperstepEnd correctly but never
+// reports heat: the superstep appears in traces yet leaves a hole in the heat
+// map, so straggler root-causing comes up "unknown".
+func heatNeverReported(h obs.Hooks) error {
+	h.OnSuperstepStart(0) // want `OnSuperstepStart is called but OnHeat never`
+	if cond() {
+		h.OnSuperstepEnd(0, 0)
+		return errors.New("fault")
+	}
+	h.OnSuperstepEnd(0, 0)
+	return nil
+}
+
+// heatGuardedPairing is the engines' canonical barrier shape: heat and the
+// superstep end both fire under the standard nil guard before every exit.
+func heatGuardedPairing(h obs.Hooks) error {
+	if h != nil {
+		h.OnSuperstepStart(0)
+	}
+	if cond() {
+		if h != nil {
+			h.OnHeat(obs.HeatStepData{})
+			h.OnSuperstepEnd(0, 0)
+		}
+		return errors.New("fault")
+	}
+	if h != nil {
+		h.OnHeat(obs.HeatStepData{})
+		h.OnSuperstepEnd(0, 0)
 	}
 	return nil
 }

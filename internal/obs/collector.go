@@ -51,6 +51,10 @@ const (
 
 	// Causal span stream.
 	MetricSpans = "cyclops_spans_total"
+
+	// Heat observatory series.
+	MetricHeatBoundary    = "cyclops_heat_boundary_messages"
+	MetricHeatReplicaSync = "cyclops_heat_replica_sync_messages"
 )
 
 // Collector is a Hooks implementation that folds engine events into a
@@ -208,6 +212,21 @@ func (c *Collector) OnViolation(v Violation) {
 	c.reg.LabeledCounter(MetricAuditViolations,
 		"Replica-invariant violations found by the auditor, by kind.",
 		"kind", v.Kind).Inc()
+}
+
+// OnHeat implements Hooks: exports the superstep's boundary-message share
+// and replica-sync volume — the two heat aggregates worth a live gauge; the
+// full per-partition rows stay on /heat.
+func (c *Collector) OnHeat(d HeatStepData) {
+	var boundary, sync int64
+	for _, p := range d.Partitions {
+		boundary += p.OutBoundary
+		sync += p.ReplicaSync
+	}
+	c.reg.Gauge(MetricHeatBoundary,
+		"Messages that crossed a partition boundary in the latest superstep.").Set(float64(boundary))
+	c.reg.Gauge(MetricHeatReplicaSync,
+		"Replica/mirror synchronisation messages in the latest superstep.").Set(float64(sync))
 }
 
 // OnSuperstepEnd implements Hooks.

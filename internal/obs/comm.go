@@ -215,17 +215,15 @@ func (c *CommTracker) WriteCSV(w io.Writer) error {
 // ServeHTTP implements the /comm endpoint: JSON by default, Prometheus text
 // with ?format=prom.
 func (c *CommTracker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Query().Get("format") {
-	case "", "json":
-		w.Header().Set("Content-Type", "application/json")
-		c.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
-	case "prom":
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		c.WritePromText(w) //nolint:errcheck
-	case "csv":
-		w.Header().Set("Content-Type", "text/csv")
-		c.WriteCSV(w) //nolint:errcheck
-	default:
-		http.Error(w, "unknown format (want json, prom or csv)", http.StatusBadRequest)
-	}
+	serveFormat(w, r, map[string]formatVariant{
+		"json": {contentType: "application/json", render: func(w http.ResponseWriter) error {
+			return c.WriteJSON(w)
+		}},
+		"prom": {contentType: "text/plain; version=0.0.4; charset=utf-8", render: func(w http.ResponseWriter) error {
+			return c.WritePromText(w)
+		}},
+		"csv": {contentType: "text/csv", render: func(w http.ResponseWriter) error {
+			return c.WriteCSV(w)
+		}},
+	})
 }

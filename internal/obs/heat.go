@@ -1,0 +1,331 @@
+// Heat observatory: per-partition and per-vertex hot-spot attribution.
+//
+// Every telemetry layer before this one (comm matrices, spans, critpath,
+// mem.csv) stops at worker granularity, so the flight recorder could say
+// *which* worker gated a superstep but not *why*. The heat stream carries the
+// missing dimension: per-partition per-superstep rows splitting the traffic
+// into interior vs boundary and isolating replica-sync volume (the paper's
+// §3.4 accounting), plus a deterministic exact top-k hot-vertex set — the
+// per-vertex skew signal Fig 11 correlates with edge-cut and replica count.
+// Everything here is a count, never a clock: heat.csv and hotset.csv are
+// byte-identical across same-seed runs (wall time stays quarantined in
+// timings.csv).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cyclops/internal/transport"
+)
+
+// HeatPartition is one worker's heat row for one superstep. All fields are
+// deterministic counts.
+type HeatPartition struct {
+	Step   int `json:"step"`
+	Worker int `json:"worker"`
+	// Active is the number of the worker's vertices that computed this
+	// superstep.
+	Active int64 `json:"active"`
+	// ComputeUnits is the number of edges the worker scanned in compute.
+	ComputeUnits int64 `json:"compute_units"`
+	// OutInterior/OutBoundary split the worker's sent messages by whether
+	// they stayed on-worker (the traffic-matrix diagonal) or crossed a
+	// partition boundary; InInterior/InBoundary are the receive side.
+	// Interior is identical on both sides by construction.
+	OutInterior int64 `json:"out_interior"`
+	OutBoundary int64 `json:"out_boundary"`
+	InInterior  int64 `json:"in_interior"`
+	InBoundary  int64 `json:"in_boundary"`
+	// ReplicaSync is the worker's replicated-view maintenance traffic this
+	// superstep: replica value syncs (cyclops), mirror apply-pushes (gas);
+	// zero for engines without a replicated view (hama).
+	ReplicaSync int64 `json:"replica_sync"`
+}
+
+// HotVertex is one entry of the cumulative top-k hot-vertex set.
+type HotVertex struct {
+	// Vertex is the global vertex id, Worker the partition owning its master.
+	Vertex int64 `json:"vertex"`
+	Worker int   `json:"worker"`
+	// Msgs is the cumulative message volume the vertex has caused so far
+	// (sends in hama, replica syncs in cyclops, mirror exchanges in gas);
+	// Units is its cumulative compute volume (edges scanned).
+	Msgs  int64 `json:"msgs"`
+	Units int64 `json:"units"`
+}
+
+// HeatStepData is one superstep's heat payload, assembled at the barrier by
+// every engine and fanned out through Hooks.OnHeat.
+type HeatStepData struct {
+	Step int `json:"step"`
+	// Partitions holds one row per worker, in worker order.
+	Partitions []HeatPartition `json:"partitions"`
+	// Hot is the cumulative top-k hot-vertex set as of this superstep,
+	// ordered by Msgs descending, then vertex id ascending — a total order,
+	// so the set is byte-identical across same-seed runs even under ties.
+	Hot []HotVertex `json:"hot"`
+}
+
+// DefaultHotK is the hot-set size engines track: large enough to expose the
+// power-law head Fig 11 cares about, small enough to scan per barrier.
+const DefaultHotK = 16
+
+// BuildHeatPartitions derives a superstep's heat rows from the superstep's
+// traffic-matrix delta and the engine's per-worker counters. The diagonal of
+// the delta is interior traffic; everything off-diagonal is boundary. active,
+// units and sync are indexed by worker; sync may be nil (no replicated view).
+func BuildHeatPartitions(step int, delta transport.MatrixSnapshot, active, units, sync []int64) []HeatPartition {
+	n := len(active)
+	rows := make([]HeatPartition, n)
+	for w := 0; w < n; w++ {
+		r := HeatPartition{Step: step, Worker: w, Active: active[w], ComputeUnits: units[w]}
+		if w < len(delta.Messages) {
+			diag := delta.Messages[w][w]
+			r.OutInterior, r.InInterior = diag, diag
+			for t, v := range delta.Messages[w] {
+				if t != w {
+					r.OutBoundary += v
+				}
+			}
+			for f := range delta.Messages {
+				if f != w {
+					r.InBoundary += delta.Messages[f][w]
+				}
+			}
+		}
+		if sync != nil {
+			r.ReplicaSync = sync[w]
+		}
+		rows[w] = r
+	}
+	return rows
+}
+
+// TopHotVertices scans cumulative per-vertex counters and returns the exact
+// top-k by (Msgs desc, Vertex asc) — a total order, so ties cannot reorder
+// across runs. Vertices with no traffic and no compute are excluded; fewer
+// than k qualifying vertices yield a shorter set. ownerOf maps a vertex to
+// the worker holding its master.
+func TopHotVertices(msgs, units []int64, ownerOf func(v int) int, k int) []HotVertex {
+	if k <= 0 {
+		return nil
+	}
+	hot := make([]HotVertex, 0, k+1)
+	less := func(a, b HotVertex) bool {
+		if a.Msgs != b.Msgs {
+			return a.Msgs > b.Msgs
+		}
+		return a.Vertex < b.Vertex
+	}
+	for v := range msgs {
+		m, u := msgs[v], units[v]
+		if m == 0 && u == 0 {
+			continue
+		}
+		cand := HotVertex{Vertex: int64(v), Worker: ownerOf(v), Msgs: m, Units: u}
+		if len(hot) == k && !less(cand, hot[k-1]) {
+			continue
+		}
+		i := sort.Search(len(hot), func(i int) bool { return less(cand, hot[i]) })
+		hot = append(hot, HotVertex{})
+		copy(hot[i+1:], hot[i:])
+		hot[i] = cand
+		if len(hot) > k {
+			hot = hot[:k]
+		}
+	}
+	return hot
+}
+
+// HeatCSVHeader is the schema of heat.csv: one row per (superstep, worker),
+// deterministic counts only.
+const HeatCSVHeader = "step,worker,active,compute_units,out_interior,out_boundary,in_interior,in_boundary,replica_sync"
+
+// EncodeHeatCSV renders heat rows as heat.csv. Same rows in, same bytes out.
+func EncodeHeatCSV(rows []HeatPartition) []byte {
+	var b strings.Builder
+	b.WriteString(HeatCSVHeader)
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strconv.Itoa(r.Step))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(r.Worker))
+		for _, v := range [...]int64{r.Active, r.ComputeUnits,
+			r.OutInterior, r.OutBoundary, r.InInterior, r.InBoundary, r.ReplicaSync} {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(v, 10))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ParseHeatCSV reads heat.csv back. Strict: the header and every row must
+// match the schema exactly, so Encode/Parse round-trips byte-for-byte.
+func ParseHeatCSV(blob []byte) ([]HeatPartition, error) {
+	lines := strings.Split(strings.TrimSuffix(string(blob), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != HeatCSVHeader {
+		return nil, fmt.Errorf("obs: not a heat.csv (header %q)", lines[0])
+	}
+	var rows []HeatPartition
+	for ln, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 9 {
+			return nil, fmt.Errorf("obs: heat.csv row %d has %d fields, want 9", ln+2, len(f))
+		}
+		var vals [9]int64
+		for i, s := range f {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: heat.csv row %d field %d: %w", ln+2, i+1, err)
+			}
+			vals[i] = v
+		}
+		rows = append(rows, HeatPartition{
+			Step: int(vals[0]), Worker: int(vals[1]), Active: vals[2],
+			ComputeUnits: vals[3], OutInterior: vals[4], OutBoundary: vals[5],
+			InInterior: vals[6], InBoundary: vals[7], ReplicaSync: vals[8],
+		})
+	}
+	return rows, nil
+}
+
+// HotsetCSVHeader is the schema of hotset.csv: the run's final top-k
+// hot-vertex set, rank 1 first.
+const HotsetCSVHeader = "rank,vertex,worker,msgs,units"
+
+// EncodeHotsetCSV renders a hot-vertex set as hotset.csv.
+func EncodeHotsetCSV(hot []HotVertex) []byte {
+	var b strings.Builder
+	b.WriteString(HotsetCSVHeader)
+	b.WriteByte('\n')
+	for i, h := range hot {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d\n", i+1, h.Vertex, h.Worker, h.Msgs, h.Units)
+	}
+	return []byte(b.String())
+}
+
+// ParseHotsetCSV reads hotset.csv back, verifying the rank column is the
+// contiguous 1..n sequence the encoder wrote.
+func ParseHotsetCSV(blob []byte) ([]HotVertex, error) {
+	lines := strings.Split(strings.TrimSuffix(string(blob), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != HotsetCSVHeader {
+		return nil, fmt.Errorf("obs: not a hotset.csv (header %q)", lines[0])
+	}
+	var hot []HotVertex
+	for ln, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 5 {
+			return nil, fmt.Errorf("obs: hotset.csv row %d has %d fields, want 5", ln+2, len(f))
+		}
+		var vals [5]int64
+		for i, s := range f {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: hotset.csv row %d field %d: %w", ln+2, i+1, err)
+			}
+			vals[i] = v
+		}
+		if vals[0] != int64(ln+1) {
+			return nil, fmt.Errorf("obs: hotset.csv row %d has rank %d, want %d", ln+2, vals[0], ln+1)
+		}
+		hot = append(hot, HotVertex{Vertex: vals[1], Worker: int(vals[2]), Msgs: vals[3], Units: vals[4]})
+	}
+	return hot, nil
+}
+
+// HeatTracker accumulates the heat stream for the live /heat endpoint.
+type HeatTracker struct {
+	Nop // no-op for the hook points the tracker does not consume
+
+	mu     sync.Mutex
+	engine string
+	rows   []HeatPartition
+	hot    []HotVertex
+	done   bool
+}
+
+// NewHeatTracker returns an empty tracker.
+func NewHeatTracker() *HeatTracker { return &HeatTracker{} }
+
+// OnRunStart implements Hooks: a new run resets the accumulated heat.
+func (t *HeatTracker) OnRunStart(info RunInfo) {
+	t.mu.Lock()
+	t.engine = info.Engine
+	t.rows = nil
+	t.hot = nil
+	t.done = false
+	t.mu.Unlock()
+}
+
+// OnHeat implements Hooks: appends the superstep's rows and replaces the
+// cumulative hot set.
+func (t *HeatTracker) OnHeat(d HeatStepData) {
+	t.mu.Lock()
+	t.rows = append(t.rows, d.Partitions...)
+	t.hot = append(t.hot[:0], d.Hot...)
+	t.mu.Unlock()
+}
+
+// OnConverged implements Hooks.
+func (t *HeatTracker) OnConverged(int, string) {
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+}
+
+// Rows returns a copy of the accumulated heat rows.
+func (t *HeatTracker) Rows() []HeatPartition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]HeatPartition(nil), t.rows...)
+}
+
+// Hot returns a copy of the latest cumulative hot-vertex set.
+func (t *HeatTracker) Hot() []HotVertex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]HotVertex(nil), t.hot...)
+}
+
+// heatJSON is the /heat JSON envelope.
+type heatJSON struct {
+	Engine     string          `json:"engine"`
+	Done       bool            `json:"done"`
+	Partitions []HeatPartition `json:"partitions"`
+	Hot        []HotVertex     `json:"hot"`
+}
+
+// ServeHTTP serves the accumulated heat: JSON by default, heat.csv rows with
+// ?format=csv (append the hotset with ?format=hotcsv).
+func (t *HeatTracker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t.mu.Lock()
+	payload := heatJSON{
+		Engine:     t.engine,
+		Done:       t.done,
+		Partitions: append([]HeatPartition(nil), t.rows...),
+		Hot:        append([]HotVertex(nil), t.hot...),
+	}
+	t.mu.Unlock()
+	serveFormat(w, r, map[string]formatVariant{
+		"json": {contentType: "application/json", render: func(w http.ResponseWriter) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(payload)
+		}},
+		"csv": {contentType: "text/csv", render: func(w http.ResponseWriter) error {
+			_, err := w.Write(EncodeHeatCSV(payload.Partitions))
+			return err
+		}},
+		"hotcsv": {contentType: "text/csv", render: func(w http.ResponseWriter) error {
+			_, err := w.Write(EncodeHotsetCSV(payload.Hot))
+			return err
+		}},
+	})
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cyclops/internal/transport"
+)
+
+func sampleHeatRows() []HeatPartition {
+	return []HeatPartition{
+		{Step: 0, Worker: 0, Active: 5, ComputeUnits: 12, OutInterior: 3,
+			OutBoundary: 7, InInterior: 3, InBoundary: 4, ReplicaSync: 7},
+		{Step: 0, Worker: 1, Active: 4, ComputeUnits: 9, OutInterior: 2,
+			OutBoundary: 4, InInterior: 2, InBoundary: 7, ReplicaSync: 4},
+		{Step: 1, Worker: 0, Active: 0, ComputeUnits: 0},
+		{Step: 1, Worker: 1, Active: 1, ComputeUnits: 3, OutBoundary: 1},
+	}
+}
+
+// TestHeatCSVRoundTrip pins the exact Encode/Parse contract: rows survive the
+// round trip unchanged, and re-encoding yields the identical bytes — the
+// property heat.csv's byte-identity guarantee is built on.
+func TestHeatCSVRoundTrip(t *testing.T) {
+	rows := sampleHeatRows()
+	blob := EncodeHeatCSV(rows)
+	back, err := ParseHeatCSV(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, back) {
+		t.Errorf("round trip changed rows:\nin:  %+v\nout: %+v", rows, back)
+	}
+	if again := EncodeHeatCSV(back); !bytes.Equal(blob, again) {
+		t.Errorf("re-encode differs:\nfirst:\n%s\nsecond:\n%s", blob, again)
+	}
+
+	// Empty input still round-trips (a run with zero supersteps).
+	empty, err := ParseHeatCSV(EncodeHeatCSV(nil))
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty round trip = %v rows, err %v", empty, err)
+	}
+
+	// Strictness: wrong header, short rows and non-numeric fields all fail.
+	for name, blob := range map[string][]byte{
+		"bad-header": []byte("step,worker\n0,0\n"),
+		"short-row":  []byte(HeatCSVHeader + "\n0,0,1\n"),
+		"non-int":    []byte(HeatCSVHeader + "\n0,0,x,0,0,0,0,0,0\n"),
+	} {
+		if _, err := ParseHeatCSV(blob); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestHotsetCSVRoundTrip is the same contract for hotset.csv, including the
+// contiguous-rank check.
+func TestHotsetCSVRoundTrip(t *testing.T) {
+	hot := []HotVertex{
+		{Vertex: 7, Worker: 1, Msgs: 30, Units: 12},
+		{Vertex: 2, Worker: 0, Msgs: 30, Units: 40},
+		{Vertex: 9, Worker: 3, Msgs: 1, Units: 0},
+	}
+	blob := EncodeHotsetCSV(hot)
+	back, err := ParseHotsetCSV(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hot, back) {
+		t.Errorf("round trip changed hotset:\nin:  %+v\nout: %+v", hot, back)
+	}
+	if again := EncodeHotsetCSV(back); !bytes.Equal(blob, again) {
+		t.Errorf("re-encode differs:\nfirst:\n%s\nsecond:\n%s", blob, again)
+	}
+	if _, err := ParseHotsetCSV([]byte(HotsetCSVHeader + "\n2,7,1,30,12\n")); err == nil {
+		t.Error("non-contiguous rank accepted")
+	}
+}
+
+// TestTopHotVerticesDeterministicUnderTies pins the hot-set order: Msgs
+// descending, vertex id ascending on ties — a total order, so the same
+// counters always produce the same set regardless of scan pattern.
+func TestTopHotVerticesDeterministicUnderTies(t *testing.T) {
+	// Vertices 1, 3, 5 tie at 10 msgs; 2 and 4 tie at 20; 0 and 6 are cold.
+	msgs := []int64{0, 10, 20, 10, 20, 10, 0}
+	units := []int64{0, 1, 2, 3, 4, 5, 0}
+	owner := func(v int) int { return v % 2 }
+
+	want := []HotVertex{
+		{Vertex: 2, Worker: 0, Msgs: 20, Units: 2},
+		{Vertex: 4, Worker: 0, Msgs: 20, Units: 4},
+		{Vertex: 1, Worker: 1, Msgs: 10, Units: 1},
+		{Vertex: 3, Worker: 1, Msgs: 10, Units: 3},
+	}
+	got := TopHotVertices(msgs, units, owner, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("top-4 under ties:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Truncation cuts inside the tie group deterministically: vertex 3 (tied
+	// with 1 and 5 at 10) is excluded by its larger id, never by scan order.
+	got3 := TopHotVertices(msgs, units, owner, 3)
+	if !reflect.DeepEqual(got3, want[:3]) {
+		t.Errorf("top-3 under ties:\ngot  %+v\nwant %+v", got3, want[:3])
+	}
+
+	// A vertex with compute but no messages still qualifies (sorted last);
+	// k larger than the qualifying set yields a shorter slice.
+	all := TopHotVertices([]int64{0, 0}, []int64{0, 9}, owner, 16)
+	if len(all) != 1 || all[0].Vertex != 1 || all[0].Units != 9 {
+		t.Errorf("compute-only vertex: %+v", all)
+	}
+	if got := TopHotVertices(nil, nil, owner, 16); len(got) != 0 {
+		t.Errorf("empty counters produced a hot set: %+v", got)
+	}
+}
+
+// TestBuildHeatPartitions pins the interior/boundary split against a known
+// traffic matrix: the diagonal is interior, row sums minus the diagonal are
+// out-boundary, column sums minus the diagonal in-boundary.
+func TestBuildHeatPartitions(t *testing.T) {
+	delta := transport.MatrixSnapshot{
+		Workers: 2,
+		Messages: [][]int64{
+			{3, 7},
+			{4, 2},
+		},
+	}
+	rows := BuildHeatPartitions(5, delta, []int64{10, 20}, []int64{100, 200}, []int64{7, 4})
+	want := []HeatPartition{
+		{Step: 5, Worker: 0, Active: 10, ComputeUnits: 100, OutInterior: 3,
+			OutBoundary: 7, InInterior: 3, InBoundary: 4, ReplicaSync: 7},
+		{Step: 5, Worker: 1, Active: 20, ComputeUnits: 200, OutInterior: 2,
+			OutBoundary: 4, InInterior: 2, InBoundary: 7, ReplicaSync: 4},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("rows:\ngot  %+v\nwant %+v", rows, want)
+	}
+
+	// nil sync (no replicated view) leaves the column zero.
+	rows = BuildHeatPartitions(0, delta, []int64{1, 1}, []int64{1, 1}, nil)
+	for _, r := range rows {
+		if r.ReplicaSync != 0 {
+			t.Errorf("worker %d: replica_sync = %d without a replicated view", r.Worker, r.ReplicaSync)
+		}
+	}
+}

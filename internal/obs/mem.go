@@ -335,13 +335,15 @@ func (t *MemTracker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	t.mu.Lock()
 	resp := memJSON{Engine: t.engine, Done: t.done, Steps: append([]MemStep(nil), t.steps...)}
 	t.mu.Unlock()
-	if r.URL.Query().Get("format") == "csv" {
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		w.Write(EncodeMemCSV(resp.Steps)) //nolint:errcheck
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(resp) //nolint:errcheck
+	serveFormat(w, r, map[string]formatVariant{
+		"json": {contentType: "application/json", render: func(w http.ResponseWriter) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resp)
+		}},
+		"csv": {contentType: "text/csv; charset=utf-8", render: func(w http.ResponseWriter) error {
+			_, err := w.Write(EncodeMemCSV(resp.Steps))
+			return err
+		}},
+	})
 }

@@ -41,6 +41,15 @@ type RunInfo struct {
 	// Workers); nil for engines without a replicated view. It feeds the skew
 	// profiler's replica-imbalance coefficient.
 	WorkerReplicas []int64
+	// EdgeCut is the number of edges whose endpoints land on different
+	// workers under the run's partitioning — the load-time quality the paper's
+	// Fig 11 correlates with replica count and message volume. Zero for the
+	// GAS engine (vertex-cut: every edge is worker-local by construction).
+	EdgeCut int64
+	// PartitionBalance is the load-balance coefficient of the partitioning
+	// (max partition load / mean load, ≥ 1; 1 is perfectly even). Edge-cut
+	// engines report vertex balance, the vertex-cut engine edge balance.
+	PartitionBalance float64
 }
 
 // WorkerStats is one worker's share of one superstep — the per-worker
@@ -125,6 +134,13 @@ type Hooks interface {
 	// replica-invariant auditor (engines with Config.Audit enabled). The run
 	// fails with an AuditError after the violating superstep's hooks.
 	OnViolation(v Violation)
+	// OnHeat fires once per superstep (between the barrier and
+	// OnSuperstepEnd) with the superstep's per-partition heat rows and the
+	// cumulative top-k hot-vertex set. Every field is a deterministic count;
+	// like OnSuperstepStart, each started superstep reports heat on all
+	// return paths (cyclops-lint's hookbalance analyzer enforces the
+	// pairing).
+	OnHeat(d HeatStepData)
 	// OnSuperstepEnd fires with the superstep's aggregate statistics.
 	OnSuperstepEnd(step int, stats metrics.StepStats)
 	// OnRecovery fires after the engine has restored a checkpoint in
@@ -161,6 +177,9 @@ func (Nop) OnCommMatrix(int, transport.MatrixSnapshot) {}
 
 // OnViolation implements Hooks.
 func (Nop) OnViolation(Violation) {}
+
+// OnHeat implements Hooks.
+func (Nop) OnHeat(HeatStepData) {}
 
 // OnSuperstepEnd implements Hooks.
 func (Nop) OnSuperstepEnd(int, metrics.StepStats) {}
@@ -238,6 +257,12 @@ func (m multi) OnCommMatrix(step int, delta transport.MatrixSnapshot) {
 func (m multi) OnViolation(v Violation) {
 	for _, h := range m {
 		h.OnViolation(v)
+	}
+}
+
+func (m multi) OnHeat(d HeatStepData) {
+	for _, h := range m {
+		h.OnHeat(d)
 	}
 }
 

@@ -65,6 +65,18 @@ type Manifest struct {
 	// sizeof(value)): the deterministic half of the paper's Table 4/5 memory
 	// trade. Zero (omitted) for Hama, which buffers messages instead.
 	ReplicaValueBytes int64 `json:"replica_value_bytes,omitempty"`
+	// EdgeCut, PartitionBalance, ReplicationFactor and the ReplicaWorker*
+	// trio stamp the load-time partition quality (§3.4, Fig 11): edges cut,
+	// load balance (max/mean ≥ 1), replicas per vertex, and the min/median/max
+	// of the per-worker replica placement. All deterministic for a fixed
+	// (partitioner, seed) pair, so diffed exactly; zero values are omitted,
+	// keeping earlier manifests byte-stable.
+	EdgeCut           int64   `json:"edge_cut,omitempty"`
+	PartitionBalance  float64 `json:"partition_balance,omitempty"`
+	ReplicationFactor float64 `json:"replication_factor,omitempty"`
+	ReplicaWorkerMin  int64   `json:"replica_worker_min,omitempty"`
+	ReplicaWorkerMed  int64   `json:"replica_worker_median,omitempty"`
+	ReplicaWorkerMax  int64   `json:"replica_worker_max,omitempty"`
 	// ModelNanos is the cost model's deterministic run time estimate.
 	ModelNanos float64 `json:"model_ns"`
 	// WallNanos is measured wall time — the one machine-dependent field.
@@ -147,6 +159,8 @@ type recording struct {
 	spans    []span.Span // completed causal spans, in emission order
 	mem      *memAttrib  // per-phase allocation attribution → mem.csv
 	memSteps []MemStep
+	heat     []HeatPartition // per-partition heat rows → heat.csv
+	hot      []HotVertex     // final cumulative top-k hot set → hotset.csv
 }
 
 // NewRecorder creates the record root (if needed), verifies it is writable,
@@ -247,8 +261,20 @@ func (r *Recorder) OnRunStart(info RunInfo) {
 		Edges:             info.Edges,
 		Replicas:          info.Replicas,
 		ReplicaValueBytes: info.ReplicaValueBytes,
+		EdgeCut:           info.EdgeCut,
+		PartitionBalance:  info.PartitionBalance,
 		GoVersion:         runtime.Version(),
 		GitRev:            gitRev(),
+	}
+	if info.Vertices > 0 {
+		m.ReplicationFactor = float64(info.Replicas) / float64(info.Vertices)
+	}
+	if n := len(info.WorkerReplicas); n > 0 {
+		sorted := append([]int64(nil), info.WorkerReplicas...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		m.ReplicaWorkerMin = sorted[0]
+		m.ReplicaWorkerMed = sorted[n/2]
+		m.ReplicaWorkerMax = sorted[n-1]
 	}
 	r.cur = &recording{
 		manifest: m,
@@ -333,6 +359,18 @@ func (r *Recorder) OnSuperstepEnd(step int, stats metrics.StepStats) {
 		Received: imbalance(recv),
 		Active:   imbalance(active),
 	})
+}
+
+// OnHeat implements Hooks: appends the superstep's per-partition rows and
+// keeps the latest cumulative hot set (the engines emit the run-so-far top-k
+// each barrier, so the last one is the run's final hot set).
+func (r *Recorder) OnHeat(d HeatStepData) {
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.heat = append(r.cur.heat, d.Partitions...)
+		r.cur.hot = d.Hot
+	}
+	r.mu.Unlock()
 }
 
 // OnSpanEnd implements Hooks: appends the completed span to the run's
@@ -423,6 +461,14 @@ func (r *Recorder) write(c *recording) error {
 	}
 	critpath := span.EncodeCritPathCSV(span.CriticalPath(c.spans))
 	if err := os.WriteFile(filepath.Join(dir, "critpath.csv"), critpath, 0o644); err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
+	// heat.csv and hotset.csv are deterministic like series.csv: counts only,
+	// no wall-clock — byte-identical across same-seed runs.
+	if err := os.WriteFile(filepath.Join(dir, "heat.csv"), EncodeHeatCSV(c.heat), 0o644); err != nil {
+		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hotset.csv"), EncodeHotsetCSV(c.hot), 0o644); err != nil {
 		return fmt.Errorf("obs: record %s: %w", c.manifest.Run, err)
 	}
 	blob, err := json.MarshalIndent(c.manifest, "", "  ")

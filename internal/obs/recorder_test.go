@@ -187,6 +187,28 @@ func TestRecorderArtifacts(t *testing.T) {
 		t.Errorf("cyclops manifest missing replica_value_bytes: %+v", m)
 	}
 
+	// Load-time partition quality is stamped into the manifest: the hash
+	// partitioner cuts edges on wiki, balance is a max/mean coefficient, and
+	// cyclops replicates boundary vertices.
+	if m.EdgeCut <= 0 || m.PartitionBalance < 1 || m.ReplicationFactor <= 0 {
+		t.Errorf("manifest partition quality = cut %d, balance %v, rf %v",
+			m.EdgeCut, m.PartitionBalance, m.ReplicationFactor)
+	}
+	if m.ReplicaWorkerMin > m.ReplicaWorkerMed || m.ReplicaWorkerMed > m.ReplicaWorkerMax ||
+		m.ReplicaWorkerMax <= 0 {
+		t.Errorf("replica distribution min/med/max = %d/%d/%d",
+			m.ReplicaWorkerMin, m.ReplicaWorkerMed, m.ReplicaWorkerMax)
+	}
+
+	// The heat observatory artifacts are present and parse back exactly.
+	if rows := loadHeat(t, filepath.Join(dir, m.Run)); len(rows) != m.Supersteps*m.Workers {
+		t.Errorf("heat.csv has %d rows, want %d workers × %d supersteps",
+			len(rows), m.Workers, m.Supersteps)
+	}
+	if hot := loadHotset(t, filepath.Join(dir, m.Run)); len(hot) == 0 {
+		t.Error("hotset.csv empty after a PageRank run")
+	}
+
 	// ReadManifests finds the run; a second recorder appends after it.
 	ms, err := obs.ReadManifests(dir)
 	if err != nil || len(ms) != 1 {
@@ -264,6 +286,38 @@ func TestRecorderDeterminism(t *testing.T) {
 				}
 			}
 
+			// heat.csv and hotset.csv carry counts only, so both are
+			// byte-identical across same-seed runs — the guarantee the
+			// report CLI's exact heat diff stands on.
+			for _, name := range []string{"heat.csv", "hotset.csv"} {
+				ha, err := os.ReadFile(filepath.Join(dirA, ma.Run, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				hb, err := os.ReadFile(filepath.Join(dirB, mb.Run, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ha, hb) {
+					t.Errorf("%s differs between same-seed runs:\nA:\n%s\nB:\n%s",
+						name, firstDiffLine(ha, hb), firstDiffLine(hb, ha))
+				}
+			}
+			rows := loadHeat(t, filepath.Join(dirA, ma.Run))
+			if want := ma.Supersteps * ma.Workers; len(rows) != want {
+				t.Errorf("heat.csv has %d rows, want %d workers × %d supersteps",
+					len(rows), ma.Workers, ma.Supersteps)
+			}
+			hot := loadHotset(t, filepath.Join(dirA, ma.Run))
+			if len(hot) == 0 {
+				t.Errorf("%s: hotset.csv empty after a run with traffic", engine)
+			}
+			for _, h := range hot {
+				if h.Worker < 0 || h.Worker >= ma.Workers {
+					t.Errorf("hot vertex %d attributed to worker %d of %d", h.Vertex, h.Worker, ma.Workers)
+				}
+			}
+
 			// critpath.csv quarantines durations in its _ns columns; the
 			// structural columns (step, gating worker, weight) must agree.
 			pa := loadCritPath(t, filepath.Join(dirA, ma.Run))
@@ -313,6 +367,32 @@ func TestCritPathReconcilesWithTimings(t *testing.T) {
 			}
 		})
 	}
+}
+
+func loadHeat(t *testing.T, runDir string) []obs.HeatPartition {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(runDir, "heat.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := obs.ParseHeatCSV(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func loadHotset(t *testing.T, runDir string) []obs.HotVertex {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(runDir, "hotset.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := obs.ParseHotsetCSV(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hot
 }
 
 func loadCritPath(t *testing.T, runDir string) []span.StepPath {

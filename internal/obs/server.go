@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"time"
 )
@@ -24,18 +25,47 @@ type Server struct {
 	srv  *http.Server
 }
 
-// NewMux builds the diagnostics routes. reg, ring, comm, spans and mem may
-// each be nil and runsDir/profileDir empty; the corresponding endpoint then
-// reports 404.
+// formatVariant is one rendering a handler offers under ?format=.
+type formatVariant struct {
+	contentType string
+	render      func(w http.ResponseWriter) error
+}
+
+// serveFormat is the shared ?format= content negotiation for the diagnostic
+// endpoints (/comm, /mem, /spans, /heat). The empty format aliases "json";
+// an unknown format is a 400 naming the accepted ones.
+func serveFormat(w http.ResponseWriter, r *http.Request, variants map[string]formatVariant) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	v, ok := variants[format]
+	if !ok {
+		names := make([]string, 0, len(variants))
+		for name := range variants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		http.Error(w, fmt.Sprintf("unknown format %q (want %s)", format, strings.Join(names, ", ")),
+			http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", v.contentType)
+	v.render(w) //nolint:errcheck // best-effort HTTP response
+}
+
+// NewMux builds the diagnostics routes. reg, ring, comm, spans, mem and heat
+// may each be nil and runsDir/profileDir empty; the corresponding endpoint
+// then reports 404.
 func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
-	spans *SpanTracker, profileDir string, mem *MemTracker) *http.ServeMux {
+	spans *SpanTracker, profileDir string, mem *MemTracker, heat *HeatTracker) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/mem\n/spans\n/runs\n/profiles\n/debug/pprof/\n")
+		fmt.Fprint(w, "cyclops diagnostics\n\n/metrics\n/trace\n/comm\n/mem\n/heat\n/spans\n/runs\n/profiles\n/debug/pprof/\n")
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -57,6 +87,13 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
 		// allocation telemetry of the latest run, JSON by default,
 		// ?format=csv for the mem.csv rendering.
 		mux.Handle("/mem", mem)
+	}
+	if heat != nil {
+		// /heat is the live heat observatory: per-partition interior/boundary
+		// traffic and replica-sync rows plus the cumulative top-k hot-vertex
+		// set, JSON by default, ?format=csv for heat.csv rows, ?format=hotcsv
+		// for the hot set.
+		mux.Handle("/heat", heat)
 	}
 	if spans != nil {
 		// /spans is the live causal-span waterfall: JSON by default,
@@ -112,7 +149,7 @@ func NewMux(reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
 // on a background goroutine until Close or Shutdown. runsDir may be empty
 // (no /runs endpoint).
 func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir string,
-	spans *SpanTracker, profileDir string, mem *MemTracker) (*Server, error) {
+	spans *SpanTracker, profileDir string, mem *MemTracker, heat *HeatTracker) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -122,7 +159,7 @@ func Serve(addr string, reg *Registry, ring *Ring, comm *CommTracker, runsDir st
 		ring: ring,
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           NewMux(reg, ring, comm, runsDir, spans, profileDir, mem),
+			Handler:           NewMux(reg, ring, comm, runsDir, spans, profileDir, mem, heat),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

@@ -69,7 +69,8 @@ func TestServerLiveDuringRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir, obs.NewSpanTracker(), "", obs.NewMemTracker())
+	heat := obs.NewHeatTracker()
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer.Ring(), comm, recDir, obs.NewSpanTracker(), "", obs.NewMemTracker(), heat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestServerLiveDuringRun(t *testing.T) {
 		cyclops.Config[float64, float64]{
 			Cluster:       cluster.Flat(2, 2),
 			MaxSupersteps: 20,
-			Hooks:         obs.Multi(tracer, collector, comm, rec, gt),
+			Hooks:         obs.Multi(tracer, collector, comm, rec, heat, gt),
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +193,60 @@ func TestServerLiveDuringRun(t *testing.T) {
 		}
 	})
 
+	t.Run("heat", func(t *testing.T) {
+		body := get(t, srv.URL()+"/heat", "application/json")
+		var doc struct {
+			Engine     string              `json:"engine"`
+			Done       bool                `json:"done"`
+			Partitions []obs.HeatPartition `json:"partitions"`
+			Hot        []obs.HotVertex     `json:"hot"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("invalid /heat JSON: %v", err)
+		}
+		// Steps 0,1,2 completed at 4 workers each; the run is gated mid-flight.
+		if doc.Engine != "cyclops" || doc.Done || len(doc.Partitions) != 3*4 {
+			t.Errorf("/heat shape: engine=%q done=%v rows=%d, want cyclops/false/12",
+				doc.Engine, doc.Done, len(doc.Partitions))
+		}
+		if len(doc.Hot) == 0 {
+			t.Error("/heat hot set empty mid-run")
+		}
+		var traffic int64
+		for _, p := range doc.Partitions {
+			traffic += p.OutInterior + p.OutBoundary
+		}
+		if traffic <= 0 {
+			t.Error("/heat rows carry no traffic mid-run")
+		}
+
+		csv := get(t, srv.URL()+"/heat?format=csv", "text/csv")
+		if rows, err := obs.ParseHeatCSV([]byte(csv)); err != nil || len(rows) != len(doc.Partitions) {
+			t.Errorf("/heat?format=csv: %d rows, err %v", len(rows), err)
+		}
+		hotcsv := get(t, srv.URL()+"/heat?format=hotcsv", "text/csv")
+		if hot, err := obs.ParseHotsetCSV([]byte(hotcsv)); err != nil || len(hot) != len(doc.Hot) {
+			t.Errorf("/heat?format=hotcsv: %d entries, err %v", len(hot), err)
+		}
+
+		// Unknown formats fail fast with the accepted set, on every endpoint
+		// sharing the negotiation helper.
+		for _, path := range []string{"/heat", "/comm", "/mem", "/spans"} {
+			resp, err := http.Get(srv.URL() + path + "?format=bogus")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s?format=bogus: status %d, want 400", path, resp.StatusCode)
+			}
+			if !strings.Contains(string(body), "json") {
+				t.Errorf("%s?format=bogus error does not list accepted formats: %q", path, body)
+			}
+		}
+	})
+
 	t.Run("pprof", func(t *testing.T) {
 		get(t, srv.URL()+"/debug/pprof/", "")
 		get(t, srv.URL()+"/debug/pprof/goroutine?debug=1", "")
@@ -265,7 +320,7 @@ func TestRunsListsOnlyCompleteRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4),
-		obs.NewCommTracker(), recDir, nil, "", nil)
+		obs.NewCommTracker(), recDir, nil, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +416,7 @@ func TestRunsListsOnlyCompleteRuns(t *testing.T) {
 
 // TestServeEphemeralPort keeps ":0" usable for tests and CLIs.
 func TestServeEphemeralPort(t *testing.T) {
-	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "", nil, "", nil)
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), obs.NewRing(4), obs.NewCommTracker(), "", nil, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,9 @@ func NewSkewProfiler(reg *Registry) *SkewProfiler {
 }
 
 // imbalance is max/mean over xs; 1 when the values sum to zero (a uniformly
-// idle metric is balanced, not infinitely skewed).
+// idle metric is balanced, not infinitely skewed). The mean<=0 guard keeps
+// the coefficient finite even for pathological inputs (e.g. a counter that
+// went negative): every path returns a finite value ≥ 0, never NaN or ±Inf.
 func imbalance(xs []int64) float64 {
 	if len(xs) == 0 {
 		return 1
@@ -73,6 +75,9 @@ func imbalance(xs []int64) float64 {
 		return 1
 	}
 	mean := float64(sum) / float64(len(xs))
+	if mean <= 0 {
+		return 1
+	}
 	return float64(max) / mean
 }
 

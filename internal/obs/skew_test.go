@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"cyclops/internal/metrics"
+)
+
+// TestImbalanceFinite pins the edge cases the skew coefficients must survive:
+// every input shape yields a finite value, and the degenerate shapes —
+// no workers, one worker, uniformly idle — are all "balanced" (exactly 1).
+func TestImbalanceFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []int64
+		want float64
+	}{
+		{"nil", nil, 1},
+		{"empty", []int64{}, 1},
+		{"single-worker", []int64{42}, 1},
+		{"single-worker-idle", []int64{0}, 1},
+		{"all-zero", []int64{0, 0, 0, 0}, 1},
+		{"balanced", []int64{5, 5, 5, 5}, 1},
+		{"skewed", []int64{10, 0, 0, 0}, 4},
+		{"negative-sum", []int64{-3, 1}, 1},
+	}
+	for _, c := range cases {
+		got := imbalance(c.xs)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("imbalance(%s) = %v; must be finite", c.name, got)
+		}
+		if got != c.want {
+			t.Errorf("imbalance(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSkewProfilerSingleWorker regresses the single-worker run: one worker's
+// stats per superstep must fold into finite 1.0 coefficients, not NaN from a
+// one-element mean.
+func TestSkewProfilerSingleWorker(t *testing.T) {
+	p := NewSkewProfiler(nil)
+	p.OnRunStart(RunInfo{Engine: "cyclops", Workers: 1, Vertices: 4,
+		WorkerReplicas: []int64{3}})
+	p.OnWorkerStats(WorkerStats{Step: 0, Worker: 0, ComputeUnits: 9, Sent: 5, Received: 5, Active: 4})
+	p.OnSuperstepEnd(0, metrics.StepStats{Step: 0})
+	p.OnConverged(0, ReasonHalt)
+
+	rs := p.Reports()
+	if len(rs) != 1 || len(rs[0].Steps) != 1 {
+		t.Fatalf("reports = %+v, want one report with one step", rs)
+	}
+	st := rs[0].Steps[0]
+	for name, v := range map[string]float64{
+		"compute": st.Compute, "sent": st.Sent, "received": st.Received,
+		"active": st.Active, "replicas": rs[0].Replicas,
+	} {
+		if v != 1 {
+			t.Errorf("single-worker %s coefficient = %v, want 1", name, v)
+		}
+	}
+}
+
+// TestSkewProfilerZeroMessageStep regresses the zero-traffic superstep (e.g.
+// the final all-halted step): sent/received sums of zero must report balanced,
+// not divide by zero.
+func TestSkewProfilerZeroMessageStep(t *testing.T) {
+	p := NewSkewProfiler(nil)
+	p.OnRunStart(RunInfo{Engine: "hama", Workers: 2, Vertices: 4})
+	for w := 0; w < 2; w++ {
+		p.OnWorkerStats(WorkerStats{Step: 0, Worker: w, ComputeUnits: 3, Sent: 0, Received: 0, Active: 0})
+	}
+	p.OnSuperstepEnd(0, metrics.StepStats{Step: 0})
+	p.OnConverged(0, ReasonNoActive)
+
+	rs := p.Reports()
+	if len(rs) != 1 || len(rs[0].Steps) != 1 {
+		t.Fatalf("reports = %+v, want one report with one step", rs)
+	}
+	st := rs[0].Steps[0]
+	if st.Sent != 1 || st.Received != 1 || st.Active != 1 {
+		t.Errorf("zero-message step coefficients = %+v, want sent/received/active all 1", st)
+	}
+	if math.IsNaN(st.Compute) || math.IsInf(st.Compute, 0) {
+		t.Errorf("compute coefficient = %v, must be finite", st.Compute)
+	}
+	if rs[0].Replicas != 1 {
+		t.Errorf("no replicated view: replica imbalance = %v, want 1", rs[0].Replicas)
+	}
+}

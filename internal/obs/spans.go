@@ -212,21 +212,23 @@ func (t *SpanTracker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		done = filtered
 	}
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "run %d engine %s: %d completed spans, %d open\n\n",
-			run, engine, len(done), len(open))
-		span.WriteWaterfall(w, done)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(struct { //nolint:errcheck // best-effort HTTP response
-		Run      int64           `json:"run"`
-		Engine   string          `json:"engine"`
-		Open     []span.Span     `json:"open"`
-		CritPath []span.StepPath `json:"critpath"`
-		Spans    []span.Span     `json:"spans"`
-	}{Run: run, Engine: engine, Open: open, CritPath: span.CriticalPath(done), Spans: done})
+	serveFormat(w, r, map[string]formatVariant{
+		"text": {contentType: "text/plain; charset=utf-8", render: func(w http.ResponseWriter) error {
+			fmt.Fprintf(w, "run %d engine %s: %d completed spans, %d open\n\n",
+				run, engine, len(done), len(open))
+			span.WriteWaterfall(w, done)
+			return nil
+		}},
+		"json": {contentType: "application/json", render: func(w http.ResponseWriter) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(struct {
+				Run      int64           `json:"run"`
+				Engine   string          `json:"engine"`
+				Open     []span.Span     `json:"open"`
+				CritPath []span.StepPath `json:"critpath"`
+				Spans    []span.Span     `json:"spans"`
+			}{Run: run, Engine: engine, Open: open, CritPath: span.CriticalPath(done), Spans: done})
+		}},
+	})
 }

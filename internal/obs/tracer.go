@@ -217,6 +217,10 @@ func (t *Tracer) OnViolation(v Violation) {
 		"kind", v.Kind, "detail", v.Detail)
 }
 
+// OnHeat implements Hooks. The tracer narrates aggregates, not per-partition
+// rows — the heat stream is the HeatTracker's and recorder's to render.
+func (t *Tracer) OnHeat(HeatStepData) {}
+
 // OnSuperstepEnd implements Hooks.
 func (t *Tracer) OnSuperstepEnd(step int, s metrics.StepStats) {
 	t.log.Info("superstep", "span", "superstep",

@@ -9,6 +9,7 @@ package report
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -52,6 +53,11 @@ type Entry struct {
 	// baselines written before span tracing existed, in which case diffs skip
 	// the comparison (old baselines stay usable).
 	CritPath string `json:"critpath,omitempty"`
+	// Heat digests the run's heat structure (heat.csv rows, hotset.csv
+	// entries, and a hash over both files' bytes). Heat data is all counts, so
+	// the digest compares exactly; empty for records made before the heat
+	// observatory, in which case diffs skip it.
+	Heat string `json:"heat,omitempty"`
 }
 
 // Baseline is a normalized set of runs — what cyclops-bench -record emits as
@@ -103,6 +109,9 @@ func FromManifestsDir(root string, ms []obs.Manifest) Baseline {
 		if seq, err := loadGatingSequence(runDir); err == nil {
 			b.Entries[i].CritPath = seq
 		}
+		if d, err := loadHeatDigest(runDir); err == nil {
+			b.Entries[i].Heat = d
+		}
 		b.Entries[i].AllocsPerStep = loadAllocsPerStep(runDir)
 	}
 	return b
@@ -143,10 +152,13 @@ func Load(path string) (Baseline, error) {
 		if len(ms) == 0 {
 			return Baseline{}, fmt.Errorf("report: %s holds no run-* directories", path)
 		}
-		// Surface critpath parse errors (FromManifestsDir is lenient so the
-		// bench CLI can always write a baseline; the gate should not be).
+		// Surface critpath/heat parse errors (FromManifestsDir is lenient so
+		// the bench CLI can always write a baseline; the gate should not be).
 		for _, m := range ms {
 			if _, err := loadGatingSequence(filepath.Join(path, m.Run)); err != nil {
+				return Baseline{}, err
+			}
+			if _, err := loadHeatDigest(filepath.Join(path, m.Run)); err != nil {
 				return Baseline{}, err
 			}
 		}
@@ -183,6 +195,40 @@ func loadGatingSequence(runDir string) (string, error) {
 		return "", fmt.Errorf("report: %s: %w", runDir, err)
 	}
 	return span.GatingSequence(paths), nil
+}
+
+// loadHeatDigest compresses a run directory's heat artifacts into a compact,
+// exactly-comparable digest: row/entry counts plus an FNV-1a hash over the
+// verbatim bytes of heat.csv and hotset.csv. Any count anywhere in either
+// file changes the digest. Missing files (a pre-heat record) yield "" without
+// error; present-but-unparsable files are an error.
+func loadHeatDigest(runDir string) (string, error) {
+	heatBlob, err := os.ReadFile(filepath.Join(runDir, "heat.csv"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", fmt.Errorf("report: %w", err)
+	}
+	rows, err := obs.ParseHeatCSV(heatBlob)
+	if err != nil {
+		return "", fmt.Errorf("report: %s: %w", runDir, err)
+	}
+	hotBlob, err := os.ReadFile(filepath.Join(runDir, "hotset.csv"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", fmt.Errorf("report: %w", err)
+	}
+	hot, err := obs.ParseHotsetCSV(hotBlob)
+	if err != nil {
+		return "", fmt.Errorf("report: %s: %w", runDir, err)
+	}
+	h := fnv.New32a()
+	h.Write(heatBlob) //nolint:errcheck // hash.Hash never errors
+	h.Write(hotBlob)  //nolint:errcheck
+	return fmt.Sprintf("%dr/%dh:%08x", len(rows), len(hot), h.Sum32()), nil
 }
 
 // Write stores a Baseline as deterministic, committable JSON.
@@ -346,6 +392,11 @@ func Diff(old, new Baseline, opts Options) Result {
 		// before span tracing (or with spans off) still diff cleanly.
 		if o.CritPath != "" && n.CritPath != "" {
 			res.Deltas = append(res.Deltas, exactText(k, "critpath", o.CritPath, n.CritPath))
+		}
+		// The heat digest covers every count in heat.csv and hotset.csv, so
+		// it compares exactly under the same both-sides-present rule.
+		if o.Heat != "" && n.Heat != "" {
+			res.Deltas = append(res.Deltas, exactText(k, "heat", o.Heat, n.Heat))
 		}
 		// Wire bytes (and so the wire/payload envelope ratio) are as
 		// deterministic as the payload counts: any change at all fails. The
