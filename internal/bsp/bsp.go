@@ -63,6 +63,12 @@ type Config[V, M any] struct {
 	Residual func(old, new V) float64
 	// SizeOfMsg estimates a message's wire size; nil means 16 bytes.
 	SizeOfMsg func(M) int64
+	// MsgCodec, when set, selects the hand-rolled binary wire format for
+	// message envelopes: the TCP transport frames batches with it instead
+	// of gob (arena-encoded, zero allocations per message), and the
+	// in-process transport charges its exact encoded sizes to the wire
+	// books. Payload accounting (SizeOfMsg) is unaffected. Optional.
+	MsgCodec graph.Codec[M]
 	// CostModel overrides the default model constants.
 	CostModel *metrics.CostModel
 	// PerSenderQueues replaces Hama's locked global in-queue with Cyclops'
@@ -140,6 +146,15 @@ type Engine[V, M any] struct {
 	halted []bool
 	inbox  [][]M
 
+	// ctxs are the persistent per-worker compute contexts. Their out
+	// buffers are arena-style: truncated to length zero at the top of each
+	// CMP phase and refilled, so steady-state supersteps append into
+	// already-grown backing arrays instead of re-allocating them. Reuse is
+	// safe because the batches sent at SND of step N are fully consumed by
+	// PRS of step N+1, which completes (barrier) before CMP of step N+1
+	// touches the buffers again.
+	ctxs []*Context[V, M]
+
 	tr    transport.Interface[envelope[M]]
 	inj   *fault.Injector[envelope[M]]
 	agg   *aggregate.Registry
@@ -189,7 +204,7 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		return nil, fmt.Errorf("bsp: partition: %w", err)
 	}
 	tr, err := transport.New[envelope[M]](cfg.Network, workers,
-		queueMode(cfg.PerSenderQueues), wrapSize[M](cfg.SizeOfMsg))
+		queueMode(cfg.PerSenderQueues), wrapSize[M](cfg.SizeOfMsg), wrapCodec[M](cfg.MsgCodec))
 	if err != nil {
 		return nil, fmt.Errorf("bsp: transport: %w", err)
 	}
@@ -218,10 +233,31 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 	if cfg.CostModel != nil {
 		e.model = *cfg.CostModel
 	}
+	// The slot layout is built once at partition time: owned[w] aliases the
+	// layout's flat CSR of master ids (ascending within each worker, same
+	// order the append loop used to produce).
+	layout, err := partition.NewLayout(assign, g.NumVertices())
+	if err != nil {
+		return nil, fmt.Errorf("bsp: layout: %w", err)
+	}
+	for w := 0; w < workers; w++ {
+		e.owned[w] = layout.Masters(w)
+	}
 	for v := 0; v < g.NumVertices(); v++ {
-		w := assign.Of[v]
-		e.owned[w] = append(e.owned[w], graph.ID(v))
 		e.values[v] = prog.Init(graph.ID(v), g)
+	}
+	e.ctxs = make([]*Context[V, M], workers)
+	for w := range e.ctxs {
+		ctx := &Context[V, M]{e: e, worker: w, out: make([][]envelope[M], workers)}
+		if cfg.Combiner != nil {
+			// Dense slot-addressed combiner state: per destination vertex,
+			// the index of its coalesced envelope in out[owner], valid when
+			// the stamp matches the current superstep's. Replaces a
+			// map[graph.ID]int probe per message with two array reads.
+			ctx.combineIdx = make([]int32, g.NumVertices())
+			ctx.combineStamp = make([]uint32, g.NumVertices())
+		}
+		e.ctxs[w] = ctx
 	}
 	return e, nil
 }
@@ -238,6 +274,41 @@ func wrapSize[M any](sizeOf func(M) int64) func(envelope[M]) int64 {
 		return nil
 	}
 	return func(env envelope[M]) int64 { return 4 + sizeOf(env.Msg) }
+}
+
+// envelopeCodec frames an envelope as a 4-byte destination id followed by
+// the message's own encoding.
+type envelopeCodec[M any] struct{ inner graph.Codec[M] }
+
+func (c envelopeCodec[M]) EncodedSize(env envelope[M]) int {
+	return 4 + c.inner.EncodedSize(env.Msg)
+}
+
+func (c envelopeCodec[M]) Append(dst []byte, env envelope[M]) []byte {
+	dst = graph.AppendUint32(dst, uint32(env.Dst))
+	return c.inner.Append(dst, env.Msg)
+}
+
+func (c envelopeCodec[M]) Decode(src []byte) (envelope[M], int, error) {
+	var env envelope[M]
+	d, err := graph.Uint32At(src)
+	if err != nil {
+		return env, 0, err
+	}
+	env.Dst = graph.ID(d)
+	msg, n, err := c.inner.Decode(src[4:])
+	if err != nil {
+		return env, 0, err
+	}
+	env.Msg = msg
+	return env, 4 + n, nil
+}
+
+func wrapCodec[M any](inner graph.Codec[M]) graph.Codec[envelope[M]] {
+	if inner == nil {
+		return nil
+	}
+	return envelopeCodec[M]{inner: inner}
 }
 
 // Graph returns the input graph.
@@ -268,9 +339,15 @@ type Context[V, M any] struct {
 	changed bool
 	sent    int64
 	local   aggregate.Values
-	resid   []float64          // residual samples, when cfg.Residual is set
-	out     [][]envelope[M]    // per destination worker
-	combine []map[graph.ID]int // dst vertex → index in out[w], when combining
+	resid   []float64       // residual samples, when cfg.Residual is set
+	out     [][]envelope[M] // per destination worker, reused across supersteps
+	// Combiner coalescing state (allocated once when cfg.Combiner is set):
+	// combineIdx[dst] is the index of dst's envelope in out[owner(dst)],
+	// valid only when combineStamp[dst] == stamp. stamp advances once per
+	// superstep, so resetting the table costs nothing.
+	combineIdx   []int32
+	combineStamp []uint32
+	stamp        uint32
 }
 
 // Vertex returns the current vertex id.
@@ -310,16 +387,13 @@ func (c *Context[V, M]) SendTo(dst graph.ID, m M) {
 	w := c.e.assign.Of[dst]
 	c.sent++
 	if c.e.cfg.Combiner != nil {
-		cm := c.combine[w]
-		if cm == nil {
-			cm = make(map[graph.ID]int)
-			c.combine[w] = cm
-		}
-		if i, ok := cm[dst]; ok {
+		if c.combineStamp[dst] == c.stamp {
+			i := c.combineIdx[dst]
 			c.out[w][i].Msg = c.e.cfg.Combiner(c.out[w][i].Msg, m)
 			return
 		}
-		cm[dst] = len(c.out[w])
+		c.combineStamp[dst] = c.stamp
+		c.combineIdx[dst] = int32(len(c.out[w]))
 	}
 	c.out[w] = append(c.out[w], envelope[M]{Dst: dst, Msg: m})
 }
@@ -402,6 +476,29 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 	}
 	recoveries := 0
 
+	// Per-superstep bookkeeping, hoisted out of the loop: every slot is
+	// overwritten each step, so one allocation serves the whole run.
+	recvCounts := make([]int64, workers)
+	recvBatches := make([]int64, workers)
+	computeUnits := make([]int64, workers)
+	activeCounts := make([]int64, workers)
+	sendCounts := make([]int64, workers)
+	partials := make([]aggregate.Values, workers)
+	resids := make([][]float64, workers)
+	outs := make([][][]envelope[M], workers)
+	wireCounts := make([]int64, workers)
+	var parseDur, computeDur, sendDur []time.Duration
+	var serNs0, serNs []int64
+	var delivs [][]span.Delivery
+	if hooks != nil {
+		parseDur = make([]time.Duration, workers)
+		computeDur = make([]time.Duration, workers)
+		sendDur = make([]time.Duration, workers)
+		serNs0 = make([]int64, workers)
+		serNs = make([]int64, workers)
+		delivs = make([][]span.Delivery, workers)
+	}
+
 	for e.step < e.cfg.MaxSupersteps {
 		if e.inj != nil {
 			e.inj.BeginStep(e.step)
@@ -411,19 +508,10 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// pays the existing nil checks): per-worker phase durations, the
 		// drained batch provenance, and the wire-serialisation deltas.
 		sd := obs.StepSpanData{Run: e.runSeq, Step: e.step}
-		var parseDur, computeDur, sendDur []time.Duration
-		var serNs0, serNs []int64
-		var delivs [][]span.Delivery
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
 			sd.StepStart = time.Since(runStart)
 			hooks.OnSpanStart(obs.StepSpan(e.runSeq, e.step, sd.StepStart))
-			parseDur = make([]time.Duration, workers)
-			computeDur = make([]time.Duration, workers)
-			sendDur = make([]time.Duration, workers)
-			serNs0 = make([]int64, workers)
-			serNs = make([]int64, workers)
-			delivs = make([][]span.Delivery, workers)
 			// Tag this superstep's sends with its causal context; receivers
 			// drain them next superstep and link Deliver spans back to the
 			// sender's Send span.
@@ -438,8 +526,6 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			sd.ParseStart = time.Since(runStart)
 		}
 		start := time.Now()
-		recvCounts := make([]int64, workers)
-		recvBatches := make([]int64, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -498,25 +584,21 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		start = time.Now()
 		var active, changed, sentTotal, redundant atomic.Int64
 		var computeMax, sendMax int64
-		computeUnits := make([]int64, workers)
-		activeCounts := make([]int64, workers)
-		sendCounts := make([]int64, workers)
-		partials := make([]aggregate.Values, workers)
-		resids := make([][]float64, workers)
-		outs := make([][][]envelope[M], workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				ct := time.Now()
-				ctx := &Context[V, M]{
-					e:      e,
-					worker: w,
-					local:  make(aggregate.Values),
-					out:    make([][]envelope[M], workers),
-				}
-				if e.cfg.Combiner != nil {
-					ctx.combine = make([]map[graph.ID]int, workers)
+				// Reuse the persistent context: out buffers keep their
+				// capacity (PRS consumed last step's batches before this
+				// barrier), the combiner table resets by stamp advance, and
+				// the aggregate map is rebuilt because Fold consumed it.
+				ctx := e.ctxs[w]
+				ctx.local = make(aggregate.Values)
+				ctx.resid = ctx.resid[:0]
+				ctx.stamp++
+				for to := range ctx.out {
+					ctx.out[to] = ctx.out[to][:0]
 				}
 				var units, computed, changedW, sent, redundantW int64
 				for _, v := range e.owned[w] {
@@ -581,7 +663,6 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			}
 		}
 		start = time.Now()
-		wireCounts := make([]int64, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {

@@ -79,7 +79,7 @@ func (e *Engine[V, M]) auditViewConsistency() []obs.Violation {
 	var out []obs.Violation
 	for w, ws := range e.ws {
 		for s := range ws.masters {
-			for _, ref := range ws.replicas[s] {
+			for _, ref := range ws.replicas.Row(s) {
 				if obs.ExactEqual(ws.view[s], e.ws[ref.worker].view[ref.slot]) {
 					continue
 				}

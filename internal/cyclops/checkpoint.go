@@ -70,7 +70,7 @@ func (e *Engine[V, M]) Restore(s State[V, M]) error {
 			ws.next[i] = 0 //lint:allow atomicmix Restore runs single-threaded between supersteps; no worker goroutine is live
 			// Replica refresh: one unidirectional update per replica,
 			// exactly like a superstep's sync but without activation.
-			for _, ref := range ws.replicas[i] {
+			for _, ref := range ws.replicas.Row(i) {
 				e.ws[ref.worker].view[ref.slot] = s.View[id]
 			}
 		}
@@ -93,8 +93,8 @@ func (e *Engine[V, M]) ReplicaWorkers(id graph.ID) []int {
 	ws := e.ws[w]
 	for i, m := range ws.masters {
 		if m == id {
-			out := make([]int, 0, len(ws.replicas[i]))
-			for _, ref := range ws.replicas[i] {
+			out := make([]int, 0, ws.replicas.RowLen(i))
+			for _, ref := range ws.replicas.Row(i) {
 				out = append(out, int(ref.worker))
 			}
 			return out

@@ -14,11 +14,24 @@ type Context[V, M any] struct {
 	ws   *workerState[V, M]
 	slot int32
 
+	// inRow/inWRow cache the vertex's CSR adjacency rows (set with slot by
+	// the compute loop), so the per-edge accessors are a single indexed load.
+	inRow  []int32
+	inWRow []float64
+
 	published   bool
 	pubVal      M
 	pubActivate bool
 
 	local aggregate.Values
+}
+
+// setSlot points the context at a master slot and refreshes the cached
+// adjacency rows.
+func (c *Context[V, M]) setSlot(s int) {
+	c.slot = int32(s)
+	c.inRow = c.ws.in.Row(s)
+	c.inWRow = c.ws.inWeights.Row(s)
 }
 
 // Vertex returns the current vertex id.
@@ -42,7 +55,7 @@ func (c *Context[V, M]) SetValue(v V) { c.ws.values[c.slot] = v }
 func (c *Context[V, M]) Message() M { return c.ws.view[c.slot] }
 
 // InDegree returns the number of in-neighbors.
-func (c *Context[V, M]) InDegree() int { return len(c.ws.inSlots[c.slot]) }
+func (c *Context[V, M]) InDegree() int { return len(c.inRow) }
 
 // NeighborMessage returns the i-th in-neighbor's published value, read
 // through shared memory from the immutable view of the previous superstep —
@@ -50,11 +63,11 @@ func (c *Context[V, M]) InDegree() int { return len(c.ws.inSlots[c.slot]) }
 // if the neighbor converged and is inactive, which is what makes dynamic
 // computation work (§3.3).
 func (c *Context[V, M]) NeighborMessage(i int) M {
-	return c.ws.view[c.ws.inSlots[c.slot][i]]
+	return c.ws.view[c.inRow[i]]
 }
 
 // InWeight returns the weight of the i-th in-edge.
-func (c *Context[V, M]) InWeight(i int) float64 { return c.ws.inWeights[c.slot][i] }
+func (c *Context[V, M]) InWeight(i int) float64 { return c.inWRow[i] }
 
 // OutDegree returns the vertex's global out-degree.
 func (c *Context[V, M]) OutDegree() int { return int(c.ws.outDeg[c.slot]) }

@@ -73,6 +73,11 @@ type Config[V, M any] struct {
 	Residual func(old, new M) float64
 	// SizeOfMsg estimates a published value's wire size (nil = 16 bytes).
 	SizeOfMsg func(M) int64
+	// MsgCodec, when set, switches the transport to the hand-rolled binary
+	// frame format: sync messages are encoded as 4B slot + 1B activation +
+	// codec-encoded value instead of gob, and wire accounting charges the
+	// exact frame bytes on every network. Nil keeps the legacy gob frames.
+	MsgCodec graph.Codec[M]
 	// Network selects in-process queues (default) or real gob-over-TCP
 	// loopback sockets. Checkpointing requires InProcess.
 	Network transport.Network
@@ -127,20 +132,31 @@ type syncMsg[M any] struct {
 
 // workerState is one worker's share of the graph: master vertices in slots
 // [0, numMasters) and replicas in slots [numMasters, numSlots).
+//
+// The adjacency structures are immutable CSR rows built once at ingress:
+// flat offset-indexed arrays replace the per-slot Go slices, so the compute
+// inner loop walks contiguous memory with no pointer chasing and the whole
+// layout costs two allocations per relation instead of one per vertex.
 type workerState[V, M any] struct {
-	masters    []graph.ID // slot → global id
-	values     []V        // master state, len = numMasters
-	view       []M        // the immutable view, len = numSlots
-	inSlots    [][]int32  // per master: local slots of in-neighbors
-	inWeights  [][]float64
-	localOut   [][]int32      // per slot: local master slots to activate
-	replicas   [][]replicaRef // per master: replica locations
-	outDeg     []int32        // per master: global out-degree
-	inUnits    []int32        // per master: in-degree (compute units)
-	replicaIDs []graph.ID     // per replica slot (offset by numMasters): global id
+	masters    []graph.ID            // slot → global id
+	values     []V                   // master state, len = numMasters
+	view       []M                   // the immutable view, len = numSlots
+	in         graph.CSR[int32]      // per master: local slots of in-neighbors
+	inWeights  graph.CSR[float64]    // parallel to in
+	localOut   graph.CSR[int32]      // per slot: local master slots to activate
+	replicas   graph.CSR[replicaRef] // per master: replica locations
+	outDeg     []int32               // per master: global out-degree
+	inUnits    []int32               // per master: in-degree (compute units)
+	replicaIDs []graph.ID            // per replica slot (offset by numMasters): global id
 
 	active []uint32 // per master: computes this superstep (0/1)
 	next   []uint32 // per master: activated for next superstep (atomic sets)
+
+	// out holds the SND phase's per-destination batches. The backing arrays
+	// are reused across supersteps ([:0] reset): the transport hands every
+	// batch to this worker's own RECV drain within the same superstep, so by
+	// the time SND runs again the previous batches are dead.
+	out [][]syncMsg[M]
 }
 
 func (ws *workerState[V, M]) numMasters() int { return len(ws.masters) }
@@ -203,7 +219,7 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 		return nil, fmt.Errorf("cyclops: partition: %w", err)
 	}
 	tr, err := transport.New[syncMsg[M]](cfg.Network, workers,
-		transport.PerSenderQueue, wrapSize[M](cfg.SizeOfMsg))
+		transport.PerSenderQueue, wrapSize[M](cfg.SizeOfMsg), wrapCodec[M](cfg.MsgCodec))
 	if err != nil {
 		return nil, fmt.Errorf("cyclops: transport: %w", err)
 	}
@@ -232,7 +248,9 @@ func New[V, M any](g *graph.Graph, prog Program[V, M], cfg Config[V, M]) (*Engin
 	if cfg.CostModel != nil {
 		e.model = *cfg.CostModel
 	}
-	e.buildView()
+	if err := e.buildView(); err != nil {
+		return nil, fmt.Errorf("cyclops: %w", err)
+	}
 	return e, nil
 }
 
@@ -243,60 +261,116 @@ func wrapSize[M any](sizeOf func(M) int64) func(syncMsg[M]) int64 {
 	return func(m syncMsg[M]) int64 { return 5 + sizeOf(m.Val) }
 }
 
+// syncCodec frames a syncMsg as 4B slot + 1B activation flag + value — the
+// same 5-byte envelope wrapSize charges, so payload and wire accounting
+// describe the same bytes.
+type syncCodec[M any] struct{ inner graph.Codec[M] }
+
+func (c syncCodec[M]) EncodedSize(m syncMsg[M]) int {
+	return 5 + c.inner.EncodedSize(m.Val)
+}
+
+func (c syncCodec[M]) Append(dst []byte, m syncMsg[M]) []byte {
+	dst = graph.AppendUint32(dst, uint32(m.Slot))
+	var act byte
+	if m.Activate {
+		act = 1
+	}
+	dst = append(dst, act)
+	return c.inner.Append(dst, m.Val)
+}
+
+func (c syncCodec[M]) Decode(src []byte) (syncMsg[M], int, error) {
+	var m syncMsg[M]
+	if len(src) < 5 {
+		return m, 0, graph.ErrShortBuffer
+	}
+	slot, err := graph.Uint32At(src)
+	if err != nil {
+		return m, 0, err
+	}
+	m.Slot = int32(slot)
+	m.Activate = src[4] != 0
+	val, n, err := c.inner.Decode(src[5:])
+	if err != nil {
+		return m, 0, err
+	}
+	m.Val = val
+	return m, 5 + n, nil
+}
+
+func wrapCodec[M any](inner graph.Codec[M]) graph.Codec[syncMsg[M]] {
+	if inner == nil {
+		return nil
+	}
+	return syncCodec[M]{inner: inner}
+}
+
 // buildView performs the replica-creation ingress phase (§4.3): every vertex
 // "sends a message" along its out-edges; the receiving worker creates a
 // replica for each remote source, wires an in-edge from it, and records a
 // local out-edge so the replica can activate the target later.
-func (e *Engine[V, M]) buildView() {
+//
+// Adjacency is assembled in per-slot rows first (insertion order) and then
+// flattened into immutable CSR arrays, preserving the exact neighbor order
+// of the old slice-of-slices layout — the flight recorder's byte-identical
+// series depend on that order.
+func (e *Engine[V, M]) buildView() error {
 	workers := e.cfg.Cluster.Workers()
 	n := e.g.NumVertices()
 
 	repStart := time.Now()
-	masterSlot := make([]int32, n) // global id → master slot on its owner
-	for w := 0; w < workers; w++ {
-		e.ws[w] = &workerState[V, M]{}
+	layout, err := partition.NewLayout(e.assign, n)
+	if err != nil {
+		return err
 	}
-	for v := 0; v < n; v++ {
-		w := e.assign.Of[v]
-		masterSlot[v] = int32(len(e.ws[w].masters))
-		e.ws[w].masters = append(e.ws[w].masters, graph.ID(v))
-	}
+	masterSlot := layout.Slot // global id → master slot on its owner
+	inRows := make([][][]int32, workers)
+	inWRows := make([][][]float64, workers)
+	outRows := make([][][]int32, workers) // grows past masters as replicas appear
+	repRows := make([][][]replicaRef, workers)
 	for w := 0; w < workers; w++ {
-		ws := e.ws[w]
+		ws := &workerState[V, M]{masters: layout.Masters(w)}
+		e.ws[w] = ws
 		m := ws.numMasters()
 		ws.values = make([]V, m)
-		ws.inSlots = make([][]int32, m)
-		ws.inWeights = make([][]float64, m)
-		ws.replicas = make([][]replicaRef, m)
 		ws.outDeg = make([]int32, m)
 		ws.inUnits = make([]int32, m)
 		ws.active = make([]uint32, m)
 		ws.next = make([]uint32, m) //lint:allow atomicmix construction happens before any worker goroutine starts
+		ws.out = make([][]syncMsg[M], workers)
 		for i, id := range ws.masters {
 			ws.outDeg[i] = int32(e.g.OutDegree(id))
 			ws.inUnits[i] = int32(e.g.InDegree(id))
 		}
-		// localOut grows as replicas appear; start with master slots.
-		ws.localOut = make([][]int32, m)
+		inRows[w] = make([][]int32, m)
+		inWRows[w] = make([][]float64, m)
+		outRows[w] = make([][]int32, m)
+		repRows[w] = make([][]replicaRef, m)
 	}
 
-	// replicaSlot[w] maps a remote global id to its replica slot on w.
-	replicaSlot := make([]map[graph.ID]int32, workers)
+	// replicaSlot[w][id] is id's replica slot on w, or -1 — a dense array
+	// instead of a map: ingress touches it once per spanning edge.
+	replicaSlot := make([][]int32, workers)
 	for w := range replicaSlot {
-		replicaSlot[w] = make(map[graph.ID]int32)
+		rs := make([]int32, n)
+		for i := range rs {
+			rs[i] = -1
+		}
+		replicaSlot[w] = rs
 	}
 	ensureReplica := func(w int, id graph.ID) int32 {
-		ws := e.ws[w]
-		if s, ok := replicaSlot[w][id]; ok {
+		if s := replicaSlot[w][id]; s >= 0 {
 			return s
 		}
+		ws := e.ws[w]
 		s := int32(ws.numMasters() + len(ws.replicaIDs))
 		replicaSlot[w][id] = s
 		ws.replicaIDs = append(ws.replicaIDs, id)
-		ws.localOut = append(ws.localOut, nil)
+		outRows[w] = append(outRows[w], nil)
 		owner := e.assign.Of[id]
-		e.ws[owner].replicas[masterSlot[id]] = append(
-			e.ws[owner].replicas[masterSlot[id]],
+		repRows[owner][masterSlot[id]] = append(
+			repRows[owner][masterSlot[id]],
 			replicaRef{worker: int32(w), slot: s})
 		e.ingress.Replicas++
 		return s
@@ -313,19 +387,26 @@ func (e *Engine[V, M]) buildView() {
 			if wu == wv {
 				// Local edge: direct shared-memory in-edge + local
 				// activation edge.
-				e.ws[wv].inSlots[sv] = append(e.ws[wv].inSlots[sv], su)
-				e.ws[wv].inWeights[sv] = append(e.ws[wv].inWeights[sv], wts[i])
-				e.ws[wu].localOut[su] = append(e.ws[wu].localOut[su], sv)
+				inRows[wv][sv] = append(inRows[wv][sv], su)
+				inWRows[wv][sv] = append(inWRows[wv][sv], wts[i])
+				outRows[wu][su] = append(outRows[wu][su], sv)
 			} else {
 				// Spanning edge: the target worker gets a replica of u,
 				// the in-edge points at the replica, and the replica
 				// carries the activation edge to v.
 				r := ensureReplica(wv, graph.ID(u))
-				e.ws[wv].inSlots[sv] = append(e.ws[wv].inSlots[sv], r)
-				e.ws[wv].inWeights[sv] = append(e.ws[wv].inWeights[sv], wts[i])
-				e.ws[wv].localOut[r] = append(e.ws[wv].localOut[r], sv)
+				inRows[wv][sv] = append(inRows[wv][sv], r)
+				inWRows[wv][sv] = append(inWRows[wv][sv], wts[i])
+				outRows[wv][r] = append(outRows[wv][r], sv)
 			}
 		}
+	}
+	for w := 0; w < workers; w++ {
+		ws := e.ws[w]
+		ws.in = graph.CSRFromRows(inRows[w])
+		ws.inWeights = graph.CSRFromRows(inWRows[w])
+		ws.localOut = graph.CSRFromRows(outRows[w])
+		ws.replicas = graph.CSRFromRows(repRows[w])
 	}
 	e.ingress.Replication = time.Since(repStart)
 
@@ -349,6 +430,7 @@ func (e *Engine[V, M]) buildView() {
 		}
 	}
 	e.ingress.Init = time.Since(initStart)
+	return nil
 }
 
 // Graph returns the input graph.

@@ -75,7 +75,7 @@ func (e *Engine[V, M]) Evolve(added []graph.Edge) (*Engine[V, M], error) {
 			}
 			// Refresh this master's replicas with the carried-over view —
 			// the same unidirectional sync a checkpoint restore performs.
-			for _, ref := range ws.replicas[i] {
+			for _, ref := range ws.replicas.Row(i) {
 				next.ws[ref.worker].view[ref.slot] = views[id]
 			}
 		}

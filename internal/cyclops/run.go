@@ -85,6 +85,47 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 	}
 
+	// Steady-state scratch, allocated once and reused every superstep: the
+	// per-worker counters, aggregator partials, compute contexts and span
+	// buffers below are either fully overwritten each step or reset with
+	// [:0]/clear. Nothing downstream retains them — the aggregate registry
+	// folds partials into its own map, SetResiduals reduces to scalars, and
+	// the obs hooks copy what they keep — so the superstep loop allocates
+	// nothing for bookkeeping.
+	computeUnits := make([]int64, workers)
+	activeCounts := make([]int64, workers)
+	sendCounts := make([]int64, workers)
+	recvCounts := make([]int64, workers)
+	recvBatches := make([]int64, workers)
+	partials := make([][]aggregate.Values, workers)
+	unitScratch := make([][]int64, workers)
+	activeScratch := make([][]int64, workers)
+	ctxs := make([][]*Context[V, M], workers)
+	residuals := make([][]float64, workers)
+	var resAll []float64
+	var flat []aggregate.Values
+	for w := 0; w < workers; w++ {
+		partials[w] = make([]aggregate.Values, threads)
+		unitScratch[w] = make([]int64, threads)
+		activeScratch[w] = make([]int64, threads)
+		ctxs[w] = make([]*Context[V, M], threads)
+		for t := 0; t < threads; t++ {
+			ctxs[w][t] = &Context[V, M]{e: e, ws: e.ws[w], local: make(aggregate.Values)}
+		}
+	}
+	var parseDur, computeDur, sendDur []time.Duration
+	var serNs0, serNs []int64
+	var delivs [][]span.Delivery
+	if hooks != nil {
+		parseDur = make([]time.Duration, workers)
+		computeDur = make([]time.Duration, workers)
+		sendDur = make([]time.Duration, workers)
+		serNs0 = make([]int64, workers)
+		serNs = make([]int64, workers)
+		delivs = make([][]span.Delivery, workers)
+	}
+	var wg sync.WaitGroup
+
 	maxRecoveries := e.cfg.MaxRecoveries
 	if maxRecoveries <= 0 {
 		maxRecoveries = 3
@@ -99,19 +140,10 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// Span bookkeeping (nil when hooks are off): per-worker phase
 		// durations, drained batch provenance, wire-serialisation deltas.
 		sd := obs.StepSpanData{Run: e.runSeq, Step: e.step}
-		var parseDur, computeDur, sendDur []time.Duration
-		var serNs0, serNs []int64
-		var delivs [][]span.Delivery
 		if hooks != nil {
 			hooks.OnSuperstepStart(e.step)
 			sd.StepStart = time.Since(runStart)
 			hooks.OnSpanStart(obs.StepSpan(e.runSeq, e.step, sd.StepStart))
-			parseDur = make([]time.Duration, workers)
-			computeDur = make([]time.Duration, workers)
-			sendDur = make([]time.Duration, workers)
-			serNs0 = make([]int64, workers)
-			serNs = make([]int64, workers)
-			delivs = make([][]span.Delivery, workers)
 			// Tag this superstep's sync messages with its causal context;
 			// the RECV drain links Deliver spans back to the sender's Send
 			// span (same superstep — Cyclops drains within the step).
@@ -127,31 +159,27 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		}
 		start := time.Now()
 		var active, changedTotal atomic.Int64
-		computeUnits := make([]int64, workers)
-		activeCounts := make([]int64, workers)
-		partials := make([][]aggregate.Values, workers)
-		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				ct := time.Now()
 				ws := e.ws[w]
-				partials[w] = make([]aggregate.Values, threads)
-				unitCh := make([]int64, threads)
-				activeCh := make([]int64, threads)
+				unitCh := unitScratch[w]
+				activeCh := activeScratch[w]
 				var twg sync.WaitGroup
 				for t := 0; t < threads; t++ {
 					twg.Add(1)
 					go func(t int) {
 						defer twg.Done()
-						ctx := &Context[V, M]{e: e, ws: ws, local: make(aggregate.Values)}
+						ctx := ctxs[w][t]
+						clear(ctx.local)
 						var units, computed int64
 						for s := t; s < ws.numMasters(); s += threads {
 							if ws.active[s] == 0 {
 								continue
 							}
-							ctx.slot = int32(s)
+							ctx.setSlot(s)
 							ctx.published = false
 							ctx.pubActivate = false
 							e.prog.Compute(ctx)
@@ -207,8 +235,6 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			}
 		}
 		start = time.Now()
-		sendCounts := make([]int64, workers)
-		residuals := make([][]float64, workers)
 		var redundant atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -216,7 +242,14 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 				defer wg.Done()
 				st := time.Now()
 				ws := e.ws[w]
-				out := make([][]syncMsg[M], workers)
+				// Reuse the per-destination batch buffers: last superstep's
+				// batches were drained and applied before its barrier, so
+				// their backing arrays are free again.
+				out := ws.out
+				for to := range out {
+					out[to] = out[to][:0]
+				}
+				residuals[w] = residuals[w][:0]
 				var sent, changed int64
 				for s := 0; s < ws.numMasters(); s++ {
 					f := pend[w].flags[s]
@@ -230,11 +263,12 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 						residuals[w] = append(residuals[w], e.cfg.Residual(ws.view[s], val))
 					}
 					valueChanged := e.cfg.Equal == nil || !e.cfg.Equal(ws.view[s], val)
+					reps := ws.replicas.Row(s)
 					if !valueChanged && !activate {
 						// Republishing an identical value with no activation
 						// is the redundant traffic BSP cannot avoid; Cyclops
 						// suppresses it entirely.
-						redundant.Add(int64(len(ws.replicas[s])))
+						redundant.Add(int64(len(reps)))
 						continue
 					}
 					if valueChanged {
@@ -242,7 +276,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 						changed++
 					}
 					if activate {
-						for _, ls := range ws.localOut[s] {
+						for _, ls := range ws.localOut.Row(s) {
 							atomic.StoreUint32(&ws.next[ls], 1)
 						}
 					}
@@ -250,13 +284,13 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					// suppressed a sub-epsilon change the master's view kept
 					// the old value, and replicas must match it exactly
 					// (§3.4's consistency invariant, checked by Audit).
-					for _, ref := range ws.replicas[s] {
+					for _, ref := range reps {
 						out[ref.worker] = append(out[ref.worker],
 							syncMsg[M]{Slot: ref.slot, Val: ws.view[s], Activate: activate})
 						sent++
 					}
 					if heatMsgs != nil {
-						heatMsgs[ws.masters[s]] += int64(len(ws.replicas[s]))
+						heatMsgs[ws.masters[s]] += int64(len(reps))
 					}
 				}
 				for to := range out {
@@ -288,8 +322,6 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 			sd.ParseStart = time.Since(runStart)
 		}
 		start = time.Now()
-		recvCounts := make([]int64, workers)
-		recvBatches := make([]int64, workers)
 		var auditPerW [][]obs.Violation
 		if e.cfg.Audit {
 			auditPerW = make([][]obs.Violation, workers)
@@ -318,7 +350,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 							for _, m := range batches[bi] {
 								ws.view[m.Slot] = m.Val
 								if m.Activate {
-									for _, ls := range ws.localOut[m.Slot] {
+									for _, ls := range ws.localOut.Row(int(m.Slot)) {
 										atomic.StoreUint32(&ws.next[ls], 1)
 									}
 								}
@@ -353,7 +385,7 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		// SYN: hierarchical or flat barrier — fold aggregates, swap
 		// activation buffers, decide termination.
 		start = time.Now()
-		var flat []aggregate.Values
+		flat = flat[:0]
 		for w := range partials {
 			flat = append(flat, partials[w]...)
 		}
@@ -393,11 +425,11 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 		stats.Messages = sentTotal
 		stats.RedundantMessages = redundant.Load()
 		if e.cfg.Residual != nil {
-			var all []float64
+			resAll = resAll[:0]
 			for _, rs := range residuals {
-				all = append(all, rs...)
+				resAll = append(resAll, rs...)
 			}
-			stats.SetResiduals(all)
+			stats.SetResiduals(resAll)
 		}
 		stats.ComputeUnitsMax = computeMax
 		stats.SendMax = sendMax

@@ -88,7 +88,7 @@ func TestErrorIsTransient(t *testing.T) {
 // newLocal builds the in-process transport the injector tests wrap.
 func newLocal(t *testing.T, n int) transport.Interface[int] {
 	t.Helper()
-	tr, err := transport.New[int](transport.InProcess, n, transport.PerSenderQueue, nil)
+	tr, err := transport.New[int](transport.InProcess, n, transport.PerSenderQueue, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ var spanNetworks = []transport.Network{transport.InProcess, transport.TCPLoopbac
 
 func newNet(t *testing.T, network transport.Network, n int) transport.Interface[int] {
 	t.Helper()
-	tr, err := transport.New[int](network, n, transport.PerSenderQueue, nil)
+	tr, err := transport.New[int](network, n, transport.PerSenderQueue, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,10 +26,10 @@ func (e *Engine[V, G]) auditMirrors() []obs.Violation {
 	for w, ws := range e.ws {
 		for s := range ws.verts {
 			lv := &ws.verts[s]
-			if !lv.master || len(lv.mirrors) == 0 {
+			if !lv.master || ws.mirrors.RowLen(s) == 0 {
 				continue
 			}
-			for _, m := range lv.mirrors {
+			for _, m := range ws.mirrors.Row(s) {
 				if obs.ExactEqual(lv.cache, e.ws[m.worker].verts[m.slot].cache) {
 					continue
 				}

@@ -12,7 +12,6 @@ package gas
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +144,13 @@ type Config[V, G any] struct {
 	// StepStats carries the quantiles of this distribution over all Apply
 	// calls — the convergence telemetry behind Figure 3. Optional.
 	Residual func(old, new V) float64
+	// ValCodec/AccCodec, when both set, switch the transport to the
+	// hand-rolled binary frame format: a gasMsg is framed as 1B kind + 4B
+	// slot + a kind-dependent payload (apply pushes carry Val, gather
+	// partials carry Has+Acc, the request/activation kinds are payload-free),
+	// and wire accounting charges the exact frame bytes. Nil keeps gob.
+	ValCodec graph.Codec[V]
+	AccCodec graph.Codec[G]
 	// Network selects in-process queues (default) or gob-over-TCP loopback.
 	Network   transport.Network
 	CostModel *metrics.CostModel
@@ -195,7 +201,86 @@ type gasMsg[V, G any] struct {
 	Has  bool  // accumulator non-empty
 }
 
-// localVertex is one worker's copy of a vertex.
+// gasCodec frames a gasMsg as 1B kind + 4B slot + a kind-dependent payload,
+// so the three payload-free request kinds cost 5 bytes instead of a full
+// message estimate — the framing behind the Table 4 wire comparison.
+type gasCodec[V, G any] struct {
+	val graph.Codec[V]
+	acc graph.Codec[G]
+}
+
+func (c gasCodec[V, G]) EncodedSize(m gasMsg[V, G]) int {
+	switch m.Kind {
+	case kindApplyPush:
+		return 5 + c.val.EncodedSize(m.Val)
+	case kindGatherPartial:
+		return 6 + c.acc.EncodedSize(m.Acc)
+	default:
+		return 5
+	}
+}
+
+func (c gasCodec[V, G]) Append(dst []byte, m gasMsg[V, G]) []byte {
+	dst = append(dst, byte(m.Kind))
+	dst = graph.AppendUint32(dst, uint32(m.Slot))
+	switch m.Kind {
+	case kindApplyPush:
+		dst = c.val.Append(dst, m.Val)
+	case kindGatherPartial:
+		var has byte
+		if m.Has {
+			has = 1
+		}
+		dst = append(dst, has)
+		dst = c.acc.Append(dst, m.Acc)
+	}
+	return dst
+}
+
+func (c gasCodec[V, G]) Decode(src []byte) (gasMsg[V, G], int, error) {
+	var m gasMsg[V, G]
+	if len(src) < 5 {
+		return m, 0, graph.ErrShortBuffer
+	}
+	m.Kind = int8(src[0])
+	slot, err := graph.Uint32At(src[1:])
+	if err != nil {
+		return m, 0, err
+	}
+	m.Slot = int32(slot)
+	n := 5
+	switch m.Kind {
+	case kindApplyPush:
+		val, vn, verr := c.val.Decode(src[5:])
+		if verr != nil {
+			return m, 0, verr
+		}
+		m.Val = val
+		n += vn
+	case kindGatherPartial:
+		if len(src) < 6 {
+			return m, 0, graph.ErrShortBuffer
+		}
+		m.Has = src[5] != 0
+		acc, an, aerr := c.acc.Decode(src[6:])
+		if aerr != nil {
+			return m, 0, aerr
+		}
+		m.Acc = acc
+		n += 1 + an
+	}
+	return m, n, nil
+}
+
+func gasWrapCodec[V, G any](val graph.Codec[V], acc graph.Codec[G]) graph.Codec[gasMsg[V, G]] {
+	if val == nil || acc == nil {
+		return nil
+	}
+	return gasCodec[V, G]{val: val, acc: acc}
+}
+
+// localVertex is one worker's copy of a vertex. Its adjacency (in-edges,
+// out-slots, mirror refs) lives in the workerState CSRs, indexed by slot.
 type localVertex[V any] struct {
 	id     graph.ID
 	cache  V
@@ -203,11 +288,6 @@ type localVertex[V any] struct {
 	// masterWorker/masterSlot route mirror→master messages.
 	masterWorker int32
 	masterSlot   int32
-	// mirror bookkeeping (masters only): where the mirrors live.
-	mirrors []mirrorRef
-	// local topology (slots into the same worker's verts array).
-	inEdges  []gasEdge
-	outSlots []int32
 	// active is master-side activation for the current superstep.
 	active bool
 }
@@ -222,9 +302,33 @@ type gasEdge struct {
 	weight  float64
 }
 
-type workerState[V any] struct {
+type workerState[V, G any] struct {
 	verts  []localVertex[V]
-	slotOf map[graph.ID]int32
+	slotOf []int32 // global id → local slot, -1 when the worker has no copy
+
+	// Immutable CSR adjacency, flattened once after edge placement: per slot,
+	// the local in-edges, the local out-slots, and (masters only) the mirror
+	// locations.
+	inEdges  graph.CSR[gasEdge]
+	outSlots graph.CSR[int32]
+	mirrors  graph.CSR[mirrorRef]
+
+	// Superstep scratch: epoch-stamped dense arrays replacing the per-step
+	// maps. An acc/scat entry is live iff its stamp equals the engine's
+	// current epoch; ascending-slot sweeps over the stamped entries visit
+	// exactly the slots the old sorted-map iteration did, in the same order.
+	accVal      []G
+	accHas      []bool
+	accStamp    []uint32
+	scat        []bool // activate out-neighbors in scatter?
+	scatStamp   []uint32
+	queuedStamp []uint32 // activation return already queued this epoch
+	nextActive  []bool   // master slots activated for the next superstep
+
+	// outA/outB are the per-destination send batches, alternating by round
+	// parity: a round's batches are still being read while the next round
+	// refills its own set, but the round after that may safely reuse them.
+	outA, outB [][]gasMsg[V, G]
 }
 
 // Engine executes a GAS Program over a vertex-cut partition.
@@ -232,7 +336,7 @@ type Engine[V, G any] struct {
 	g     *graph.Graph
 	prog  Program[V, G]
 	cfg   Config[V, G]
-	ws    []*workerState[V]
+	ws    []*workerState[V, G]
 	tr    transport.Interface[gasMsg[V, G]]
 	inj   *fault.Injector[gasMsg[V, G]]
 	trace *metrics.Trace
@@ -241,6 +345,10 @@ type Engine[V, G any] struct {
 	mirrors     int64   // total mirror count (replication metric)
 	mirrorsPerW []int64 // mirrors hosted per worker (skew reporting)
 	step        int
+	// epoch stamps the workers' dense superstep scratch; it increments at the
+	// top of every superstep (including replays after recovery), so stale
+	// entries from earlier steps never read as live.
+	epoch uint32
 
 	// runSeq numbers Run calls on this engine (1-based); it becomes the
 	// span stream's Run id, so restored engines keep distinct run spans.
@@ -267,7 +375,8 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 	if cfg.Network != transport.InProcess && cfg.Recover != nil {
 		return nil, errors.New("gas: recovery requires the in-process network")
 	}
-	tr, err := transport.New[gasMsg[V, G]](cfg.Network, k, transport.GlobalQueue, nil)
+	tr, err := transport.New[gasMsg[V, G]](cfg.Network, k, transport.GlobalQueue, nil,
+		gasWrapCodec[V, G](cfg.ValCodec, cfg.AccCodec))
 	if err != nil {
 		return nil, fmt.Errorf("gas: transport: %w", err)
 	}
@@ -280,7 +389,7 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 		g:           g,
 		prog:        prog,
 		cfg:         cfg,
-		ws:          make([]*workerState[V], k),
+		ws:          make([]*workerState[V, G], k),
 		tr:          tr,
 		inj:         inj,
 		trace:       &metrics.Trace{Engine: "powergraph", Workers: k},
@@ -290,25 +399,38 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 	if cfg.CostModel != nil {
 		e.model = *cfg.CostModel
 	}
+	n := g.NumVertices()
 	for w := range e.ws {
-		e.ws[w] = &workerState[V]{slotOf: make(map[graph.ID]int32)}
+		slotOf := make([]int32, n)
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		e.ws[w] = &workerState[V, G]{slotOf: slotOf}
 	}
 
+	// Adjacency is accumulated in per-slot rows and flattened into immutable
+	// CSR arrays below, preserving insertion order exactly.
+	inRows := make([][][]gasEdge, k)
+	outRows := make([][][]int32, k)
+	mirRows := make([][][]mirrorRef, k)
 	ensure := func(w int, id graph.ID) int32 {
 		ws := e.ws[w]
-		if s, ok := ws.slotOf[id]; ok {
+		if s := ws.slotOf[id]; s >= 0 {
 			return s
 		}
 		s := int32(len(ws.verts))
 		ws.slotOf[id] = s
 		ws.verts = append(ws.verts, localVertex[V]{id: id, masterWorker: -1})
+		inRows[w] = append(inRows[w], nil)
+		outRows[w] = append(outRows[w], nil)
+		mirRows[w] = append(mirRows[w], nil)
 		return s
 	}
 
 	// Place edges; create local copies of both endpoints.
 	assign := cfg.Partitioner.PartitionEdges(g, k)
 	i := 0
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := 0; v < n; v++ {
 		ns := g.OutNeighbors(graph.ID(v))
 		wts := g.OutWeights(graph.ID(v))
 		for j, u := range ns {
@@ -316,16 +438,15 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 			i++
 			sv := ensure(w, graph.ID(v))
 			su := ensure(w, u)
-			ws := e.ws[w]
-			ws.verts[su].inEdges = append(ws.verts[su].inEdges, gasEdge{srcSlot: sv, weight: wts[j]})
-			ws.verts[sv].outSlots = append(ws.verts[sv].outSlots, su)
+			inRows[w][su] = append(inRows[w][su], gasEdge{srcSlot: sv, weight: wts[j]})
+			outRows[w][sv] = append(outRows[w][sv], su)
 		}
 	}
 	// Isolated vertices still need a master somewhere.
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := 0; v < n; v++ {
 		hosted := false
 		for w := 0; w < k; w++ {
-			if _, ok := e.ws[w].slotOf[graph.ID(v)]; ok {
+			if e.ws[w].slotOf[v] >= 0 {
 				hosted = true
 				break
 			}
@@ -337,30 +458,47 @@ func New[V, G any](g *graph.Graph, prog Program[V, G], cfg Config[V, G]) (*Engin
 
 	// Elect masters (lowest worker id hosting the vertex, as a stand-in for
 	// PowerGraph's arbitrary election) and wire mirrors.
-	for v := 0; v < g.NumVertices(); v++ {
-		id := graph.ID(v)
+	for v := 0; v < n; v++ {
 		masterW := -1
 		for w := 0; w < k; w++ {
-			if _, ok := e.ws[w].slotOf[id]; ok {
+			if e.ws[w].slotOf[v] >= 0 {
 				masterW = w
 				break
 			}
 		}
-		ms := e.ws[masterW].slotOf[id]
+		ms := e.ws[masterW].slotOf[v]
 		master := &e.ws[masterW].verts[ms]
 		master.master = true
 		master.masterWorker = int32(masterW)
 		master.masterSlot = ms
 		for w := masterW + 1; w < k; w++ {
-			if s, ok := e.ws[w].slotOf[id]; ok {
+			if s := e.ws[w].slotOf[v]; s >= 0 {
 				mirror := &e.ws[w].verts[s]
 				mirror.masterWorker = int32(masterW)
 				mirror.masterSlot = ms
-				master.mirrors = append(master.mirrors, mirrorRef{worker: int32(w), slot: s})
+				mirRows[masterW][ms] = append(mirRows[masterW][ms], mirrorRef{worker: int32(w), slot: s})
 				e.mirrors++
 				e.mirrorsPerW[w]++
 			}
 		}
+	}
+
+	// Flatten adjacency and allocate the superstep scratch once.
+	for w := range e.ws {
+		ws := e.ws[w]
+		ws.inEdges = graph.CSRFromRows(inRows[w])
+		ws.outSlots = graph.CSRFromRows(outRows[w])
+		ws.mirrors = graph.CSRFromRows(mirRows[w])
+		nv := len(ws.verts)
+		ws.accVal = make([]G, nv)
+		ws.accHas = make([]bool, nv)
+		ws.accStamp = make([]uint32, nv)
+		ws.scat = make([]bool, nv)
+		ws.scatStamp = make([]uint32, nv)
+		ws.queuedStamp = make([]uint32, nv)
+		ws.nextActive = make([]bool, nv)
+		ws.outA = make([][]gasMsg[V, G], k)
+		ws.outB = make([][]gasMsg[V, G], k)
 	}
 
 	// Seed values on every copy.
@@ -403,10 +541,7 @@ func (e *Engine[V, G]) edgeBalance() float64 {
 	}
 	var sum, max int64
 	for _, ws := range e.ws {
-		var load int64
-		for s := range ws.verts {
-			load += int64(len(ws.verts[s].inEdges))
-		}
+		load := int64(ws.inEdges.NumItems())
 		sum += load
 		if load > max {
 			max = load
@@ -480,6 +615,35 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 	}
 	recoveries := 0
 
+	// Steady-state scratch, allocated once and reused every superstep. The
+	// per-worker counters are cleared at the top of each step; the inbound
+	// buffer only holds the transport's freshly drained batch slices; the
+	// residual rows reset with [:0]. Nothing downstream retains any of it.
+	inbound := make([][][]gasMsg[V, G], k)
+	var residPerW [][]float64
+	var resAll []float64
+	if e.cfg.Residual != nil {
+		residPerW = make([][]float64, k)
+	}
+	var sentPerW, unitsPerW, recvPerW, batchPerW, activePerW, syncPerW []int64
+	var busyPerW, sendBusy, computeDur []time.Duration
+	var serNs0, serNs []int64
+	var delivs [][]span.Delivery
+	if hooks != nil {
+		sentPerW = make([]int64, k)
+		unitsPerW = make([]int64, k)
+		recvPerW = make([]int64, k)
+		batchPerW = make([]int64, k)
+		activePerW = make([]int64, k)
+		syncPerW = make([]int64, k)
+		busyPerW = make([]time.Duration, k)
+		sendBusy = make([]time.Duration, k)
+		computeDur = make([]time.Duration, k)
+		serNs0 = make([]int64, k)
+		serNs = make([]int64, k)
+		delivs = make([][]span.Delivery, k)
+	}
+
 	// Cumulative per-vertex heat counters (hooks on only), all attributed at
 	// the vertex's master worker: every round either runs at the master
 	// (request/apply/scatter emission) or drains into it (partials,
@@ -504,31 +668,26 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		if e.inj != nil {
 			e.inj.BeginStep(e.step)
 		}
+		e.epoch++
 		stats := metrics.StepStats{Step: e.step}
 		var msgs, computeUnits atomic.Int64
 		var active int64
-		// Per-worker counters for OnWorkerStats; allocated only when
-		// observation is on.
-		var sentPerW, unitsPerW, recvPerW, batchPerW, activePerW, syncPerW []int64
-		// Span bookkeeping (nil when hooks are off): all five GAS rounds of
+		// Span bookkeeping (zeroed when hooks are on): all five GAS rounds of
 		// a superstep fold into one Compute span per worker, with the send
 		// share split out from the per-round busy time.
 		sd := obs.StepSpanData{Run: e.runSeq, Step: e.step}
-		var busyPerW, sendBusy []time.Duration
-		var serNs0, serNs []int64
-		var delivs [][]span.Delivery
 		if hooks != nil {
-			sentPerW = make([]int64, k)
-			unitsPerW = make([]int64, k)
-			recvPerW = make([]int64, k)
-			batchPerW = make([]int64, k)
-			activePerW = make([]int64, k)
-			syncPerW = make([]int64, k)
-			busyPerW = make([]time.Duration, k)
-			sendBusy = make([]time.Duration, k)
-			serNs0 = make([]int64, k)
-			serNs = make([]int64, k)
-			delivs = make([][]span.Delivery, k)
+			clear(sentPerW)
+			clear(unitsPerW)
+			clear(recvPerW)
+			clear(batchPerW)
+			clear(activePerW)
+			clear(syncPerW)
+			clear(busyPerW)
+			clear(sendBusy)
+			for w := range delivs {
+				delivs[w] = delivs[w][:0]
+			}
 		}
 		for w, ws := range e.ws {
 			for s := range ws.verts {
@@ -564,18 +723,19 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 
 		// Round 1 — gather requests: masters ask mirrors for partials.
 		e.parallelTimed(k, busyPerW, func(w int) {
-			out := make([][]gasMsg[V, G], k)
 			ws := e.ws[w]
+			out := resetOut(ws.outA)
 			for s := range ws.verts {
 				lv := &ws.verts[s]
 				if !lv.master || !lv.active {
 					continue
 				}
-				for _, m := range lv.mirrors {
+				mirs := ws.mirrors.Row(s)
+				for _, m := range mirs {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindGatherReq, Slot: m.slot})
 				}
 				if heatMsgs != nil {
-					heatMsgs[lv.id] += int64(len(lv.mirrors))
+					heatMsgs[lv.id] += int64(len(mirs))
 				}
 			}
 			sent := e.flush(w, out, &msgs, sendBusy)
@@ -587,16 +747,16 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		// Round 2 — mirrors compute partial gathers and reply; masters add
 		// their own local partials. Draining is a separate barrier so a fast
 		// worker's replies cannot race into a slow worker's request drain.
-		inbound := e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
-		acc := make([]map[int32]gasMsg[V, G], k) // masterSlot → partial at master's worker
+		e.drainAll(inbound, recvPerW, batchPerW, busyPerW, delivs)
+		epoch := e.epoch
 		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
-			out := make([][]gasMsg[V, G], k)
+			out := resetOut(ws.outB)
 			units := int64(0)
 			gatherLocal := func(s int32) (G, bool) {
 				var sum G
 				has := false
-				for _, edge := range ws.verts[s].inEdges {
+				for _, edge := range ws.inEdges.Row(int(s)) {
 					src := &ws.verts[edge.srcSlot]
 					gv := e.prog.Gather(src.id, src.cache, edge.weight)
 					units++
@@ -619,17 +779,18 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 						gasMsg[V, G]{Kind: kindGatherPartial, Slot: lv.masterSlot, Acc: sum, Has: has})
 				}
 			}
-			// Masters gather locally into acc[w].
-			local := make(map[int32]gasMsg[V, G])
+			// Masters gather locally, stamping their accumulator slots live
+			// for this epoch (replacing the per-step masterSlot → partial map).
 			for s := range ws.verts {
 				lv := &ws.verts[s]
 				if !lv.master || !lv.active {
 					continue
 				}
 				sum, has := gatherLocal(int32(s))
-				local[int32(s)] = gasMsg[V, G]{Acc: sum, Has: has}
+				ws.accVal[s] = sum
+				ws.accHas[s] = has
+				ws.accStamp[s] = epoch
 			}
-			acc[w] = local
 			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
@@ -640,14 +801,12 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 
 		// Round 3 — masters fold partials, apply, and push new values to
 		// mirrors.
-		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
-		activateNext := make([]map[int32]bool, k) // masterSlot → scatter? at each worker
-		var residPerW [][]float64
-		if e.cfg.Residual != nil {
-			residPerW = make([][]float64, k)
-		}
+		e.drainAll(inbound, recvPerW, batchPerW, busyPerW, delivs)
 		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
+			if residPerW != nil {
+				residPerW[w] = residPerW[w][:0]
+			}
 			for _, batch := range inbound[w] {
 				for _, m := range batch {
 					if m.Kind != kindGatherPartial {
@@ -661,37 +820,45 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					if !m.Has {
 						continue
 					}
-					cur := acc[w][m.Slot]
-					if !cur.Has {
-						cur.Acc, cur.Has = m.Acc, true
+					if ws.accStamp[m.Slot] != epoch {
+						ws.accStamp[m.Slot] = epoch
+						ws.accVal[m.Slot] = m.Acc
+						ws.accHas[m.Slot] = true
+					} else if !ws.accHas[m.Slot] {
+						ws.accVal[m.Slot] = m.Acc
+						ws.accHas[m.Slot] = true
 					} else {
-						cur.Acc = e.prog.Sum(cur.Acc, m.Acc)
+						ws.accVal[m.Slot] = e.prog.Sum(ws.accVal[m.Slot], m.Acc)
 					}
-					acc[w][m.Slot] = cur
 				}
 			}
-			out := make([][]gasMsg[V, G], k)
-			scatter := make(map[int32]bool)
-			for _, s := range sortedSlots(acc[w]) {
-				partial := acc[w][s]
+			out := resetOut(ws.outA)
+			// Ascending-slot sweep over the stamped accumulators — the same
+			// visit order the old sorted-map iteration produced, so the
+			// per-step message series stay byte-identical.
+			for s := range ws.verts {
+				if ws.accStamp[s] != epoch {
+					continue
+				}
 				lv := &ws.verts[s]
-				newVal, activate := e.prog.Apply(lv.id, lv.cache, partial.Acc, partial.Has, e.step)
+				newVal, activate := e.prog.Apply(lv.id, lv.cache, ws.accVal[s], ws.accHas[s], e.step)
 				if residPerW != nil {
 					residPerW[w] = append(residPerW[w], e.cfg.Residual(lv.cache, newVal))
 				}
 				lv.cache = newVal
-				scatter[s] = activate
-				for _, m := range lv.mirrors {
+				ws.scat[s] = activate
+				ws.scatStamp[s] = epoch
+				mirs := ws.mirrors.Row(s)
+				for _, m := range mirs {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindApplyPush, Slot: m.slot, Val: newVal})
 				}
 				if heatMsgs != nil {
-					heatMsgs[lv.id] += int64(len(lv.mirrors))
+					heatMsgs[lv.id] += int64(len(mirs))
 					// The vertex's gather scanned its full in-edge set,
 					// wherever those edges live — its global in-degree.
 					heatUnits[lv.id] += int64(e.g.InDegree(lv.id))
 				}
 			}
-			activateNext[w] = scatter
 			sent := e.flush(w, out, &msgs, sendBusy)
 			if sentPerW != nil {
 				sentPerW[w] += sent
@@ -702,7 +869,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		})
 
 		// Round 4 — mirrors refresh caches; masters send scatter requests.
-		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
+		e.drainAll(inbound, recvPerW, batchPerW, busyPerW, delivs)
 		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
 			for _, batch := range inbound[w] {
@@ -713,16 +880,17 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					ws.verts[m.Slot].cache = m.Val
 				}
 			}
-			out := make([][]gasMsg[V, G], k)
-			for _, s := range sortedSlots(activateNext[w]) {
-				if !activateNext[w][s] {
+			out := resetOut(ws.outB)
+			for s := range ws.verts {
+				if ws.scatStamp[s] != epoch || !ws.scat[s] {
 					continue
 				}
-				for _, m := range ws.verts[s].mirrors {
+				mirs := ws.mirrors.Row(s)
+				for _, m := range mirs {
 					out[m.worker] = append(out[m.worker], gasMsg[V, G]{Kind: kindScatterReq, Slot: m.slot})
 				}
 				if heatMsgs != nil {
-					heatMsgs[ws.verts[s].id] += int64(len(ws.verts[s].mirrors))
+					heatMsgs[ws.verts[s].id] += int64(len(mirs))
 				}
 			}
 			sent := e.flush(w, out, &msgs, sendBusy)
@@ -734,26 +902,23 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		// Round 5 — scatter: mirrors (and masters locally) activate the
 		// local copies' out-neighbors; remote activations return to the
 		// masters of the activated vertices.
-		nextActive := make([]map[int32]bool, k)
-		for w := range nextActive {
-			nextActive[w] = make(map[int32]bool)
-		}
-		// nextActive[w] is only written by worker w's goroutine in each of
+		//
+		// ws.nextActive is only written by worker w's goroutine in each of
 		// the two sequential rounds below, so no locking is needed.
-		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
+		e.drainAll(inbound, recvPerW, batchPerW, busyPerW, delivs)
 		e.parallelTimed(k, busyPerW, func(w int) {
 			ws := e.ws[w]
-			out := make([][]gasMsg[V, G], k)
+			out := resetOut(ws.outA)
 			// PowerGraph batches activation returns: at most one activate
-			// message per (activated vertex, worker) pair per superstep.
-			queued := make(map[int32]bool)
+			// message per (activated vertex, worker) pair per superstep —
+			// the epoch stamp replaces the per-step dedup map.
 			activateLocalOuts := func(s int32) {
-				for _, dst := range ws.verts[s].outSlots {
+				for _, dst := range ws.outSlots.Row(int(s)) {
 					dlv := &ws.verts[dst]
 					if dlv.master {
-						nextActive[w][dst] = true
-					} else if !queued[dst] {
-						queued[dst] = true
+						ws.nextActive[dst] = true
+					} else if ws.queuedStamp[dst] != epoch {
+						ws.queuedStamp[dst] = epoch
 						out[dlv.masterWorker] = append(out[dlv.masterWorker],
 							gasMsg[V, G]{Kind: kindActivate, Slot: dlv.masterSlot})
 					}
@@ -767,9 +932,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					activateLocalOuts(m.Slot)
 				}
 			}
-			for _, s := range sortedSlots(activateNext[w]) {
-				if activateNext[w][s] {
-					activateLocalOuts(s)
+			for s := range ws.verts {
+				if ws.scatStamp[s] == epoch && ws.scat[s] {
+					activateLocalOuts(int32(s))
 				}
 			}
 			sent := e.flush(w, out, &msgs, sendBusy)
@@ -779,8 +944,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 		})
 
 		// Final drain: deliver activation returns to masters.
-		inbound = e.drainAll(k, recvPerW, batchPerW, busyPerW, delivs)
+		e.drainAll(inbound, recvPerW, batchPerW, busyPerW, delivs)
 		e.parallelTimed(k, busyPerW, func(w int) {
+			ws := e.ws[w]
 			for _, batch := range inbound[w] {
 				for _, m := range batch {
 					if m.Kind != kindActivate {
@@ -788,9 +954,9 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 					}
 					if heatMsgs != nil {
 						// Activation returns land at the master's worker.
-						heatMsgs[e.ws[w].verts[m.Slot].id]++
+						heatMsgs[ws.verts[m.Slot].id]++
 					}
-					nextActive[w][m.Slot] = true
+					ws.nextActive[m.Slot] = true
 				}
 			}
 		})
@@ -807,25 +973,27 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			violations = e.auditMirrors()
 		}
 
-		// Barrier bookkeeping: set next activation.
+		// Barrier bookkeeping: set next activation and clear the flags for
+		// the next superstep.
 		synStart := time.Now()
 		for w := 0; w < k; w++ {
 			ws := e.ws[w]
 			for s := range ws.verts {
 				if ws.verts[s].master {
-					ws.verts[s].active = nextActive[w][int32(s)]
+					ws.verts[s].active = ws.nextActive[s]
 				}
+				ws.nextActive[s] = false
 			}
 		}
 		stats.Durations[metrics.Sync] = time.Since(synStart)
 
 		stats.Messages = msgs.Load()
 		if residPerW != nil {
-			var all []float64
+			resAll = resAll[:0]
 			for _, rs := range residPerW {
-				all = append(all, rs...)
+				resAll = append(resAll, rs...)
 			}
-			stats.SetResiduals(all)
+			stats.SetResiduals(resAll)
 		}
 		stats.ComputeUnitsMax = computeUnits.Load() / int64(k)
 		stats.SendMax = msgs.Load() / int64(k)
@@ -868,7 +1036,6 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 			sd.Wall = stats.Durations[metrics.Parse] + stats.Durations[metrics.Compute] +
 				stats.Durations[metrics.Send] + stats.Durations[metrics.Sync]
 			runWall += sd.Wall
-			computeDur := make([]time.Duration, k)
 			for w := 0; w < k; w++ {
 				computeDur[w] = busyPerW[w] - sendBusy[w]
 				if computeDur[w] < 0 {
@@ -961,27 +1128,26 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 }
 
 // drainAll drains every worker's queue behind a barrier, so messages of the
-// next round can never race into the current round's processing. recvPerW
-// and batchPerW, when non-nil, accumulate per-worker receive counts for the
-// observation hooks (each slot is written only by its own worker).
-func (e *Engine[V, G]) drainAll(k int, recvPerW, batchPerW []int64,
-	busy []time.Duration, delivs [][]span.Delivery) [][][]gasMsg[V, G] {
-	out := make([][][]gasMsg[V, G], k)
-	e.parallelTimed(k, busy, func(w int) {
-		out[w] = e.tr.Drain(w)
+// next round can never race into the current round's processing, filling the
+// caller's reusable inbound buffer. recvPerW and batchPerW, when non-nil,
+// accumulate per-worker receive counts for the observation hooks (each slot
+// is written only by its own worker).
+func (e *Engine[V, G]) drainAll(dst [][][]gasMsg[V, G], recvPerW, batchPerW []int64,
+	busy []time.Duration, delivs [][]span.Delivery) {
+	e.parallelTimed(len(dst), busy, func(w int) {
+		dst[w] = e.tr.Drain(w)
 		if delivs != nil {
 			// Merge this round's batch provenance; five rounds drain per
 			// superstep and LastDeliveries only covers the latest.
 			delivs[w] = span.MergeDeliveries(delivs[w], e.tr.LastDeliveries(w))
 		}
 		if recvPerW != nil {
-			for _, b := range out[w] {
+			for _, b := range dst[w] {
 				recvPerW[w] += int64(len(b))
 			}
-			batchPerW[w] += int64(len(out[w]))
+			batchPerW[w] += int64(len(dst[w]))
 		}
 	})
-	return out
 }
 
 // parallel runs fn for every worker concurrently and waits.
@@ -1029,17 +1195,15 @@ func (e *Engine[V, G]) flush(from int, out [][]gasMsg[V, G], msgs *atomic.Int64,
 	return sent
 }
 
-// sortedSlots returns m's keys in ascending slot order. The apply/scatter
-// rounds iterate these maps to emit messages, so the iteration order must
-// not depend on Go's randomized map order (§3.6 replay determinism; the
-// flight-recorder exact-match gate compares per-step series byte-for-byte).
-func sortedSlots[T any](m map[int32]T) []int32 {
-	slots := make([]int32, 0, len(m))
-	for s := range m {
-		slots = append(slots, s)
+// resetOut truncates every per-destination batch to zero length, keeping the
+// backing arrays for reuse. Reuse is safe because the batches a round sends
+// are drained behind a barrier and read in the next round, and each buffer
+// set is refilled two rounds later at the earliest (the outA/outB parity).
+func resetOut[V, G any](out [][]gasMsg[V, G]) [][]gasMsg[V, G] {
+	for to := range out {
+		out[to] = out[to][:0]
 	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
-	return slots
+	return out
 }
 
 // Close releases transport resources (sockets in TCPLoopback mode).

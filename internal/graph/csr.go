@@ -1,0 +1,104 @@
+package graph
+
+import "fmt"
+
+// CSR is an immutable, flat, offset-indexed row store — the partition-local
+// counterpart of Graph's global adjacency arrays. Engines build one CSR per
+// neighbor-shaped structure at partition time (in-neighbor slots, local
+// out-edges, replica placements) and then iterate Row slices in the
+// superstep inner loops with zero per-vertex allocations and no map lookups.
+//
+// Rows preserve insertion order exactly: Row(i) returns the items appended
+// to row i in the order they were appended, duplicates included. That
+// property is what lets the flight-recorder gate prove the CSR migration
+// changed nothing — neighbor iteration order equals the seed adjacency-list
+// order, so message order, and therefore every exact-diffed counter, is
+// byte-identical.
+type CSR[T any] struct {
+	offsets []int64 // len = rows+1, monotone, offsets[0] == 0
+	items   []T     // len = offsets[rows]
+}
+
+// NumRows returns the number of rows.
+func (c *CSR[T]) NumRows() int { return len(c.offsets) - 1 }
+
+// NumItems returns the total number of items across all rows.
+func (c *CSR[T]) NumItems() int { return len(c.items) }
+
+// Row returns row i as a slice of the flat item array. The slice aliases
+// the CSR's storage and must not be mutated or retained past the CSR's
+// lifetime.
+func (c *CSR[T]) Row(i int) []T {
+	return c.items[c.offsets[i]:c.offsets[i+1]]
+}
+
+// RowLen returns len(Row(i)) without materializing the slice header.
+func (c *CSR[T]) RowLen(i int) int {
+	return int(c.offsets[i+1] - c.offsets[i])
+}
+
+// Validate checks the structural invariants: offsets present, monotone,
+// anchored at zero, and spanning exactly the item array.
+func (c *CSR[T]) Validate() error {
+	if len(c.offsets) == 0 {
+		return fmt.Errorf("graph: CSR: empty offsets (zero-row CSR still has offsets=[0])")
+	}
+	if c.offsets[0] != 0 {
+		return fmt.Errorf("graph: CSR: offsets[0] = %d, want 0", c.offsets[0])
+	}
+	for i := 1; i < len(c.offsets); i++ {
+		if c.offsets[i] < c.offsets[i-1] {
+			return fmt.Errorf("graph: CSR: offsets not monotone at row %d: %d < %d",
+				i-1, c.offsets[i], c.offsets[i-1])
+		}
+	}
+	if got := c.offsets[len(c.offsets)-1]; got != int64(len(c.items)) {
+		return fmt.Errorf("graph: CSR: offsets end at %d, want %d items", got, len(c.items))
+	}
+	return nil
+}
+
+// CSRBuilder accumulates rows and flattens them into a CSR. Build-time
+// storage is row-sliced (this runs once, at partition time); the result is
+// the flat immutable layout the hot loops iterate.
+type CSRBuilder[T any] struct {
+	rows [][]T
+}
+
+// NewCSRBuilder returns a builder for a CSR with the given number of rows.
+// Rows never appended to come out empty — an empty partition or an isolated
+// vertex is a zero-length row, not an error.
+func NewCSRBuilder[T any](rows int) *CSRBuilder[T] {
+	return &CSRBuilder[T]{rows: make([][]T, rows)}
+}
+
+// Append adds item to row. Items within a row keep insertion order;
+// duplicates are kept (a multigraph edge appears as many times as it was
+// added).
+func (b *CSRBuilder[T]) Append(row int, item T) {
+	b.rows[row] = append(b.rows[row], item)
+}
+
+// Build flattens the accumulated rows. The builder must not be used after
+// Build.
+func (b *CSRBuilder[T]) Build() CSR[T] {
+	return CSRFromRows(b.rows)
+}
+
+// CSRFromRows flattens row slices into a CSR, preserving row and
+// within-row order.
+func CSRFromRows[T any](rows [][]T) CSR[T] {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	c := CSR[T]{
+		offsets: make([]int64, len(rows)+1),
+		items:   make([]T, 0, total),
+	}
+	for i, r := range rows {
+		c.items = append(c.items, r...)
+		c.offsets[i+1] = int64(len(c.items))
+	}
+	return c
+}

@@ -1,0 +1,211 @@
+package graph
+
+import "testing"
+
+// TestCSREmptyRows covers the empty-partition shape: a CSR whose rows were
+// never appended to must validate and iterate as zero-length rows.
+func TestCSREmptyRows(t *testing.T) {
+	b := NewCSRBuilder[int32](4)
+	b.Append(2, 7)
+	c := b.Build()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 4 || c.NumItems() != 1 {
+		t.Fatalf("rows=%d items=%d, want 4/1", c.NumRows(), c.NumItems())
+	}
+	for _, empty := range []int{0, 1, 3} {
+		if got := c.Row(empty); len(got) != 0 {
+			t.Fatalf("row %d = %v, want empty", empty, got)
+		}
+		if c.RowLen(empty) != 0 {
+			t.Fatalf("RowLen(%d) = %d, want 0", empty, c.RowLen(empty))
+		}
+	}
+	if got := c.Row(2); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("row 2 = %v, want [7]", got)
+	}
+
+	// A fully empty CSR (all rows empty — the empty-partition case) is
+	// valid too.
+	empty := NewCSRBuilder[int32](3).Build()
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 3 || empty.NumItems() != 0 {
+		t.Fatalf("empty CSR: rows=%d items=%d", empty.NumRows(), empty.NumItems())
+	}
+
+	// Zero rows entirely.
+	none := NewCSRBuilder[int32](0).Build()
+	if err := none.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if none.NumRows() != 0 {
+		t.Fatalf("zero-row CSR: rows=%d", none.NumRows())
+	}
+}
+
+// TestCSRIsolatedVertices builds a CSR over a graph with isolated vertices
+// (no in- or out-edges): their rows must exist and be empty, and must not
+// shift neighboring rows' offsets.
+func TestCSRIsolatedVertices(t *testing.T) {
+	gb := NewBuilder(5)
+	gb.AddEdge(0, 2)
+	gb.AddEdge(4, 2)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewCSRBuilder[ID](int(g.NumVertices()))
+	for v := ID(0); v < ID(g.NumVertices()); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			b.Append(int(v), u)
+		}
+	}
+	c := b.Build()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 and 3 are isolated; 2 has in-edges only.
+	for _, v := range []int{1, 2, 3} {
+		if c.RowLen(v) != 0 {
+			t.Fatalf("isolated/in-only vertex %d: row %v, want empty", v, c.Row(v))
+		}
+	}
+	if got := c.Row(0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("row 0 = %v, want [2]", got)
+	}
+	if got := c.Row(4); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("row 4 = %v, want [2]", got)
+	}
+}
+
+// TestCSRDuplicateEdges: a multigraph edge appended twice appears twice, in
+// insertion order — the CSR must not dedupe or sort.
+func TestCSRDuplicateEdges(t *testing.T) {
+	b := NewCSRBuilder[ID](2)
+	b.Append(0, 3)
+	b.Append(0, 1)
+	b.Append(0, 3)
+	c := b.Build()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Row(0)
+	want := []ID{3, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("row 0 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row 0 = %v, want %v (insertion order, duplicates kept)", got, want)
+		}
+	}
+}
+
+// TestCSROrderMatchesAdjacency is the determinism property test: for a
+// seeded random graph, CSR row iteration must reproduce the seed
+// adjacency-list order element for element. Engines rely on this to keep
+// message emission order — and therefore every exact-diffed flight-recorder
+// counter — identical across the map-to-CSR migration.
+func TestCSROrderMatchesAdjacency(t *testing.T) {
+	const n, deg = 500, 8
+	gb := NewBuilder(n)
+	// Deterministic pseudo-random multigraph, duplicates and self-loops
+	// included, so the property covers the awkward shapes too.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for v := 0; v < n; v++ {
+		for i := 0; i < deg; i++ {
+			gb.AddWeightedEdge(ID(v), ID(next()%n), float64(next()%1000)/1000)
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outs := NewCSRBuilder[ID](n)
+	ws := NewCSRBuilder[float64](n)
+	for v := ID(0); v < ID(n); v++ {
+		ns, wts := g.OutNeighbors(v), g.OutWeights(v)
+		for i := range ns {
+			outs.Append(int(v), ns[i])
+			ws.Append(int(v), wts[i])
+		}
+	}
+	co, cw := outs.Build(), ws.Build()
+	if err := co.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := ID(0); v < ID(n); v++ {
+		ns, wts := g.OutNeighbors(v), g.OutWeights(v)
+		rn, rw := co.Row(int(v)), cw.Row(int(v))
+		if len(rn) != len(ns) || len(rw) != len(wts) {
+			t.Fatalf("vertex %d: CSR row len %d/%d, adjacency %d", v, len(rn), len(rw), len(ns))
+		}
+		for i := range ns {
+			if rn[i] != ns[i] || rw[i] != wts[i] {
+				t.Fatalf("vertex %d neighbor %d: CSR (%d,%g) != adjacency (%d,%g)",
+					v, i, rn[i], rw[i], ns[i], wts[i])
+			}
+		}
+	}
+}
+
+// BenchmarkCSRTraversal measures the hot-loop cost of iterating every row of
+// a partition-sized CSR — the access pattern of the engines' gather loops.
+// The CI perf gate asserts 0 allocs/op: traversal must never allocate.
+func BenchmarkCSRTraversal(b *testing.B) {
+	const n, deg = 4096, 16
+	cb := NewCSRBuilder[int32](n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < deg; i++ {
+			cb.Append(v, int32((v*deg+i*2654435761)%n))
+		}
+	}
+	c := cb.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < n; v++ {
+			for _, s := range c.Row(v) {
+				sum += int64(s)
+			}
+		}
+	}
+	if sum == 42 {
+		b.Log(sum) // keep the traversal live
+	}
+}
+
+// TestCSRTraversalAllocs enforces the benchmark's invariant in the plain
+// test run: row iteration performs zero allocations.
+func TestCSRTraversalAllocs(t *testing.T) {
+	cb := NewCSRBuilder[int32](64)
+	for v := 0; v < 64; v++ {
+		for i := 0; i < 4; i++ {
+			cb.Append(v, int32(v+i))
+		}
+	}
+	c := cb.Build()
+	var sum int64
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := 0; v < 64; v++ {
+			for _, s := range c.Row(v) {
+				sum += int64(s)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CSR traversal allocates %.1f per run, want 0", allocs)
+	}
+	_ = sum
+}

@@ -37,6 +37,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Hooks:         p.hooks,
 				Audit:         p.audit,
 				Halt:          haltForPR(g.NumVertices(), p.eps),
+				MsgCodec:      graph.Float64Codec{},
 				// "Same value" at the working epsilon: the redundant-message
 				// metric of Figure 3(2) counts re-sends of converged ranks.
 				Equal:    func(a, b float64) bool { return abs64(a-b) < p.eps },
@@ -66,6 +67,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
 				Hooks:    p.hooks,
 				Audit:    p.audit,
+				MsgCodec: graph.Float64Codec{},
 				Residual: scalarResidual,
 				OnStep:   func(int, *bsp.Engine[float64, float64]) { mem.sample() },
 			})
@@ -88,6 +90,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Hooks:    p.hooks,
 				Audit:    p.audit,
 				Halt:     algorithms.CDHalt(),
+				MsgCodec: graph.Int64Codec{},
 				Residual: labelResidual,
 				OnStep:   func(int, *bsp.Engine[int64, int64]) { mem.sample() },
 			})
@@ -111,6 +114,7 @@ func runHama(algo string, g *graph.Graph, cc cluster.Config,
 				Hooks:     p.hooks,
 				Audit:     p.audit,
 				SizeOfMsg: func(m algorithms.ALSMsg) int64 { return int64(8*len(m.Vec)) + 8 },
+				MsgCodec:  algorithms.ALSMsgCodec{},
 				OnStep:    func(int, *bsp.Engine[[]float64, algorithms.ALSMsg]) { mem.sample() },
 			})
 		if err != nil {
@@ -146,6 +150,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps,
 				Hooks:    p.hooks,
 				Audit:    p.audit,
+				MsgCodec: graph.Float64Codec{},
 				Equal:    func(a, b float64) bool { return abs64(a-b) < p.eps },
 				Residual: scalarResidual,
 				OnStep: func(step int, e *cyclops.Engine[float64, float64]) {
@@ -175,6 +180,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.maxSteps * 10,
 				Hooks:    p.hooks,
 				Audit:    p.audit,
+				MsgCodec: graph.Float64Codec{},
 				Residual: scalarResidual,
 				OnStep:   func(int, *cyclops.Engine[float64, float64]) { mem.sample() },
 			})
@@ -198,6 +204,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster: cc, Partitioner: part, MaxSupersteps: p.cdIters,
 				Hooks:    p.hooks,
 				Audit:    p.audit,
+				MsgCodec: graph.Int64Codec{},
 				Residual: labelResidual,
 				OnStep:   func(int, *cyclops.Engine[int64, int64]) { mem.sample() },
 			})
@@ -223,6 +230,7 @@ func runCyclops(algo string, g *graph.Graph, cc cluster.Config,
 				Hooks:     p.hooks,
 				Audit:     p.audit,
 				SizeOfMsg: func(m []float64) int64 { return int64(8 * len(m)) },
+				MsgCodec:  graph.Float64SliceCodec{},
 				OnStep:    func(int, *cyclops.Engine[[]float64, []float64]) { mem.sample() },
 			})
 		if err != nil {
@@ -261,8 +269,10 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 			algorithms.NewPageRankGAS(g, p.maxSteps, p.eps),
 			gas.Config[algorithms.PRValue, float64]{
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps,
-				Hooks: p.hooks,
-				Audit: p.audit,
+				Hooks:    p.hooks,
+				Audit:    p.audit,
+				ValCodec: algorithms.PRValueCodec{},
+				AccCodec: graph.Float64Codec{},
 				Residual: func(old, new algorithms.PRValue) float64 {
 					return abs64(old.Rank - new.Rank)
 				},
@@ -286,6 +296,8 @@ func runGASWithCut(algo string, g *graph.Graph, cc cluster.Config,
 				Cluster: cc, Partitioner: cut, MaxSupersteps: p.maxSteps * 10,
 				Hooks:    p.hooks,
 				Audit:    p.audit,
+				ValCodec: graph.Float64Codec{},
+				AccCodec: graph.Float64Codec{},
 				Residual: scalarResidual,
 			})
 		if err != nil {

@@ -13,7 +13,6 @@ package span
 
 import (
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -141,23 +140,38 @@ type Delivery struct {
 // merged order is scheduling-independent. It owns and returns dst.
 func MergeDeliveries(dst, more []Delivery) []Delivery {
 	for _, d := range more {
-		found := false
-		for i := range dst {
-			if dst[i].From == d.From && dst[i].Ctx == d.Ctx {
-				dst[i].Msgs += d.Msgs
-				found = true
-				break
-			}
-		}
-		if !found {
-			dst = append(dst, d)
+		dst = AddDelivery(dst, d)
+	}
+	return dst
+}
+
+// AddDelivery merges a single delivery into dst, which must already be
+// sorted by (From, Ctx.Step) — the order MergeDeliveries and AddDelivery
+// both maintain. This is the transports' per-batch hot path: unlike a
+// MergeDeliveries call with a one-element slice, it builds no temporary
+// slice and runs no sort, so folding a batch's provenance into a
+// capacity-reused deliveries list allocates nothing in steady state.
+func AddDelivery(dst []Delivery, d Delivery) []Delivery {
+	for i := range dst {
+		if dst[i].From == d.From && dst[i].Ctx == d.Ctx {
+			dst[i].Msgs += d.Msgs
+			return dst
 		}
 	}
-	sort.Slice(dst, func(i, j int) bool {
-		if dst[i].From != dst[j].From {
-			return dst[i].From < dst[j].From
+	// Sorted insert. Distinct entries with equal (From, Step) keys cannot
+	// arise from one drain window (a sender stamps one context per step), so
+	// insertion position is unambiguous and the result matches what the old
+	// append-then-sort produced.
+	pos := len(dst)
+	for i := range dst {
+		if dst[i].From > d.From ||
+			(dst[i].From == d.From && dst[i].Ctx.Step > d.Ctx.Step) {
+			pos = i
+			break
 		}
-		return dst[i].Ctx.Step < dst[j].Ctx.Step
-	})
+	}
+	dst = append(dst, Delivery{})
+	copy(dst[pos+1:], dst[pos:])
+	dst[pos] = d
 	return dst
 }

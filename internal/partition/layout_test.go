@@ -1,0 +1,54 @@
+package partition
+
+import (
+	"testing"
+
+	"cyclops/internal/graph"
+)
+
+func TestLayoutSlots(t *testing.T) {
+	a := &Assignment{K: 3, Of: []int{0, 1, 0, 2, 1, 0}}
+	l, err := NewLayout(a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMasters := [][]graph.ID{{0, 2, 5}, {1, 4}, {3}}
+	for p := 0; p < 3; p++ {
+		got := l.Masters(p)
+		if len(got) != len(wantMasters[p]) || l.NumMasters(p) != len(wantMasters[p]) {
+			t.Fatalf("partition %d masters = %v, want %v", p, got, wantMasters[p])
+		}
+		for i, id := range wantMasters[p] {
+			if got[i] != id {
+				t.Fatalf("partition %d masters = %v, want %v (ascending ids)", p, got, wantMasters[p])
+			}
+			if l.Slot[id] != int32(i) {
+				t.Fatalf("Slot[%d] = %d, want %d", id, l.Slot[id], i)
+			}
+		}
+	}
+}
+
+func TestLayoutEmptyPartition(t *testing.T) {
+	// Partition 1 owns nothing — its master list must be empty, not missing.
+	a := &Assignment{K: 3, Of: []int{0, 2, 0}}
+	l, err := NewLayout(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := l.NumMasters(1); n != 0 {
+		t.Fatalf("empty partition has %d masters", n)
+	}
+	if len(l.Masters(1)) != 0 {
+		t.Fatalf("empty partition masters = %v", l.Masters(1))
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(&Assignment{K: 2, Of: []int{0}}, 2); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := NewLayout(&Assignment{K: 2, Of: []int{0, 5}}, 2); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}

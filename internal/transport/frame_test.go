@@ -1,0 +1,248 @@
+package transport
+
+// Binary frame format tests: round-trip fidelity, exact wire-size accounting
+// (frameWireBytes must equal what appendFrame materialises, byte for byte —
+// the in-process transport charges the former while the RPC transport
+// measures the latter, and the perf gate diffs them exactly), and the
+// zero-allocation steady state the arena-style buffers exist for.
+
+import (
+	"testing"
+
+	"cyclops/internal/graph"
+	"cyclops/internal/obs/span"
+)
+
+// msgCodec is the test codec for the msg type: 4-byte index + 8-byte value,
+// the same 12-byte layout the Table 3 microbenchmark uses.
+type msgCodec struct{}
+
+func (msgCodec) EncodedSize(msg) int { return 12 }
+
+func (msgCodec) Append(dst []byte, m msg) []byte {
+	dst = graph.AppendUint32(dst, m.V)
+	return graph.Float64Codec{}.Append(dst, m.X)
+}
+
+func (msgCodec) Decode(src []byte) (msg, int, error) {
+	var m msg
+	v, err := graph.Uint32At(src)
+	if err != nil {
+		return m, 0, err
+	}
+	x, n, err := graph.Float64Codec{}.Decode(src[4:])
+	if err != nil {
+		return m, 0, err
+	}
+	m.V = v
+	m.X = x
+	return m, 4 + n, nil
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		from  int
+		end   bool
+		tag   span.Context
+		batch []msg
+	}{
+		{"tagged batch", 3, false, span.Context{Run: 7, Step: 11, Worker: 3},
+			[]msg{{1, 1.5}, {2, -2.5}, {4294967295, 0}}},
+		{"untagged batch", 0, false, span.Context{}, []msg{{9, 9.25}}},
+		{"round-end marker", 2, true, span.Context{Run: 1, Step: 0, Worker: 2}, nil},
+		{"empty batch", 1, false, span.Context{}, nil},
+	}
+	codec := msgCodec{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := appendFrame(nil, tc.from, tc.end, tc.tag, tc.batch, codec)
+			if got, want := int64(len(wire)), frameWireBytes(tc.batch, codec); got != want {
+				t.Fatalf("materialised %d bytes, frameWireBytes computed %d", got, want)
+			}
+			from, end, tag, batch, err := decodeFrameBody(wire[4:], codec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if from != tc.from || end != tc.end || tag != tc.tag {
+				t.Fatalf("header round-trip: got (%d,%v,%+v), want (%d,%v,%+v)",
+					from, end, tag, tc.from, tc.end, tc.tag)
+			}
+			if len(batch) != len(tc.batch) {
+				t.Fatalf("batch length %d, want %d", len(batch), len(tc.batch))
+			}
+			for i := range batch {
+				if batch[i] != tc.batch[i] {
+					t.Fatalf("message %d: got %+v, want %+v", i, batch[i], tc.batch[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	codec := msgCodec{}
+	wire := appendFrame(nil, 1, false, span.Context{}, []msg{{1, 1}, {2, 2}}, codec)
+	// Truncated body: the last message is cut short.
+	if _, _, _, _, err := decodeFrameBody(wire[4:len(wire)-3], codec, nil); err == nil {
+		t.Error("truncated frame decoded without error")
+	}
+	// Trailing garbage: bytes past the declared message count.
+	if _, _, _, _, err := decodeFrameBody(append(wire[4:], 0xFF), codec, nil); err == nil {
+		t.Error("frame with trailing bytes decoded without error")
+	}
+	// Shorter than the fixed header.
+	if _, _, _, _, err := decodeFrameBody(wire[4:10], codec, nil); err == nil {
+		t.Error("sub-header frame decoded without error")
+	}
+}
+
+// TestFrameRoundTripZeroAlloc pins the tentpole's core claim: once the
+// per-peer arena buffer and a receive-side scratch batch have grown to their
+// high-water mark, encoding and decoding a frame allocate nothing at all.
+func TestFrameRoundTripZeroAlloc(t *testing.T) {
+	codec := msgCodec{}
+	batch := make([]msg, 512)
+	for i := range batch {
+		batch[i] = msg{uint32(i), float64(i)}
+	}
+	tag := span.Context{Run: 1, Step: 2, Worker: 3}
+	buf := appendFrame(nil, 0, false, tag, batch, codec) // grow the arena
+	scratch := make([]msg, 0, len(batch))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendFrame(buf[:0], 0, false, tag, batch, codec)
+		_, _, _, out, err := decodeFrameBody(buf[4:], codec, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(batch) {
+			t.Fatalf("decoded %d messages, want %d", len(out), len(batch))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("frame round-trip allocated %v objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestLocalCodecWireAccounting verifies the in-process transport's computed
+// wire charge is exactly what a socket run of the same batches would
+// materialise: frame header + per-message encoded sizes, while payload stays
+// on the sizeOf estimate.
+func TestLocalCodecWireAccounting(t *testing.T) {
+	codec := msgCodec{}
+	tr := NewLocalCodec[msg](3, PerSenderQueue, nil, codec)
+	batches := []struct {
+		from, to int
+		batch    []msg
+	}{
+		{0, 2, []msg{{1, 1.5}, {2, 2.5}}},
+		{1, 2, []msg{{3, 3.5}}},
+		{0, 0, []msg{{4, 4.5}}},
+	}
+	var wantWire, wantPayload int64
+	for _, b := range batches {
+		tr.Send(b.from, b.to, b.batch)
+		wire := appendFrame(nil, b.from, false, span.Context{}, b.batch, codec)
+		wantWire += int64(len(wire))
+		wantPayload += int64(len(b.batch)) * 16
+	}
+	s := tr.Stats().Snapshot()
+	if s.WireBytes != wantWire {
+		t.Errorf("wire bytes %d, want the materialised frame total %d", s.WireBytes, wantWire)
+	}
+	if s.Bytes != wantPayload {
+		t.Errorf("payload bytes %d, want flat 16/message %d", s.Bytes, wantPayload)
+	}
+	if s.Encodes != 0 || s.Decodes != 0 {
+		t.Errorf("in-process codec transport performed %d encodes / %d decodes", s.Encodes, s.Decodes)
+	}
+	if m := tr.Matrix().Snapshot(); m.TotalWireBytes() != s.WireBytes {
+		t.Errorf("matrix wire total %d != stats wire total %d", m.TotalWireBytes(), s.WireBytes)
+	}
+}
+
+// TestRPCBinaryRoundTrip drives real batches through real sockets with the
+// binary codec and checks both delivery and the measured wire bytes — which,
+// unlike gob's, must equal the computed frame sizes exactly (no stream state,
+// no type descriptors).
+func TestRPCBinaryRoundTrip(t *testing.T) {
+	codec := msgCodec{}
+	tr, err := NewRPCCodec[msg](2, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	tr.Tag(0, span.Context{Run: 5, Step: 1, Worker: 0})
+	remote := []msg{{1, 1}, {2, 2}, {3, 3}}
+	tr.Send(0, 1, remote)
+	tr.Send(0, 0, []msg{{5, 5}}) // self-send: loopback, no frame
+	tr.Send(1, 0, []msg{{6, 6}})
+	tr.FinishRound(0)
+	tr.FinishRound(1)
+
+	got := tr.Drain(1)
+	var flat []msg
+	for _, b := range got {
+		flat = append(flat, b...)
+	}
+	if len(flat) != len(remote) {
+		t.Fatalf("worker 1 drained %d messages, want %d", len(flat), len(remote))
+	}
+	for i := range flat {
+		if flat[i] != remote[i] {
+			t.Fatalf("message %d: got %+v, want %+v", i, flat[i], remote[i])
+		}
+	}
+	if d := tr.LastDeliveries(1); len(d) != 1 || d[0].Ctx.Run != 5 {
+		t.Errorf("span tag lost on the binary wire: deliveries %+v", d)
+	}
+	tr.Drain(0)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary frames are stateless, so the measured socket bytes equal the
+	// computed frame sizes exactly: one data frame 0→1, one 1→0, plus one
+	// round-end marker per remote direction. The self-send charges payload.
+	wantWire := frameWireBytes(remote, codec) +
+		frameWireBytes([]msg{{6, 6}}, codec) +
+		2*int64(FrameHeaderBytes) + // two round-end markers
+		16 // self-send payload
+	s := tr.Stats().Snapshot()
+	if s.WireBytes != wantWire {
+		t.Errorf("wire bytes %d, want exactly %d (header %d × frames + encoded messages)",
+			s.WireBytes, wantWire, FrameHeaderBytes)
+	}
+	if s.Encodes != 4 || s.Decodes != 4 {
+		t.Errorf("frame ops: %d encodes / %d decodes, want 4/4 (2 data + 2 markers)", s.Encodes, s.Decodes)
+	}
+}
+
+// BenchmarkFrameRoundTrip is the perf-gate benchmark for the binary wire
+// format: encode one 512-message frame into a reused arena buffer and decode
+// it back into a reused scratch batch. CI asserts 0 allocs/op — the
+// steady-state contract every remote send relies on.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	codec := msgCodec{}
+	batch := make([]msg, 512)
+	for i := range batch {
+		batch[i] = msg{uint32(i), float64(i)}
+	}
+	tag := span.Context{Run: 1, Step: 2, Worker: 3}
+	buf := appendFrame(nil, 0, false, tag, batch, codec)
+	scratch := make([]msg, 0, len(batch))
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendFrame(buf[:0], 0, false, tag, batch, codec)
+		_, _, _, out, err := decodeFrameBody(buf[4:], codec, scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(batch) {
+			b.Fatal("short decode")
+		}
+	}
+}

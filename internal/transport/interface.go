@@ -1,6 +1,9 @@
 package transport
 
-import "cyclops/internal/obs/span"
+import (
+	"cyclops/internal/graph"
+	"cyclops/internal/obs/span"
+)
 
 // Network selects how a simulated cluster's workers exchange messages.
 type Network int
@@ -92,12 +95,19 @@ var _ Interface[int] = (*Local[int])(nil)
 
 // New constructs a transport for the requested network. mode selects the
 // receive-queue discipline for InProcess (the TCP transport always uses a
-// locked inbox; its contention is real, not simulated).
-func New[M any](network Network, n int, mode QueueMode, sizeOf func(M) int64) (Interface[M], error) {
+// locked inbox; its contention is real, not simulated). codec, when
+// non-nil, selects the hand-rolled binary frame format: the TCP transport
+// frames with it instead of gob, and the in-process transport charges its
+// exact encoded sizes to the wire books. Nil keeps the legacy behaviour
+// (gob frames; wire == payload in-process).
+func New[M any](network Network, n int, mode QueueMode, sizeOf func(M) int64, codec graph.Codec[M]) (Interface[M], error) {
 	switch network {
 	case InProcess:
-		return NewLocal[M](n, mode, sizeOf), nil
+		return NewLocalCodec[M](n, mode, sizeOf, codec), nil
 	case TCPLoopback:
+		if codec != nil {
+			return NewRPCCodec[M](n, codec)
+		}
 		return NewRPC[M](n)
 	default:
 		return nil, errUnknownNetwork(int(network))

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cyclops/internal/graph"
 	"cyclops/internal/obs/span"
 )
 
@@ -42,6 +43,13 @@ type Local[M any] struct {
 	n      int
 	mode   QueueMode
 	sizeOf func(M) int64
+	// codec, when non-nil, switches wire accounting from "wire == payload"
+	// to the exact byte count the binary frame format would put on a
+	// socket (frame header + per-message encoded sizes). No frame is
+	// materialized — EncodedSize is a pure function of the message, so the
+	// charge is deterministic and exact-diffable by the perf gate, and the
+	// in-process and TCP transports agree on what a batch costs.
+	codec  graph.Codec[M]
 	stats  Stats
 	matrix *Matrix
 
@@ -107,6 +115,17 @@ func NewLocal[M any](n int, mode QueueMode, sizeOf func(M) int64) *Local[M] {
 	return t
 }
 
+// NewLocalCodec is NewLocal with a message codec: payload accounting is
+// unchanged (sizeOf, or 16 bytes/message), but wire accounting charges the
+// binary frame format's exact encoded bytes instead of the payload
+// estimate, so the in-process gate sees the same wire/payload ratio a
+// socket run would.
+func NewLocalCodec[M any](n int, mode QueueMode, sizeOf func(M) int64, codec graph.Codec[M]) *Local[M] {
+	t := NewLocal[M](n, mode, sizeOf)
+	t.codec = codec
+	return t
+}
+
 // NumEndpoints reports the number of workers the transport connects.
 func (t *Local[M]) NumEndpoints() int { return t.n }
 
@@ -141,11 +160,17 @@ func (t *Local[M]) Send(from, to int, batch []M) {
 	}
 	bytes := t.batchBytes(batch)
 	t.matrix.Add(from, to, int64(len(batch)), bytes)
-	// No serialisation in-process: the wire cost of a memory hand-off is the
-	// payload itself, so the wire/payload ratio is identically 1 here and the
-	// RPC transport's ratio isolates the gob envelope.
-	t.matrix.AddWire(from, to, bytes)
-	t.stats.countWire(bytes)
+	// Without a codec there is no serialisation in-process: the wire cost of
+	// a memory hand-off is the payload itself, so the wire/payload ratio is
+	// identically 1 and the RPC transport's ratio isolates the gob envelope.
+	// With a codec, the wire charge is the exact binary-frame byte count —
+	// still computed, never measured, so it stays exact-diffable.
+	wire := bytes
+	if t.codec != nil {
+		wire = frameWireBytes(batch, t.codec)
+	}
+	t.matrix.AddWire(from, to, wire)
+	t.stats.countWire(wire)
 	var ctx span.Context
 	if t.tagged.Load() {
 		ctx = t.tags[from]
@@ -184,7 +209,10 @@ func (t *Local[M]) Drain(to int) [][]M {
 		q := &t.global[to]
 		q.mu.Lock()
 		tagged := q.batches
-		q.batches = nil
+		// Truncate, don't nil: `tagged` aliases the backing array but is dead
+		// before the next round's Sends reuse it (the Drain contract — no Send
+		// is in flight — makes this the per-sender slot reuse's twin).
+		q.batches = q.batches[:0]
 		q.mu.Unlock()
 		sort.Slice(tagged, func(i, j int) bool {
 			if tagged[i].from != tagged[j].from {
@@ -196,8 +224,8 @@ func (t *Local[M]) Drain(to int) [][]M {
 		for i := range tagged {
 			out[i] = tagged[i].batch
 			if record {
-				t.lastDeliv[to] = span.MergeDeliveries(t.lastDeliv[to],
-					[]span.Delivery{{From: tagged[i].from, Ctx: tagged[i].ctx, Msgs: int64(len(tagged[i].batch))}})
+				t.lastDeliv[to] = span.AddDelivery(t.lastDeliv[to],
+					span.Delivery{From: tagged[i].from, Ctx: tagged[i].ctx, Msgs: int64(len(tagged[i].batch))})
 			}
 		}
 		if len(out) == 0 {
@@ -213,12 +241,16 @@ func (t *Local[M]) Drain(to int) [][]M {
 				out = append(out, s.batches...)
 				if record {
 					for i, b := range s.batches {
-						t.lastDeliv[to] = span.MergeDeliveries(t.lastDeliv[to],
-							[]span.Delivery{{From: from, Ctx: s.ctxs[i], Msgs: int64(len(b))}})
+						t.lastDeliv[to] = span.AddDelivery(t.lastDeliv[to],
+							span.Delivery{From: from, Ctx: s.ctxs[i], Msgs: int64(len(b))})
 					}
 				}
-				s.batches = nil
-				s.ctxs = nil
+				// Truncate, don't nil: out copied the batch headers, so the
+				// containers' backing arrays are free to take next superstep's
+				// sends — the slot reaches steady state with zero allocations
+				// per Send, like the engines' arena buffers it carries.
+				s.batches = s.batches[:0]
+				s.ctxs = s.ctxs[:0]
 			}
 			s.mu.Unlock()
 		}

@@ -68,6 +68,14 @@ type MicroResult struct {
 	// the Cyclops implementation every sender's direct write is its own send
 	// span, so the count equals the sender count by construction.
 	LinkedBatches int64
+	// EncodeOps and DecodeOps count per-message serialisation work, so the
+	// gob leg and the binary leg report Table 3 like-for-like: hama counts
+	// each gob-encoded (and -decoded) message, powergraph each binary record,
+	// cyclops zero on both sides (direct writes serialise nothing). A
+	// serialising implementation decodes exactly what it encodes, so the two
+	// counters must match — the wire tests assert that symmetry.
+	EncodeOps int64
+	DecodeOps int64
 }
 
 // microCtx is the span tag a microbenchmark sender stamps on its frames.
@@ -125,7 +133,7 @@ func MicroHama(total, senders int) MicroResult {
 	arr := make([]float64, total)
 	var mu sync.Mutex
 	var queue [][]byte
-	var wire atomic.Int64
+	var wire, encOps atomic.Int64
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -145,6 +153,7 @@ func MicroHama(total, senders int) MicroResult {
 					panic(err) // cannot happen for a concrete struct type
 				}
 				wire.Add(int64(buf.Len()))
+				encOps.Add(int64(len(batch)))
 				mu.Lock()
 				queue = append(queue, buf.Bytes())
 				mu.Unlock()
@@ -163,7 +172,7 @@ func MicroHama(total, senders int) MicroResult {
 	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	parseStart := time.Now()
-	var linked int64
+	var linked, decOps int64
 	for _, raw := range queue {
 		var f microFrame
 		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f); err != nil {
@@ -172,6 +181,7 @@ func MicroHama(total, senders int) MicroResult {
 		if f.Tag.Tagged() {
 			linked++
 		}
+		decOps += int64(len(f.Batch))
 		for _, m := range f.Batch {
 			arr[m.Idx] = m.Val
 		}
@@ -186,6 +196,8 @@ func MicroHama(total, senders int) MicroResult {
 		WireBytes:      wire.Load(),
 		SenderMessages: microSenderCounts(total, senders),
 		LinkedBatches:  linked,
+		EncodeOps:      encOps.Load(),
+		DecodeOps:      decOps,
 	}
 }
 
@@ -195,7 +207,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 	arr := make([]float64, total)
 	var mu sync.Mutex
 	var queue [][]byte
-	var wire atomic.Int64
+	var wire, encOps atomic.Int64
 
 	// The span tag rides a fixed 16-byte binary header (run int64, step
 	// int32, worker int32), matching the implementation's hand-rolled
@@ -222,6 +234,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 					return
 				}
 				wire.Add(int64(len(buf)))
+				encOps.Add(int64((len(buf) - microHeader) / 12))
 				mu.Lock()
 				queue = append(queue, buf)
 				mu.Unlock()
@@ -243,7 +256,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 	send := time.Since(start) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
 
 	parseStart := time.Now()
-	var linked int64
+	var linked, decOps int64
 	for _, raw := range queue {
 		if binary.LittleEndian.Uint64(raw[0:8]) != 0 {
 			linked++
@@ -252,6 +265,7 @@ func MicroPowerGraph(total, senders int) MicroResult {
 			idx := binary.LittleEndian.Uint32(raw[off : off+4])
 			val := math.Float64frombits(binary.LittleEndian.Uint64(raw[off+4 : off+12]))
 			arr[idx] = val
+			decOps++
 		}
 	}
 	parse := time.Since(parseStart) //lint:allow determinism wall-clock is the measurement in the Table 3 microbenchmark
@@ -264,6 +278,8 @@ func MicroPowerGraph(total, senders int) MicroResult {
 		WireBytes:      wire.Load(),
 		SenderMessages: microSenderCounts(total, senders),
 		LinkedBatches:  linked,
+		EncodeOps:      encOps.Load(),
+		DecodeOps:      decOps,
 	}
 }
 

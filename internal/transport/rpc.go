@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cyclops/internal/graph"
 	"cyclops/internal/obs/span"
 )
 
@@ -92,6 +94,15 @@ type RPC[M any] struct {
 	stats  Stats
 	matrix *Matrix
 
+	// codec, when non-nil, selects the hand-rolled binary frame format
+	// instead of gob: frames encode into encBufs and decode without
+	// per-message allocations. Nil keeps the legacy gob streams.
+	codec graph.Codec[M]
+	// encBufs[from][to] is the arena-style per-peer encode buffer, reused
+	// across supersteps so steady-state encoding allocates nothing. Guarded
+	// by encMu[from], like the gob encoder it replaces.
+	encBufs [][][]byte
+
 	listeners []net.Listener
 	// conns[from][to] is the client-side connection used by `from` to send
 	// to `to`; nil on the diagonal (self-sends short-circuit).
@@ -166,18 +177,35 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 // NewRPC creates a fully connected loopback transport between n endpoints
-// with default failure-handling options.
+// with default failure-handling options, carrying gob frames.
 func NewRPC[M any](n int) (*RPC[M], error) {
-	return NewRPCOpts[M](n, RPCOptions{})
+	return newRPC[M](n, RPCOptions{}, nil)
 }
 
 // NewRPCOpts creates a fully connected loopback transport with explicit
-// deadline/retry options.
+// deadline/retry options, carrying gob frames.
 func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
+	return newRPC[M](n, opts, nil)
+}
+
+// NewRPCCodec creates a fully connected loopback transport whose frames use
+// the hand-rolled binary format (see frame.go) with the given message codec
+// instead of gob.
+func NewRPCCodec[M any](n int, codec graph.Codec[M]) (*RPC[M], error) {
+	return newRPC[M](n, RPCOptions{}, codec)
+}
+
+// NewRPCCodecOpts is NewRPCCodec with explicit deadline/retry options.
+func NewRPCCodecOpts[M any](n int, opts RPCOptions, codec graph.Codec[M]) (*RPC[M], error) {
+	return newRPC[M](n, opts, codec)
+}
+
+func newRPC[M any](n int, opts RPCOptions, codec graph.Codec[M]) (*RPC[M], error) {
 	opts = opts.withDefaults()
 	t := &RPC[M]{
 		n:         n,
 		opts:      opts,
+		codec:     codec,
 		matrix:    NewMatrix(n),
 		listeners: make([]net.Listener, n),
 		conns:     make([][]net.Conn, n),
@@ -193,6 +221,12 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 		t.inboxes[i].cond = sync.NewCond(&t.inboxes[i].mu)
 		t.inboxes[i].endsFrom = make([]int, n)
 		t.rngs[i] = rand.New(rand.NewSource(opts.Seed*1099511628211 + int64(i)))
+	}
+	if codec != nil {
+		t.encBufs = make([][][]byte, n)
+		for i := range t.encBufs {
+			t.encBufs[i] = make([][]byte, n)
+		}
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -239,7 +273,9 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 			}
 			t.conns[from][to] = conn
 			t.counters[from][to] = &countingWriter{w: conn}
-			t.encoders[from][to] = gob.NewEncoder(t.counters[from][to])
+			if codec == nil {
+				t.encoders[from][to] = gob.NewEncoder(t.counters[from][to])
+			}
 		}
 	}
 	return t, nil
@@ -247,6 +283,10 @@ func NewRPCOpts[M any](n int, opts RPCOptions) (*RPC[M], error) {
 
 func (t *RPC[M]) receiveLoop(to int, conn net.Conn) {
 	defer conn.Close()
+	if t.codec != nil {
+		t.receiveLoopBinary(to, conn)
+		return
+	}
 	dec := gob.NewDecoder(conn)
 	for {
 		if t.opts.ReadTimeout > 0 {
@@ -272,6 +312,66 @@ func (t *RPC[M]) receiveLoop(to int, conn net.Conn) {
 		in := &t.inboxes[to]
 		in.mu.Lock()
 		in.batches = append(in.batches, rpcBatch[M]{from: f.From, ctx: f.Tag, batch: f.Batch})
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	}
+}
+
+// maxFrameBytes bounds a binary frame's declared length. A desynchronized
+// or corrupted stream would otherwise turn a garbage length prefix into an
+// arbitrarily large allocation; past this bound the stream is dead anyway.
+const maxFrameBytes = 1 << 30
+
+// receiveLoopBinary is receiveLoop for the binary frame format: a 4-byte
+// length prefix, then the frame body decoded by the codec. The body buffer
+// is reused across frames (grown once to the high-water mark); the only
+// steady-state allocation is the []M handed to the inbox — one per frame,
+// zero per message.
+func (t *RPC[M]) receiveLoopBinary(to int, conn net.Conn) {
+	var hdr [4]byte
+	var body []byte
+	for {
+		if t.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.opts.ReadTimeout)) //nolint:errcheck
+		}
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// EOF is the normal end of a replaced or closed connection; a
+			// deadline expiry means the peer stalled past ReadTimeout.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !t.closed.Load() {
+				t.recordErr(&Error{Op: "recv", Peer: to, Retryable: true, Err: err})
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxFrameBytes {
+			t.recordErr(&Error{Op: "recv", Peer: to, Err: fmt.Errorf("frame length %d exceeds limit", n)})
+			return
+		}
+		if int(n) > cap(body) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(conn, body); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !t.closed.Load() {
+				t.recordErr(&Error{Op: "recv", Peer: to, Retryable: true, Err: err})
+			}
+			return
+		}
+		t.stats.countDecode()
+		from, end, tag, batch, err := decodeFrameBody(body, t.codec, nil)
+		if err != nil {
+			// A malformed body means the stream is desynced; drop the
+			// connection like a gob decode failure would. The sender's next
+			// write fails and retries over a fresh dial.
+			return
+		}
+		if end {
+			t.depositEnd(to, from)
+			continue
+		}
+		in := &t.inboxes[to]
+		in.mu.Lock()
+		in.batches = append(in.batches, rpcBatch[M]{from: from, ctx: tag, batch: batch})
 		in.cond.Broadcast()
 		in.mu.Unlock()
 	}
@@ -391,9 +491,12 @@ func (t *RPC[M]) sendFrame(from, to int, f frame[M]) error {
 			// A fresh gob stream re-sends its type descriptors; the new
 			// counting writer charges them to the wire like any other bytes
 			// (under a seed-deterministic fault plan the resend is part of
-			// the replayable byte sequence).
+			// the replayable byte sequence). Binary frames carry no stream
+			// state, so their reconnect resends are byte-identical.
 			t.counters[from][to] = &countingWriter{w: conn}
-			t.encoders[from][to] = gob.NewEncoder(t.counters[from][to])
+			if t.codec == nil {
+				t.encoders[from][to] = gob.NewEncoder(t.counters[from][to])
+			}
 			t.stats.reconnects.Add(1)
 		}
 		conn := t.conns[from][to]
@@ -401,9 +504,21 @@ func (t *RPC[M]) sendFrame(from, to int, f frame[M]) error {
 			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)) //nolint:errcheck
 		}
 		wire0 := t.counters[from][to].n
-		encStart := time.Now()
-		err := t.encoders[from][to].Encode(f)
-		t.serNs[from] += time.Since(encStart).Nanoseconds() //lint:allow determinism serialisation time feeds the Serialize span, quarantined like timings.csv
+		var err error
+		if t.codec != nil {
+			// Binary path: encode into the reusable per-peer arena buffer,
+			// then write the whole frame through the counting writer. One
+			// Write per frame, zero allocations per message in steady state.
+			encStart := time.Now()
+			buf := appendFrame(t.encBufs[from][to][:0], f.From, f.End, f.Tag, f.Batch, t.codec)
+			t.encBufs[from][to] = buf
+			t.serNs[from] += time.Since(encStart).Nanoseconds() //lint:allow determinism serialisation time feeds the Serialize span, quarantined like timings.csv
+			_, err = t.counters[from][to].Write(buf)
+		} else {
+			encStart := time.Now()
+			err = t.encoders[from][to].Encode(f)
+			t.serNs[from] += time.Since(encStart).Nanoseconds() //lint:allow determinism serialisation time feeds the Serialize span, quarantined like timings.csv
+		}
 		if err != nil {
 			lastErr = err
 			t.stats.retries.Add(1)
@@ -520,8 +635,8 @@ func (t *RPC[M]) Drain(to int) [][]M {
 	for i, rb := range received {
 		out[i] = rb.batch
 		if record {
-			in.lastDeliv = span.MergeDeliveries(in.lastDeliv,
-				[]span.Delivery{{From: rb.from, Ctx: rb.ctx, Msgs: int64(len(rb.batch))}})
+			in.lastDeliv = span.AddDelivery(in.lastDeliv,
+				span.Delivery{From: rb.from, Ctx: rb.ctx, Msgs: int64(len(rb.batch))})
 		}
 	}
 	if len(out) == 0 {

@@ -252,14 +252,14 @@ func TestRPCErrNilOnHealthyRun(t *testing.T) {
 }
 
 func TestNewFactory(t *testing.T) {
-	l, err := New[msg](InProcess, 2, GlobalQueue, nil)
+	l, err := New[msg](InProcess, 2, GlobalQueue, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := l.(*Local[msg]); !ok {
 		t.Fatal("InProcess must build a Local transport")
 	}
-	r, err := New[msg](TCPLoopback, 2, GlobalQueue, nil)
+	r, err := New[msg](TCPLoopback, 2, GlobalQueue, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestNewFactory(t *testing.T) {
 	if _, ok := r.(*RPC[msg]); !ok {
 		t.Fatal("TCPLoopback must build an RPC transport")
 	}
-	if _, err := New[msg](Network(99), 2, GlobalQueue, nil); err == nil {
+	if _, err := New[msg](Network(99), 2, GlobalQueue, nil, nil); err == nil {
 		t.Fatal("unknown network must error")
 	}
 	if InProcess.String() == "" || TCPLoopback.String() == "" || Network(99).String() == "" {

@@ -122,6 +122,29 @@ func TestMicroWireBytes(t *testing.T) {
 	}
 }
 
+// TestMicroEncodeDecodeSymmetry pins the Table 3 like-for-like accounting:
+// the gob leg and the binary leg each decode exactly what they encode (one
+// op per message on both sides), and the Cyclops leg serialises nothing.
+func TestMicroEncodeDecodeSymmetry(t *testing.T) {
+	const total, senders = 20000, 5
+	h := MicroHama(total, senders)
+	p := MicroPowerGraph(total, senders)
+	c := MicroCyclops(total, senders)
+	for _, r := range []MicroResult{h, p} {
+		if r.EncodeOps != int64(total) {
+			t.Errorf("%s micro: %d encode ops, want one per message (%d)", r.Impl, r.EncodeOps, total)
+		}
+		if r.DecodeOps != r.EncodeOps {
+			t.Errorf("%s micro: decode ops %d != encode ops %d (serialisation must be symmetric)",
+				r.Impl, r.DecodeOps, r.EncodeOps)
+		}
+	}
+	if c.EncodeOps != 0 || c.DecodeOps != 0 {
+		t.Errorf("cyclops micro: %d encode / %d decode ops, want 0/0 (direct writes)",
+			c.EncodeOps, c.DecodeOps)
+	}
+}
+
 // BenchmarkFrameEncodeAllocs measures the steady-state allocation cost of
 // encoding one wire frame through the counting writer — the per-batch cost
 // every remote send pays. Type descriptors are emitted once before the timer
