@@ -3,7 +3,12 @@
 // invariants over every call site that the runtime machinery (replica
 // auditor, flight recorder, chaos tests) can only check on executed paths:
 // §3.6 replay determinism, the PR 4 transport-error taxonomy, single-mode
-// atomic access, obs.Hooks begin/end pairing, and no sends under locks.
+// atomic access, obs.Hooks begin/end pairing, no sends under locks, and the
+// four hot-path contracts behind the binary wire overhaul — arena buffers
+// must not escape their round (bufretain), codec Append/EncodedSize/Decode
+// must agree byte for byte (codecsym), engine supersteps must address CSR
+// slots rather than probe ID-keyed maps (slotaddr), and //lint:hotpath
+// functions must not allocate (allocfree).
 //
 // Two modes:
 //
@@ -40,7 +45,10 @@ func realMain(args []string, stdout, stderr *os.File) int {
 	if len(args) == 1 {
 		switch {
 		case args[0] == "-V=full" || args[0] == "-V":
-			fmt.Fprintln(stdout, "cyclops-lint version 1 (stdlib go/analysis suite)")
+			// Bumped whenever the analyzer set or semantics change: go vet
+			// keys its result cache on this line, and a stale cache would
+			// silently skip the new checks.
+			fmt.Fprintln(stdout, "cyclops-lint version 2 (stdlib go/analysis suite)")
 			return 0
 		case args[0] == "-flags":
 			fmt.Fprintln(stdout, "[]")

@@ -58,7 +58,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "transporterr", "atomicmix", "hookbalance", "sendlocked"} {
+	for _, name := range []string{
+		"determinism", "transporterr", "atomicmix", "hookbalance", "sendlocked",
+		"bufretain", "codecsym", "slotaddr", "allocfree",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output lacks analyzer %q:\n%s", name, out)
 		}

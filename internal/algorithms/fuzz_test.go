@@ -1,0 +1,88 @@
+package algorithms
+
+// Fuzz coverage for the workload codecs. Each round-trip target checks the
+// three-way contract the transports charge wire bytes by: Append writes
+// exactly EncodedSize bytes, Decode consumes exactly that many and
+// reproduces the message bit for bit (NaN payloads included), and a
+// truncated buffer is an error, never a partial value. Seed corpora live
+// under testdata/fuzz/<target>.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func FuzzALSMsgCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 3.5)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xF8, 0x3F}, -1.0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, math.NaN()) // 7 bytes: a truncated element is dropped
+	f.Fuzz(func(t *testing.T, vecBytes []byte, rating float64) {
+		c := ALSMsgCodec{}
+		var vec []float64
+		if n := len(vecBytes) / 8; n > 0 {
+			vec = make([]float64, n)
+			for i := range vec {
+				vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(vecBytes[8*i:]))
+			}
+		}
+		m := ALSMsg{Vec: vec, Rating: rating}
+		size := c.EncodedSize(m)
+		buf := c.Append(make([]byte, 0, size), m)
+		if len(buf) != size {
+			t.Fatalf("Append wrote %d bytes, EncodedSize promised %d", len(buf), size)
+		}
+		got, n, err := c.Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode rejected Append's own output: %v", err)
+		}
+		if n != size {
+			t.Fatalf("Decode consumed %d bytes, Append wrote %d", n, size)
+		}
+		if math.Float64bits(got.Rating) != math.Float64bits(rating) {
+			t.Fatalf("rating: got bits %x, want %x", math.Float64bits(got.Rating), math.Float64bits(rating))
+		}
+		if len(got.Vec) != len(vec) {
+			t.Fatalf("vector length %d, want %d", len(got.Vec), len(vec))
+		}
+		for i := range vec {
+			if math.Float64bits(got.Vec[i]) != math.Float64bits(vec[i]) {
+				t.Fatalf("vec[%d]: got bits %x, want %x", i, math.Float64bits(got.Vec[i]), math.Float64bits(vec[i]))
+			}
+		}
+		if _, _, err := c.Decode(buf[:len(buf)-1]); err == nil {
+			t.Fatal("truncated buffer decoded without error")
+		}
+	})
+}
+
+func FuzzPRValueCodecRoundTrip(f *testing.F) {
+	f.Add(0.15, 0.85)
+	f.Add(math.Inf(1), math.Inf(-1))
+	f.Add(math.NaN(), math.Copysign(0, -1))
+	f.Fuzz(func(t *testing.T, rank, share float64) {
+		c := PRValueCodec{}
+		v := PRValue{Rank: rank, Share: share}
+		size := c.EncodedSize(v)
+		buf := c.Append(make([]byte, 0, size), v)
+		if len(buf) != size {
+			t.Fatalf("Append wrote %d bytes, EncodedSize promised %d", len(buf), size)
+		}
+		got, n, err := c.Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode rejected Append's own output: %v", err)
+		}
+		if n != size {
+			t.Fatalf("Decode consumed %d bytes, Append wrote %d", n, size)
+		}
+		if math.Float64bits(got.Rank) != math.Float64bits(rank) ||
+			math.Float64bits(got.Share) != math.Float64bits(share) {
+			t.Fatalf("round-trip drift: got (%x,%x), want (%x,%x)",
+				math.Float64bits(got.Rank), math.Float64bits(got.Share),
+				math.Float64bits(rank), math.Float64bits(share))
+		}
+		if _, _, err := c.Decode(buf[:len(buf)-1]); err == nil {
+			t.Fatal("truncated buffer decoded without error")
+		}
+	})
+}

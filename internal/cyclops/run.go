@@ -346,7 +346,11 @@ func (e *Engine[V, M]) Run() (*metrics.Trace, error) {
 					rwg.Add(1)
 					go func(r int) {
 						defer rwg.Done()
-						for bi := r; bi < len(batches); bi += receivers {
+						// The Drain batches captured here never outlive the
+						// round: rwg.Wait below joins every receiver before
+						// the superstep barrier, and the next Drain happens
+						// a full barrier later.
+						for bi := r; bi < len(batches); bi += receivers { //lint:allow bufretain receiver goroutines are joined by rwg.Wait before the next Drain
 							for _, m := range batches[bi] {
 								ws.view[m.Slot] = m.Val
 								if m.Activate {

@@ -209,6 +209,7 @@ type gasCodec[V, G any] struct {
 	acc graph.Codec[G]
 }
 
+//lint:hotpath
 func (c gasCodec[V, G]) EncodedSize(m gasMsg[V, G]) int {
 	switch m.Kind {
 	case kindApplyPush:
@@ -220,6 +221,7 @@ func (c gasCodec[V, G]) EncodedSize(m gasMsg[V, G]) int {
 	}
 }
 
+//lint:hotpath
 func (c gasCodec[V, G]) Append(dst []byte, m gasMsg[V, G]) []byte {
 	dst = append(dst, byte(m.Kind))
 	dst = graph.AppendUint32(dst, uint32(m.Slot))
@@ -237,6 +239,7 @@ func (c gasCodec[V, G]) Append(dst []byte, m gasMsg[V, G]) []byte {
 	return dst
 }
 
+//lint:hotpath
 func (c gasCodec[V, G]) Decode(src []byte) (gasMsg[V, G], int, error) {
 	var m gasMsg[V, G]
 	if len(src) < 5 {
@@ -1135,7 +1138,7 @@ func (e *Engine[V, G]) Run() (*metrics.Trace, error) {
 func (e *Engine[V, G]) drainAll(dst [][][]gasMsg[V, G], recvPerW, batchPerW []int64,
 	busy []time.Duration, delivs [][]span.Delivery) {
 	e.parallelTimed(len(dst), busy, func(w int) {
-		dst[w] = e.tr.Drain(w)
+		dst[w] = e.tr.Drain(w) //lint:allow bufretain dst is the caller's round-scoped inbound buffer, overwritten by the next drainAll before the batches are reused
 		if delivs != nil {
 			// Merge this round's batch provenance; five rounds drain per
 			// superstep and LastDeliveries only covers the latest.

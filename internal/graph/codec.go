@@ -2,7 +2,7 @@ package graph
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
 	"math"
 )
 
@@ -18,6 +18,9 @@ import (
 // as a wire-accounting regression.
 type Codec[M any] interface {
 	// EncodedSize returns the exact number of bytes Append writes for m.
+	// It is always at least 1: every message costs wire bytes, and the
+	// frame decoder leans on that floor to reject message counts larger
+	// than the bytes that follow before sizing any allocation from them.
 	EncodedSize(m M) int
 	// Append encodes m onto dst and returns the extended slice. It must not
 	// retain dst or any sub-slice of it.
@@ -29,20 +32,28 @@ type Codec[M any] interface {
 }
 
 // ErrShortBuffer reports a truncated encoding: the frame's length prefix
-// promised more bytes than the codec found.
-var ErrShortBuffer = fmt.Errorf("graph: codec: short buffer")
+// promised more bytes than the codec found. Built with errors.New, not
+// fmt.Errorf: the message has no verbs, the identity must stay stable for
+// errors.Is, and sentinel construction should owe nothing to fmt at init.
+var ErrShortBuffer = errors.New("graph: codec: short buffer")
 
 // AppendUint32 appends v little-endian.
+//
+//lint:hotpath
 func AppendUint32(dst []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(dst, v)
 }
 
 // AppendUint64 appends v little-endian.
+//
+//lint:hotpath
 func AppendUint64(dst []byte, v uint64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, v)
 }
 
 // Uint32At reads a little-endian uint32 from the front of src.
+//
+//lint:hotpath
 func Uint32At(src []byte) (uint32, error) {
 	if len(src) < 4 {
 		return 0, ErrShortBuffer
@@ -51,6 +62,8 @@ func Uint32At(src []byte) (uint32, error) {
 }
 
 // Uint64At reads a little-endian uint64 from the front of src.
+//
+//lint:hotpath
 func Uint64At(src []byte) (uint64, error) {
 	if len(src) < 8 {
 		return 0, ErrShortBuffer
@@ -61,12 +74,15 @@ func Uint64At(src []byte) (uint64, error) {
 // Float64Codec encodes a float64 as its 8-byte IEEE 754 bit pattern.
 type Float64Codec struct{}
 
+//lint:hotpath
 func (Float64Codec) EncodedSize(float64) int { return 8 }
 
+//lint:hotpath
 func (Float64Codec) Append(dst []byte, m float64) []byte {
 	return AppendUint64(dst, math.Float64bits(m))
 }
 
+//lint:hotpath
 func (Float64Codec) Decode(src []byte) (float64, int, error) {
 	u, err := Uint64At(src)
 	if err != nil {
@@ -78,12 +94,15 @@ func (Float64Codec) Decode(src []byte) (float64, int, error) {
 // Int64Codec encodes an int64 as 8 fixed little-endian bytes.
 type Int64Codec struct{}
 
+//lint:hotpath
 func (Int64Codec) EncodedSize(int64) int { return 8 }
 
+//lint:hotpath
 func (Int64Codec) Append(dst []byte, m int64) []byte {
 	return AppendUint64(dst, uint64(m))
 }
 
+//lint:hotpath
 func (Int64Codec) Decode(src []byte) (int64, int, error) {
 	u, err := Uint64At(src)
 	if err != nil {
@@ -96,8 +115,10 @@ func (Int64Codec) Decode(src []byte) (int64, int, error) {
 // by the elements' bit patterns.
 type Float64SliceCodec struct{}
 
+//lint:hotpath
 func (Float64SliceCodec) EncodedSize(m []float64) int { return 4 + 8*len(m) }
 
+//lint:hotpath
 func (Float64SliceCodec) Append(dst []byte, m []float64) []byte {
 	dst = AppendUint32(dst, uint32(len(m)))
 	for _, v := range m {
@@ -106,6 +127,7 @@ func (Float64SliceCodec) Append(dst []byte, m []float64) []byte {
 	return dst
 }
 
+//lint:hotpath
 func (Float64SliceCodec) Decode(src []byte) ([]float64, int, error) {
 	n, err := Uint32At(src)
 	if err != nil {
@@ -117,7 +139,7 @@ func (Float64SliceCodec) Decode(src []byte) ([]float64, int, error) {
 	}
 	var out []float64
 	if n > 0 {
-		out = make([]float64, n)
+		out = make([]float64, n) //lint:allow allocfree the decoded vector escapes into the ALS message by design; only fixed-width codecs decode in place
 		for i := range out {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[4+8*i:]))
 		}

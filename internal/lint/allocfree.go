@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cyclops/internal/lint/analysis"
+)
+
+// AllocFree turns the perf-bench job's "0 allocs/op steady state" gate into
+// a compile-time property. A function whose doc comment carries the
+//
+//	//lint:hotpath
+//
+// directive declares itself on the per-message or per-vertex hot path
+// (appendFrame, decodeFrameBody, the Drain implementations, the codecs);
+// inside it the analyzer flags every construct that allocates:
+//
+//   - make and new;
+//   - append that grows into a fresh variable (only the arena idiom
+//     `x = append(x, ...)` and `return append(dst, ...)` are capacity-safe);
+//   - string([]byte) / []byte(string) conversions, and non-constant string
+//     concatenation;
+//   - interface boxing: passing or converting a concrete value to an
+//     interface-typed parameter allocates the box;
+//   - slice/map composite literals and &T{};
+//   - closures and go statements;
+//   - calls into fmt, errors, reflect, encoding/gob, encoding/json.
+//
+// The benchmark gate samples the hot loop; the analyzer proves every call
+// site. Known cold sub-paths inside a hot function (a first-round buffer
+// grow, an error path) carry //lint:allow allocfree with a reason. A
+// //lint:hotpath directive anywhere other than a function's doc comment is
+// itself a finding — a misplaced directive silently protects nothing.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "flag allocating constructs (make/new, fresh-slice append, string conversions, interface " +
+		"boxing, closures, fmt/reflect) inside functions annotated //lint:hotpath (PR 9's 0 allocs/op gate)",
+	Run: runAllocFree,
+}
+
+const hotPathDirective = "//lint:hotpath"
+
+func runAllocFree(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		docs := map[*ast.CommentGroup]bool{}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				docs[fd.Doc] = true
+			}
+			if isHotPath(fd) && fd.Body != nil {
+				checkHotPathBody(pass, fd)
+			}
+		}
+		// A directive that is not a function's doc comment protects nothing.
+		for _, cg := range f.Comments {
+			if docs[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, hotPathDirective) {
+					pass.Reportf(c.Pos(),
+						"misplaced %s: the directive only takes effect in a function's doc comment", hotPathDirective)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotPathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// allocPkgs are packages whose entry points allocate (or reflect, which is
+// worse); none belongs in a hot function.
+var allocPkgs = map[string]bool{
+	"fmt": true, "errors": true, "reflect": true,
+	"encoding/gob": true, "encoding/json": true,
+}
+
+func checkHotPathBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	analysis.WithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotPathCall(pass, name, n, stack)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(),
+					"%s is //lint:hotpath but builds a %s composite literal, which allocates its backing "+
+						"store every call", name, typeKindName(t))
+			}
+			if len(stack) >= 2 {
+				if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND {
+					pass.Reportf(u.Pos(),
+						"%s is //lint:hotpath but heap-allocates a composite literal with &; hoist the "+
+							"value or pass it by value", name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"%s is //lint:hotpath but defines a closure, which allocates (the func value and any "+
+					"captured variables); hoist it to a named function", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"%s is //lint:hotpath but spawns a goroutine, which allocates a stack; hot loops reuse "+
+					"long-lived workers", name)
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil || !isStringType(t) {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value != nil {
+				return true // constant-folded at compile time
+			}
+			pass.Reportf(n.Pos(),
+				"%s is //lint:hotpath but concatenates strings, which allocates the result", name)
+		}
+		return true
+	})
+}
+
+func checkHotPathCall(pass *analysis.Pass, name string, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+	// Builtins: make/new always allocate; append is fine only in the arena
+	// idiom (x = append(x, ...) or return append(dst, ...)), where growth is
+	// amortized into the buffer's steady-state capacity.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(),
+					"%s is //lint:hotpath but calls %s, which allocates every call; hoist the buffer into "+
+						"an arena (or annotate a cold sub-path with //lint:allow)", name, b.Name())
+			case "append":
+				if !arenaAppend(call, stack) {
+					pass.Reportf(call.Pos(),
+						"%s is //lint:hotpath but appends into a fresh variable with unknown capacity; only "+
+							"the self-extending arena idiom `x = append(x, ...)` keeps steady state "+
+							"allocation-free", name)
+				}
+			}
+			return
+		}
+	}
+	// Conversions: string([]byte) and []byte(string) copy; conversions to
+	// interface types box.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := info.TypeOf(call.Fun), info.TypeOf(call.Args[0])
+		if (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from)) {
+			pass.Reportf(call.Pos(),
+				"%s is //lint:hotpath but converts between string and []byte, which copies; keep hot-path "+
+					"data as []byte end to end", name)
+		}
+		if isInterfaceType(to) && from != nil && !isInterfaceType(from) {
+			pass.Reportf(call.Pos(),
+				"%s is //lint:hotpath but converts a concrete value to an interface, which allocates the box", name)
+		}
+		return
+	}
+	// Calls into allocating packages.
+	if fn := calleeFunc(info, call); fn != nil {
+		if pkg := funcPkgPath(fn); allocPkgs[pkg] {
+			pass.Reportf(call.Pos(),
+				"%s is //lint:hotpath but calls %s.%s; %s machinery allocates on every call", name, pkg, fn.Name(), pkg)
+		}
+	}
+	// Interface boxing at argument positions.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		at := info.TypeOf(arg)
+		if pt == nil || at == nil || !isInterfaceType(pt) || isInterfaceType(at) {
+			continue
+		}
+		if b, isBasic := at.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+			continue // nil never boxes
+		}
+		pass.Reportf(arg.Pos(),
+			"%s is //lint:hotpath but passes a concrete %s where %s takes an interface: the box allocates "+
+				"per call", name, at.String(), callName(call))
+	}
+}
+
+// arenaAppend reports whether an append call is in the capacity-safe arena
+// shape: its result directly returned, or assigned back over its own first
+// argument (`dst = append(dst, ...)`).
+func arenaAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		return len(parent.Lhs) == 1 && len(parent.Rhs) == 1 && parent.Rhs[0] == call &&
+			exprText(parent.Lhs[0]) == exprText(call.Args[0])
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return false // generic instantiation, not boxing
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "struct"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the callee"
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cyclops/internal/lint"
+	"cyclops/internal/lint/analysistest"
+)
+
+func TestBufRetain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.BufRetain,
+		"bufretain",
+	)
+}

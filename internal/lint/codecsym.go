@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cyclops/internal/lint/analysis"
+)
+
+// CodecSym enforces the graph.Codec exactness contract (PR 9) on every
+// codec-shaped type — any named type carrying the EncodedSize/Append/Decode
+// method triple:
+//
+//   - EncodedSize(m) must equal the bytes Append writes, and Decode must
+//     consume exactly that many. The in-process transport charges wire bytes
+//     from EncodedSize without materializing frames, and those charges are
+//     exact-diffed by the flight-recorder gate — drift between the three
+//     methods is a silent wire-accounting regression, not a crash. The
+//     analyzer proves the cases it can decide statically: a fixed-byte
+//     Append must match a constant EncodedSize and Decode's success returns;
+//     a length-dependent Append (loops, or delegation on variable-size data)
+//     requires a length term in EncodedSize, and vice versa.
+//   - byte-affecting branches must be symmetric: an Append that encodes
+//     differently across if/switch arms needs a branch in EncodedSize and in
+//     Decode, or some input encodes more bytes than were sized (or than
+//     Decode consumes).
+//   - codec paths are hand-rolled little-endian: binary.BigEndian, and the
+//     gob/json/reflect/fmt machinery, are flagged anywhere in the triple.
+//     Frames are parsed byte-at-a-time on the hot path; reflective encoders
+//     allocate and their formats are not the wire format the accounting
+//     charges for.
+//   - packages that declare codecs must build their error sentinels with
+//     errors.New, not verb-less fmt.Errorf (identity-stable, nothing owed to
+//     fmt at init).
+var CodecSym = &analysis.Analyzer{
+	Name: "codecsym",
+	Doc: "flag graph.Codec implementations whose EncodedSize/Append/Decode disagree (byte counts, " +
+		"length terms, branch structure) or that reach for BigEndian/gob/json/reflect/fmt (PR 9)",
+	Run: runCodecSym,
+}
+
+func runCodecSym(pass *analysis.Pass) (any, error) {
+	impls := codecImpls(pass)
+	for _, c := range impls {
+		checkCodecPurity(pass, c)
+		checkLenSymmetry(pass, c)
+		checkBranchSymmetry(pass, c)
+	}
+	if len(impls) > 0 {
+		for _, f := range pass.Files {
+			checkSentinelStyle(pass, f)
+		}
+	}
+	return nil, nil
+}
+
+// forbiddenCodecPkgs are reflective/format machinery that must not appear on
+// a codec path: they allocate, and their output is not the hand-rolled
+// little-endian format the wire accounting charges for.
+var forbiddenCodecPkgs = map[string]string{
+	"encoding/gob":  "gob is the slow path the binary frame format replaced",
+	"encoding/json": "json is reflective and allocates",
+	"reflect":       "reflection has no place in a fixed-layout codec",
+	"fmt":           "fmt is reflective and allocates; sentinels belong at package scope",
+}
+
+// checkCodecPurity flags BigEndian and reflective machinery inside the
+// codec method triple.
+func checkCodecPurity(pass *analysis.Pass, c *codecImpl) {
+	for _, fd := range c.methods() {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pkg.Imported().Path(); path {
+			case "encoding/binary":
+				if sel.Sel.Name == "BigEndian" {
+					pass.Reportf(sel.Pos(),
+						"%s.%s uses binary.BigEndian: the wire format is little-endian throughout; "+
+							"a mixed-endian codec round-trips in tests and corrupts across the real wire",
+						c.typeName, fd.Name.Name)
+				}
+			default:
+				if why, bad := forbiddenCodecPkgs[path]; bad {
+					pass.Reportf(sel.Pos(),
+						"%s.%s uses %s on a codec path: %s", c.typeName, fd.Name.Name, path, why)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lenDependent reports whether a codec method's work scales with the
+// message: it loops, calls len, or delegates Append/EncodedSize on a
+// variable-size argument (slice, map, string, interface, or type parameter).
+func lenDependent(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	dep := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt, *ast.ForStmt:
+			dep = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					dep = true
+				}
+			}
+			if name, args := delegatedCodecCall(n); name != "" {
+				for _, a := range args {
+					if variableSize(pass.TypesInfo.TypeOf(a)) {
+						dep = true
+					}
+				}
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+// delegatedCodecCall recognizes a call to another codec's method by exact
+// name and returns the arguments that carry message data (for Append, the
+// dst buffer is skipped).
+func delegatedCodecCall(call *ast.CallExpr) (string, []ast.Expr) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	}
+	switch name {
+	case "Append":
+		if len(call.Args) >= 2 {
+			return name, call.Args[1:]
+		}
+	case "EncodedSize", "Decode":
+		return name, call.Args
+	}
+	return "", nil
+}
+
+// variableSize reports whether a value of type t has a length-dependent
+// encoding: slices, maps, strings, interfaces, and type parameters all do.
+func variableSize(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.String || u.Kind() == types.UntypedString
+	}
+	return false
+}
+
+// checkLenSymmetry requires Append and EncodedSize to agree on whether the
+// encoding is length-dependent, and — when both are fixed and statically
+// sizable — on the exact byte count, with Decode consuming the same.
+func checkLenSymmetry(pass *analysis.Pass, c *codecImpl) {
+	appDep := lenDependent(pass, c.app)
+	sizeDep := lenDependent(pass, c.size)
+	switch {
+	case appDep && !sizeDep:
+		pass.Reportf(c.size.Pos(),
+			"%s.Append is length-dependent (loops or delegates on variable-size data) but EncodedSize "+
+				"has no length term: EncodedSize must be exact — the transports charge it to the wire "+
+				"books and the flight-recorder gate exact-diffs the result", c.typeName)
+		return
+	case sizeDep && !appDep:
+		pass.Reportf(c.app.Pos(),
+			"%s.EncodedSize is length-dependent but Append writes a fixed encoding: some input is "+
+				"sized differently than it is encoded, and the wire accounting drifts", c.typeName)
+		return
+	case appDep:
+		return // both length-dependent: byte counting is beyond static reach
+	}
+	appBytes, ok := fixedAppendBytes(pass, c.app)
+	if !ok {
+		return
+	}
+	sizeBytes, ok := constSizeReturn(pass, c.size)
+	if ok && appBytes != sizeBytes {
+		pass.Reportf(c.app.Pos(),
+			"%s.Append writes %d bytes but EncodedSize returns %d: the wire accounting charges "+
+				"EncodedSize, so every message drifts the byte books by %d", c.typeName, appBytes, sizeBytes,
+			sizeBytes-appBytes)
+	}
+	checkDecodeConsumes(pass, c, appBytes)
+}
+
+// fixedByteCalls maps the repo's fixed-width append helpers (and
+// binary.LittleEndian's) to the bytes they write.
+var fixedByteCalls = map[string]int{
+	"AppendUint16": 2,
+	"AppendUint32": 4,
+	"AppendUint64": 8,
+}
+
+// fixedAppendBytes statically sums the bytes a branch-free, loop-free Append
+// writes. It bails (ok=false) on anything it cannot size: delegation to
+// another codec, unknown []byte-returning helpers, variadic appends.
+func fixedAppendBytes(pass *analysis.Pass, fd *ast.FuncDecl) (int, bool) {
+	if hasBranch(fd) {
+		return 0, false // per-arm counting is the branch-symmetry check's job
+	}
+	total, ok := 0, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || !ok {
+			return ok
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				if call.Ellipsis.IsValid() || len(call.Args) < 1 || !isByteSlice(pass.TypesInfo.TypeOf(call.Args[0])) {
+					ok = false
+					return false
+				}
+				total += len(call.Args) - 1
+				return true
+			}
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if n, fixed := fixedByteCalls[name]; fixed {
+			total += n
+			return true
+		}
+		switch name {
+		case "Append", "EncodedSize", "Decode":
+			ok = false // delegation: the sub-codec's size is not visible here
+			return false
+		}
+		if isByteSlice(pass.TypesInfo.TypeOf(call)) {
+			ok = false // unknown []byte-producing helper
+			return false
+		}
+		return true
+	})
+	return total, ok
+}
+
+// constSizeReturn extracts EncodedSize's return value when the body is a
+// single constant return.
+func constSizeReturn(pass *analysis.Pass, fd *ast.FuncDecl) (int, bool) {
+	var rets []*ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			rets = append(rets, r)
+		}
+		return true
+	})
+	if len(rets) != 1 || len(rets[0].Results) != 1 {
+		return 0, false
+	}
+	return constIntValue(pass, rets[0].Results[0])
+}
+
+func constIntValue(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// checkDecodeConsumes verifies every successful Decode return (third result
+// a literal nil) reports consuming exactly the bytes Append writes.
+func checkDecodeConsumes(pass *analysis.Pass, c *codecImpl, appBytes int) {
+	ast.Inspect(c.dec.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 3 {
+			return true
+		}
+		if id, isIdent := ast.Unparen(ret.Results[2]).(*ast.Ident); !isIdent || id.Name != "nil" {
+			return true // error path: consumed count is irrelevant
+		}
+		if consumed, known := constIntValue(pass, ret.Results[1]); known && consumed != appBytes {
+			pass.Reportf(ret.Pos(),
+				"%s.Decode reports consuming %d bytes on success but Append writes %d: the next "+
+					"message in the frame decodes from the wrong offset", c.typeName, consumed, appBytes)
+		}
+		return true
+	})
+}
+
+// checkBranchSymmetry requires that when one method of the triple encodes
+// (or sizes) differently across if/switch arms, its partners branch too.
+func checkBranchSymmetry(pass *analysis.Pass, c *codecImpl) {
+	if byteAffectingBranch(pass, c.app) {
+		if !hasBranch(c.size) {
+			pass.Reportf(c.size.Pos(),
+				"%s.Append encodes differently across branches but EncodedSize is branch-free: "+
+					"some arm's byte count is not what the wire books were charged", c.typeName)
+		}
+		if !hasBranch(c.dec) {
+			pass.Reportf(c.dec.Pos(),
+				"%s.Append encodes differently across branches but Decode is branch-free: "+
+					"some arm's encoding cannot round-trip", c.typeName)
+		}
+		return
+	}
+	if returnBranch(c.size) && !hasBranch(c.app) {
+		pass.Reportf(c.app.Pos(),
+			"%s.EncodedSize returns different sizes across branches but Append is branch-free: "+
+				"some input is sized differently than it is encoded", c.typeName)
+	}
+}
+
+// byteAffectingBranch reports whether fd contains an if/switch arm that
+// produces bytes (a builtin append, a fixed-width helper, or delegation).
+func byteAffectingBranch(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			if containsByteCall(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsByteCall(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if name == "append" || name == "Append" {
+			found = true
+		} else if _, fixed := fixedByteCalls[name]; fixed {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasBranch(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func returnBranch(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			inner := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.ReturnStmt); ok {
+					inner = true
+				}
+				return !inner
+			})
+			if inner {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSentinelStyle flags package-level error sentinels built with a
+// verb-less fmt.Errorf: errors.New keeps the sentinel's identity out of
+// fmt's hands and allocates nothing beyond the error itself at init. Shared
+// with transporterr, which applies it repo-wide; codecsym applies it to
+// packages that declare codecs (the sentinel is part of the wire contract —
+// graph.ErrShortBuffer is what every torn-frame path returns).
+func checkSentinelStyle(pass *analysis.Pass, f *ast.File) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				call, ok := ast.Unparen(v).(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					continue
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || funcPkgPath(fn) != "fmt" || fn.Name() != "Errorf" {
+					continue
+				}
+				format, known := constStringValue(pass, call.Args[0])
+				if known && !strings.Contains(format, "%") {
+					pass.Reportf(call.Pos(),
+						"package-level error sentinel built with verb-less fmt.Errorf: use errors.New — "+
+							"same message, identity-stable, and nothing owed to fmt at init")
+				}
+			}
+		}
+	}
+}
+
+func constStringValue(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

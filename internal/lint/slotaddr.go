@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cyclops/internal/lint/analysis"
+)
+
+// SlotAddr locks in the PR 9 CSR migration inside the engine packages:
+// vertex state is slot-addressed — a layout slot is a dense array index
+// assigned by partition.Layout, and every superstep-loop access is a flat
+// array load. A map[graph.ID] probe on that path gives back the hash, the
+// bucket walk, and the cache misses the CSR refactor removed; a range over
+// an ID-keyed map additionally reintroduces randomized iteration order,
+// which the determinism analyzer polices separately.
+//
+// graph.ID is an alias of uint32, so the analyzer keys on the underlying
+// type: any map whose key's underlying type is uint32 counts as ID-keyed.
+// Setup and teardown paths (building layouts, auditing partitions, restoring
+// checkpoints) legitimately use ID-keyed maps — annotate those sites with
+// //lint:allow slotaddr <reason>.
+var SlotAddr = &analysis.Analyzer{
+	Name: "slotaddr",
+	Doc: "flag map[graph.ID] indexing and ranges over ID-keyed maps in the engine packages: superstep " +
+		"loops are slot-addressed flat-array accesses after the CSR migration (PR 9)",
+	Run: runSlotAddr,
+}
+
+// slotAddrScope is the engine packages whose inner loops the CSR migration
+// flattened. The transport is excluded: it never sees vertex ids, only
+// opaque message batches.
+var slotAddrScope = []string{
+	"cyclops/internal/bsp",
+	"cyclops/internal/cyclops",
+	"cyclops/internal/gas",
+}
+
+func inSlotAddrScope(path string) bool {
+	for _, p := range slotAddrScope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runSlotAddr(pass *analysis.Pass) (any, error) {
+	if !inSlotAddrScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if idKeyedMap(pass.TypesInfo.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(),
+						"map[graph.ID] probe %s in engine code: vertex state is slot-addressed after the "+
+							"CSR migration (PR 9) — index a flat array by layout slot, or annotate a "+
+							"setup/teardown path with //lint:allow", exprText(n))
+				}
+			case *ast.RangeStmt:
+				if idKeyedMap(pass.TypesInfo.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(),
+						"range over an ID-keyed map in engine code: superstep loops iterate slots 0..n in "+
+							"layout order (PR 9); an ID-map walk re-adds hashing and randomized order — "+
+							"annotate a setup/teardown path with //lint:allow")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// idKeyedMap reports whether t is a map keyed by graph.ID. graph.ID is a
+// type alias (`type ID = uint32`), so after alias resolution the key is the
+// basic type uint32; named key types with underlying uint32 also count.
+func idKeyedMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	b, ok := m.Key().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint32
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cyclops/internal/lint"
+	"cyclops/internal/lint/analysistest"
+)
+
+func TestSlotAddr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.SlotAddr,
+		"cyclops/internal/bsp/slotaddr", // engine package path: findings expected
+		"outofscope",                    // tooling package: analyzer must stay silent
+	)
+}

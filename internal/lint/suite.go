@@ -3,7 +3,9 @@
 // invariants this repo otherwise checks at runtime — the paper's §3.4
 // unidirectional master→replica sync contract, §3.6 replay determinism (the
 // flight recorder's byte-identical-run gate), the PR 4 typed transport-error
-// taxonomy, and the observability layer's begin/end hook pairing.
+// taxonomy, the observability layer's begin/end hook pairing, and the PR 9
+// hot-path contracts (arena buffer reuse, codec wire exactness, CSR slot
+// addressing, and the 0 allocs/op steady state).
 //
 // Each analyzer is documented in its own file and mapped to the contract it
 // enforces in internal/lint/README.md. Intentional exceptions are annotated
@@ -41,6 +43,10 @@ func Analyzers() []*analysis.Analyzer {
 		AtomicMix,
 		HookBalance,
 		SendLocked,
+		BufRetain,
+		CodecSym,
+		SlotAddr,
+		AllocFree,
 	}
 }
 

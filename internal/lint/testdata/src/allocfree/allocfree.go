@@ -1,0 +1,88 @@
+// Package allocfree exercises the allocfree analyzer: functions annotated
+// //lint:hotpath must not allocate — no make/new, no fresh-slice appends,
+// no string<->[]byte conversions, no interface boxing, no closures or
+// goroutines, nothing from fmt/errors/reflect.
+package allocfree
+
+import "errors"
+
+func box(v any) {}
+
+func send(c chan int) { c <- 1 }
+
+// appendFrame is the arena idiom — self-extending appends and a direct
+// return: the analyzer stays silent.
+//
+//lint:hotpath
+func appendFrame(dst []byte, v byte) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, v)
+	return append(dst, 1)
+}
+
+// hotAlloc allocates four different ways: true positives.
+//
+//lint:hotpath
+func hotAlloc(src []byte, n int) string {
+	buf := make([]byte, n)             // want `calls make, which allocates`
+	fresh := append(buf[:0:0], src...) // want `appends into a fresh variable`
+	_ = fresh
+	box(n)             // want `passes a concrete int`
+	return string(src) // want `converts between string and \[\]byte`
+}
+
+// hotClosure defines a closure on the hot path: true positive.
+//
+//lint:hotpath
+func hotClosure(xs []int) func() int {
+	f := func() int { return len(xs) } // want `defines a closure`
+	return f
+}
+
+// hotSpawn starts a goroutine on the hot path: true positive.
+//
+//lint:hotpath
+func hotSpawn(c chan int) {
+	go send(c) // want `spawns a goroutine`
+}
+
+// hotLits builds allocating literals: true positives.
+//
+//lint:hotpath
+func hotLits(k string, n int) map[string]int {
+	ks := []string{k} // want `builds a slice composite literal`
+	_ = ks
+	return map[string]int{k: n} // want `builds a map composite literal`
+}
+
+// hotErr constructs an error per call: true positive.
+//
+//lint:hotpath
+func hotErr() error {
+	return errors.New("hot") // want `calls errors\.New`
+}
+
+// coldAlloc has no annotation: allocation off the hot path is fine.
+func coldAlloc(n int) []byte {
+	return make([]byte, n)
+}
+
+type header struct{ n int }
+
+// hotOK sticks to stack values, numeric conversions and arena appends: the
+// analyzer stays silent.
+//
+//lint:hotpath
+func hotOK(dst []byte, v uint32) []byte {
+	h := header{n: int(v)}
+	dst = append(dst, byte(h.n))
+	return dst
+}
+
+// hotGrow's one-time buffer sizing is acknowledged: the allow suppresses
+// the finding and is counted by the driver.
+//
+//lint:hotpath
+func hotGrow(n int) []byte {
+	return make([]byte, 0, n) //lint:allow allocfree one-time arena sizing before the first round
+}

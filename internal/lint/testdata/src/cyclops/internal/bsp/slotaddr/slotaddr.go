@@ -1,0 +1,38 @@
+// Package slotaddr exercises the slotaddr analyzer from inside an engine
+// package path (cyclops/internal/bsp/...): map[graph.ID] probes and ranges
+// over ID-keyed maps are findings, slot-indexed flat arrays and non-ID maps
+// are not, and setup paths carry //lint:allow.
+package slotaddr
+
+import "cyclops/internal/graph"
+
+type engine struct {
+	state map[graph.ID]float64
+	slots []float64
+	fanIn map[int32]int // partition-audit twin: int32 keys are worker ids, not vertices
+}
+
+func (e *engine) superstep(ids []graph.ID) float64 {
+	var sum float64
+	for _, id := range ids {
+		sum += e.state[id] // want `map\[graph\.ID\] probe`
+	}
+	for _, v := range e.state { // want `range over an ID-keyed map`
+		sum += v
+	}
+	for _, n := range e.fanIn { // int32-keyed: the analyzer stays silent
+		sum += float64(n)
+	}
+	for s := range e.slots {
+		sum += e.slots[s] // slot-addressed: the legal form
+	}
+	return sum
+}
+
+// setup builds vertex state before superstep 0; the ID-keyed map is the
+// natural structure there and the sites are annotated.
+func (e *engine) setup(ids []graph.ID) {
+	for i, id := range ids {
+		e.state[id] = float64(i) //lint:allow slotaddr layout construction runs once before superstep 0
+	}
+}

@@ -1,0 +1,8 @@
+// Package graph is a golden-test stub that shadows the real
+// cyclops/internal/graph import path. Only the shapes the analyzers key on
+// are reproduced: ID is a type alias, exactly as in the real package, so
+// slotaddr must see through it to the underlying uint32.
+package graph
+
+// ID identifies a vertex.
+type ID = uint32

@@ -1,0 +1,18 @@
+// ID-keyed maps outside the engine packages are tooling and test helpers;
+// the slotaddr analyzer must stay silent here (and so must determinism,
+// which shares this out-of-scope fixture).
+package outofscope
+
+var vertexCount = map[uint32]int{}
+
+func countVertex(id uint32) {
+	vertexCount[id]++
+}
+
+func totalVertices() int {
+	total := 0
+	for _, n := range vertexCount {
+		total += n
+	}
+	return total
+}

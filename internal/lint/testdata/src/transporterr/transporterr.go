@@ -1,5 +1,6 @@
 // Package transporterr exercises the transporterr analyzer: dropped
-// transport errors and string-matching on error text.
+// transport errors, string-matching on error text, and sentinel
+// construction style.
 package transporterr
 
 import (
@@ -8,6 +9,14 @@ import (
 	"strings"
 
 	"cyclops/internal/transport"
+)
+
+// Sentinels carry identity, not formatting: a verb-less fmt.Errorf is the
+// wrong constructor, a formatted message or errors.New is fine.
+var (
+	errStale    = fmt.Errorf("transporterr: stale peer") // want `verb-less fmt.Errorf`
+	errTimeout  = errors.New("transporterr: timeout")
+	errWithPeer = fmt.Errorf("transporterr: peer %d gone", 3) // formatted message, not a sentinel: legal
 )
 
 func dropped(tr transport.Interface[int]) {

@@ -20,6 +20,10 @@ import (
 //     against the typed taxonomy (transport.Error, ErrClosed,
 //     ErrRoundViolation, Transient()), never by matching err.Error() text —
 //     message strings carry peer ids and wrapped causes and are not stable.
+//   - error sentinels that taxonomy is built from must be constructed with
+//     errors.New, not a verb-less fmt.Errorf: identity is the contract, and
+//     a format call that formats nothing signals the wrong intent (and
+//     invites someone to add a verb, silently destabilizing the sentinel).
 var TransportErr = &analysis.Analyzer{
 	Name: "transporterr",
 	Doc: "flag dropped errors from transport methods and string-matching on error text instead of " +
@@ -29,6 +33,7 @@ var TransportErr = &analysis.Analyzer{
 
 func runTransportErr(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
+		checkSentinelStyle(pass, f)
 		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:

@@ -21,6 +21,12 @@ var (
 	// receivers drained it. Fatal: the round protocol is out of sync and
 	// Drain results can no longer be trusted.
 	ErrRoundViolation = errors.New("round finished more than once")
+	// ErrFrameCorrupt reports a frame whose header is structurally invalid —
+	// flag bits this version does not define. Unlike a short buffer (a torn
+	// read that a retry can complete), an undefined flag means the peer
+	// speaks a different frame dialect, so the decoder rejects the frame
+	// before trusting any field after it.
+	ErrFrameCorrupt = errors.New("frame header corrupt")
 )
 
 // Error is a typed transport failure: the failed operation, the peer it

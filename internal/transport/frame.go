@@ -32,6 +32,8 @@ const (
 
 // frameWireBytes is the exact number of bytes appendFrame puts on the wire
 // for this batch.
+//
+//lint:hotpath
 func frameWireBytes[M any](batch []M, codec graph.Codec[M]) int64 {
 	n := int64(FrameHeaderBytes)
 	for i := range batch {
@@ -43,6 +45,8 @@ func frameWireBytes[M any](batch []M, codec graph.Codec[M]) int64 {
 // appendFrame encodes one frame onto dst and returns the extended slice.
 // dst is an arena-style per-peer buffer: steady-state calls reuse its
 // capacity and allocate nothing.
+//
+//lint:hotpath
 func appendFrame[M any](dst []byte, from int, end bool, tag span.Context, batch []M, codec graph.Codec[M]) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length, backpatched below
@@ -69,11 +73,18 @@ func appendFrame[M any](dst []byte, from int, end bool, tag span.Context, batch 
 // that hand the batch off (the receive loop transfers ownership to the inbox)
 // pass nil scratch; callers that recycle batches get true zero-alloc
 // steady-state decoding.
+//
+//lint:hotpath
 func decodeFrameBody[M any](body []byte, codec graph.Codec[M], scratch []M) (from int, end bool, tag span.Context, batch []M, err error) {
 	if len(body) < FrameHeaderBytes-4 {
 		return 0, false, tag, nil, graph.ErrShortBuffer
 	}
 	flags := body[0]
+	if flags&^frameFlagEnd != 0 {
+		// Undefined flag bits: a peer speaking a newer (or corrupted) frame
+		// dialect. Reject before trusting the rest of the header.
+		return 0, false, tag, nil, ErrFrameCorrupt
+	}
 	end = flags&frameFlagEnd != 0
 	from = int(binary.LittleEndian.Uint32(body[1:]))
 	tag.Run = int64(binary.LittleEndian.Uint64(body[5:]))
@@ -81,11 +92,18 @@ func decodeFrameBody[M any](body []byte, codec graph.Codec[M], scratch []M) (fro
 	tag.Worker = int32(binary.LittleEndian.Uint32(body[17:]))
 	count := int(binary.LittleEndian.Uint32(body[21:]))
 	rest := body[25:]
+	if count > len(rest) {
+		// Every codec encodes a message into at least one byte (the
+		// graph.Codec contract), so a count exceeding the remaining bytes is
+		// provably a lie — reject it before sizing the batch allocation to
+		// an attacker-controlled header field.
+		return 0, false, tag, nil, graph.ErrShortBuffer
+	}
 	if count > 0 {
 		if cap(scratch) >= count {
 			batch = scratch[:count]
 		} else {
-			batch = make([]M, count)
+			batch = make([]M, count) //lint:allow allocfree cold path: grows only until scratch capacity catches up, and nil-scratch callers transfer ownership
 		}
 		for i := 0; i < count; i++ {
 			var n int

@@ -95,6 +95,56 @@ func TestFrameDecodeRejectsCorruption(t *testing.T) {
 	if _, _, _, _, err := decodeFrameBody(wire[4:10], codec, nil); err == nil {
 		t.Error("sub-header frame decoded without error")
 	}
+	// Undefined flag bits: a different frame dialect, not a torn read.
+	bent := append([]byte(nil), wire[4:]...)
+	bent[0] |= 0x80
+	if _, _, _, _, err := decodeFrameBody(bent, codec, nil); err != ErrFrameCorrupt {
+		t.Errorf("frame with undefined flag bits: err = %v, want ErrFrameCorrupt", err)
+	}
+	// A message count larger than the remaining bytes: the decoder must
+	// reject it up front (every message costs ≥ 1 byte) rather than size an
+	// allocation from the attacker-controlled header field.
+	huge := append([]byte(nil), wire[4:]...)
+	huge[21], huge[22], huge[23], huge[24] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, _, _, err := decodeFrameBody(huge, codec, nil); err != graph.ErrShortBuffer {
+		t.Errorf("frame with outsized count: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+// TestFrameScratchAliasing pins the aliasing semantics the bufretain analyzer
+// polices: a batch decoded into scratch is only valid until the next decode
+// into the same scratch, which clobbers it in place. A caller that retains
+// the first batch across rounds observes the second round's values — exactly
+// the bug class the analyzer flags at compile time.
+func TestFrameScratchAliasing(t *testing.T) {
+	codec := msgCodec{}
+	first := []msg{{1, 1.0}, {2, 2.0}}
+	second := []msg{{7, 7.0}, {8, 8.0}}
+	scratch := make([]msg, 0, 2)
+
+	wire1 := appendFrame(nil, 0, false, span.Context{}, first, codec)
+	_, _, _, batch1, err := decodeFrameBody(wire1[4:], codec, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch1[0] != first[0] || batch1[1] != first[1] {
+		t.Fatalf("first decode: got %+v, want %+v", batch1, first)
+	}
+
+	wire2 := appendFrame(nil, 0, false, span.Context{}, second, codec)
+	_, _, _, batch2, err := decodeFrameBody(wire2[4:], codec, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both batches alias scratch's backing array: the second decode
+	// overwrote the first batch in place.
+	if &batch1[0] != &batch2[0] {
+		t.Fatal("scratch decodes did not share a backing array; aliasing contract changed")
+	}
+	if batch1[0] != second[0] || batch1[1] != second[1] {
+		t.Fatalf("retained first batch holds %+v; scratch reuse should have clobbered it to %+v",
+			batch1, second)
+	}
 }
 
 // TestFrameRoundTripZeroAlloc pins the tentpole's core claim: once the

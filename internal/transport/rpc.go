@@ -603,6 +603,8 @@ func (t *RPC[M]) FinishRound(from int) {
 // Drain blocks until one round marker from every endpoint has arrived, then
 // returns all batches received by `to` and consumes the markers. A closed
 // transport or a fatal protocol error unblocks it immediately.
+//
+//lint:hotpath
 func (t *RPC[M]) Drain(to int) [][]M {
 	in := &t.inboxes[to]
 	in.mu.Lock()
@@ -631,7 +633,7 @@ func (t *RPC[M]) Drain(to int) [][]M {
 	if record {
 		in.lastDeliv = in.lastDeliv[:0]
 	}
-	out := make([][]M, len(received))
+	out := make([][]M, len(received)) //lint:allow allocfree the batch-header slice is handed to the engine each round; reusing it would alias consecutive rounds
 	for i, rb := range received {
 		out[i] = rb.batch
 		if record {
